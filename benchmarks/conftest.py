@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of EXPERIMENTS.md (one
+theorem / figure / claim of the paper).  Modules follow the same pattern:
+
+* build the experiment's workloads with :mod:`busytime.generators`;
+* run the algorithms and *assert the shape* of the paper's claim (who wins,
+  bound respected, where the ratio sits) — so ``pytest benchmarks/`` acts as
+  a reproduction check, not just a timer;
+* time the core algorithm call through the ``benchmark`` fixture and attach
+  the measured table to ``benchmark.extra_info`` so the JSON produced by
+  ``pytest benchmarks/ --benchmark-only --benchmark-json=...`` carries the
+  reproduced rows next to the timings.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import pytest
+
+
+@pytest.fixture
+def attach_rows():
+    """Fixture: callable storing experiment rows in the benchmark extra_info."""
+
+    def _attach(benchmark, rows: Sequence[Mapping[str, object]], **extra) -> None:
+        benchmark.extra_info["rows"] = [dict(r) for r in rows]
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+
+    return _attach

@@ -1,0 +1,101 @@
+"""E6 — Theorem 3.2 + Lemma 3.3: Bounded_Length on bounded-length instances.
+
+Two tables are regenerated:
+
+* ratio of the Bounded_Length schedule against the exact optimum (small
+  instances) and the Observation 1.1 lower bound (large instances), swept
+  over the length bound ``d``;
+* the Lemma 3.3 quantity: the cost of splitting a FirstFit schedule at the
+  segment boundaries, divided by the unsplit cost — the paper proves this
+  never exceeds 2, and the measured values show where real instances sit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from busytime.algorithms import bounded_length, first_fit
+from busytime.core.bounds import best_lower_bound
+from busytime.core.intervals import span
+from busytime.exact import exact_optimal_cost
+from busytime.generators import bounded_length_instance
+
+D_SWEEP = [1.5, 2.0, 4.0]
+
+
+@pytest.mark.parametrize("d", D_SWEEP, ids=[f"d{d}" for d in D_SWEEP])
+def test_bounded_length_ratio_small(benchmark, attach_rows, d):
+    rows = []
+    for seed in range(4):
+        inst = bounded_length_instance(10, g=2, d=d, horizon=10, seed=seed)
+        sched = bounded_length(inst, d=d)
+        opt = exact_optimal_cost(inst, initial_upper_bound=sched.total_busy_time)
+        ratio = sched.total_busy_time / opt
+        assert ratio <= 2.0 + 1e-9  # segments solved exactly -> Lemma 3.3 bound
+        rows.append(
+            {
+                "d": d,
+                "seed": seed,
+                "n": inst.n,
+                "bounded_length": round(sched.total_busy_time, 3),
+                "opt": round(opt, 3),
+                "ratio": round(ratio, 3),
+            }
+        )
+    inst = bounded_length_instance(10, g=2, d=d, horizon=10, seed=0)
+    benchmark(lambda: bounded_length(inst, d=d))
+    attach_rows(benchmark, rows, experiment="E6-theorem-3.2", paper_bound="2+eps")
+
+
+@pytest.mark.parametrize("d", D_SWEEP, ids=[f"d{d}" for d in D_SWEEP])
+def test_bounded_length_ratio_large(benchmark, attach_rows, d):
+    rows = []
+    for seed in range(3):
+        inst = bounded_length_instance(200, g=4, d=d, horizon=100, seed=seed)
+        sched = bounded_length(inst, d=d)
+        lb = best_lower_bound(inst)
+        ratio = sched.total_busy_time / lb
+        assert ratio <= 4.0 + 1e-9
+        rows.append(
+            {
+                "d": d,
+                "seed": seed,
+                "n": inst.n,
+                "bounded_length": round(sched.total_busy_time, 3),
+                "lower_bound": round(lb, 3),
+                "ratio_vs_lb": round(ratio, 3),
+            }
+        )
+    inst = bounded_length_instance(200, g=4, d=d, horizon=100, seed=0)
+    benchmark(lambda: bounded_length(inst, d=d))
+    attach_rows(benchmark, rows, experiment="E6-theorem-3.2-large")
+
+
+def test_lemma33_segment_split_factor(benchmark, attach_rows):
+    """Splitting any schedule at segment boundaries at most doubles its cost."""
+    d = 3.0
+    rows = []
+    for seed in range(5):
+        inst = bounded_length_instance(120, g=3, d=d, horizon=60, seed=seed)
+        ff = first_fit(inst)
+        split_cost = 0.0
+        for m in ff.machines:
+            by_segment = {}
+            for j in m.jobs:
+                by_segment.setdefault(int(math.floor(j.start / d)), []).append(j)
+            split_cost += sum(span(jobs) for jobs in by_segment.values())
+        factor = split_cost / ff.total_busy_time
+        assert factor <= 2.0 + 1e-9  # Lemma 3.3
+        rows.append(
+            {
+                "seed": seed,
+                "unsplit_cost": round(ff.total_busy_time, 3),
+                "split_cost": round(split_cost, 3),
+                "factor": round(factor, 3),
+            }
+        )
+    inst = bounded_length_instance(120, g=3, d=d, horizon=60, seed=0)
+    benchmark(lambda: bounded_length(inst, d=d))
+    attach_rows(benchmark, rows, experiment="E6-lemma-3.3", paper_bound=2.0)

@@ -1,0 +1,47 @@
+"""E1 — Observation 1.1: the parallelism and span lower bounds.
+
+Reproduces the claim that every feasible schedule costs at least
+``max(len(J)/g, span(J))``, across random workloads, all algorithms and a
+range of ``g``.  The regenerated table reports, per (n, g), the two bounds,
+the best algorithm's cost and the gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import auto_schedule, first_fit
+from busytime.core.bounds import best_lower_bound, parallelism_bound, span_bound
+from busytime.generators import uniform_random_instance
+
+GRID = [(n, g) for n in (10, 50, 200) for g in (2, 5, 10)]
+
+
+@pytest.mark.parametrize("n,g", GRID, ids=[f"n{n}-g{g}" for n, g in GRID])
+def test_bounds_hold_for_every_algorithm(benchmark, attach_rows, n, g):
+    inst = uniform_random_instance(n, g, seed=n * 31 + g)
+    rows = []
+    costs = []
+    for name, algorithm in (("first_fit", first_fit), ("auto", auto_schedule)):
+        sched = algorithm(inst)
+        p_bound = parallelism_bound(inst)
+        s_bound = span_bound(inst)
+        assert sched.total_busy_time >= p_bound - 1e-9
+        assert sched.total_busy_time >= s_bound - 1e-9
+        costs.append(sched.total_busy_time)
+        rows.append(
+            {
+                "n": n,
+                "g": g,
+                "algorithm": name,
+                "parallelism_bound": round(p_bound, 3),
+                "span_bound": round(s_bound, 3),
+                "cost": round(sched.total_busy_time, 3),
+                "cost_over_best_lb": round(
+                    sched.total_busy_time / best_lower_bound(inst), 3
+                ),
+            }
+        )
+    result = benchmark(lambda: best_lower_bound(inst))
+    attach_rows(benchmark, rows, experiment="E1-observation-1.1")
+    assert result <= min(costs) + 1e-9

@@ -1,0 +1,74 @@
+"""E7 — Theorem A.1 + Fig. 5: the clique algorithm is a 2-approximation.
+
+Regenerates, per (n, g), the clique algorithm's cost, the exact optimum
+(small n) or the Appendix delta lower bound (large n), and the ratio, which
+must never exceed 2.  The per-machine certificate of the proof
+(busy interval inside ``[t - delta, t + delta]``) is also re-checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import clique_schedule
+from busytime.core.bounds import clique_bound
+from busytime.exact import exact_optimal_cost
+from busytime.generators import clique_instance
+
+SMALL = [(8, 2), (9, 3)]
+LARGE = [(100, 2), (200, 5), (400, 10)]
+
+
+@pytest.mark.parametrize("n,g", SMALL, ids=[f"small-n{n}-g{g}" for n, g in SMALL])
+def test_clique_vs_exact_optimum(benchmark, attach_rows, n, g):
+    rows = []
+    for seed in range(5):
+        inst = clique_instance(n, g, seed=seed)
+        sched = clique_schedule(inst)
+        opt = exact_optimal_cost(inst, initial_upper_bound=sched.total_busy_time)
+        ratio = sched.total_busy_time / opt
+        assert ratio <= 2.0 + 1e-9  # Theorem A.1
+        rows.append(
+            {
+                "n": n,
+                "g": g,
+                "seed": seed,
+                "clique_alg": round(sched.total_busy_time, 3),
+                "opt": round(opt, 3),
+                "ratio": round(ratio, 3),
+            }
+        )
+    inst = clique_instance(n, g, seed=0)
+    benchmark(lambda: clique_schedule(inst))
+    attach_rows(benchmark, rows, experiment="E7-theorem-A.1", paper_bound=2.0)
+
+
+@pytest.mark.parametrize("n,g", LARGE, ids=[f"large-n{n}-g{g}" for n, g in LARGE])
+def test_clique_vs_delta_bound_large(benchmark, attach_rows, n, g):
+    rows = []
+    for seed in range(3):
+        inst = clique_instance(n, g, seed=seed)
+        sched = clique_schedule(inst)
+        lb = clique_bound(inst)
+        ratio = sched.total_busy_time / lb
+        assert ratio <= 2.0 + 1e-9
+        # per-machine certificate of the proof
+        t = sched.meta["common_point"]
+        deltas = sched.meta["deltas"]
+        for m in sched.machines:
+            dmax = max(deltas[j.id] for j in m.jobs)
+            assert m.busy_time <= 2 * dmax + 1e-9
+        rows.append(
+            {
+                "n": n,
+                "g": g,
+                "seed": seed,
+                "clique_alg": round(sched.total_busy_time, 3),
+                "delta_bound": round(lb, 3),
+                "ratio_vs_bound": round(ratio, 3),
+                "machines": sched.num_machines,
+            }
+        )
+    inst = clique_instance(n, g, seed=0)
+    benchmark(lambda: clique_schedule(inst))
+    attach_rows(benchmark, rows, experiment="E7-theorem-A.1-large", paper_bound=2.0)

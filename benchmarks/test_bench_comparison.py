@@ -1,0 +1,105 @@
+"""E11 — Cross-algorithm comparison on a mixed workload suite.
+
+Not a single table of the paper, but the head-to-head the paper's results
+imply: on each instance class the specialised algorithm (or the dispatcher)
+should match or beat plain FirstFit, and all of them should crush the
+no-sharing and machine-count baselines on the busy-time objective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import (
+    auto_schedule,
+    best_fit,
+    clique_schedule,
+    first_fit,
+    machine_minimizing,
+    proper_greedy,
+    singleton,
+)
+from busytime.analysis import ExperimentRunner
+from busytime.core.bounds import best_lower_bound
+from busytime.generators import (
+    bursty_instance,
+    clique_instance,
+    proper_instance,
+    uniform_random_instance,
+)
+
+ALGORITHMS = {
+    "first_fit": first_fit,
+    "best_fit": best_fit,
+    "auto": auto_schedule,
+    "machine_min": machine_minimizing,
+    "singleton": singleton,
+}
+
+WORKLOADS = [
+    ("uniform", lambda seed: uniform_random_instance(100, 4, seed=seed)),
+    ("bursty", lambda seed: bursty_instance(100, 4, seed=seed)),
+    ("proper", lambda seed: proper_instance(100, 4, seed=seed)),
+    ("clique", lambda seed: clique_instance(100, 4, seed=seed)),
+]
+
+
+def test_head_to_head(benchmark, attach_rows):
+    rows = []
+    for label, maker in WORKLOADS:
+        for seed in range(2):
+            inst = maker(seed)
+            lb = best_lower_bound(inst)
+            costs = {}
+            for name, algorithm in ALGORITHMS.items():
+                sched = algorithm(inst)
+                sched.validate()
+                costs[name] = sched.total_busy_time
+            row = {"workload": label, "seed": seed, "lower_bound": round(lb, 1)}
+            row.update({name: round(c, 1) for name, c in costs.items()})
+            row["auto_vs_lb"] = round(costs["auto"] / lb, 3)
+            rows.append(row)
+
+            # Shapes the paper implies:
+            assert costs["auto"] <= costs["first_fit"] + 1e-9
+            assert costs["auto"] <= costs["singleton"] + 1e-9
+            assert costs["first_fit"] <= costs["singleton"] + 1e-9
+            # (machine_min is sometimes competitive on busy time — see E9 for
+            # the workload where it is provably wasteful — so no ordering is
+            # asserted against it here, it is only reported.)
+
+    inst = uniform_random_instance(100, 4, seed=0)
+    benchmark(lambda: auto_schedule(inst))
+    attach_rows(benchmark, rows, experiment="E11-head-to-head")
+
+
+def test_specialised_algorithms_on_their_classes(benchmark, attach_rows):
+    rows = []
+    proper = proper_instance(120, 4, seed=7)
+    clique = clique_instance(120, 4, seed=7)
+    pg = proper_greedy(proper).total_busy_time
+    ff_p = first_fit(proper).total_busy_time
+    cs = clique_schedule(clique).total_busy_time
+    ff_c = first_fit(clique).total_busy_time
+    rows.append(
+        {
+            "class": "proper",
+            "greedy": round(pg, 1),
+            "first_fit": round(ff_p, 1),
+            "greedy_vs_lb": round(pg / best_lower_bound(proper), 3),
+        }
+    )
+    rows.append(
+        {
+            "class": "clique",
+            "clique_alg": round(cs, 1),
+            "first_fit": round(ff_c, 1),
+            "clique_vs_lb": round(cs / best_lower_bound(clique), 3),
+        }
+    )
+    # Guarantees: the specialised algorithms stay within their proven factors
+    # of the lower bound on these dense workloads.
+    assert rows[0]["greedy_vs_lb"] <= 2.0 + 1e-9
+    assert rows[1]["clique_vs_lb"] <= 2.0 + 1e-9
+    benchmark(lambda: proper_greedy(proper))
+    attach_rows(benchmark, rows, experiment="E11-specialised")

@@ -1,0 +1,84 @@
+"""E2 — Theorem 2.1 / 2.5 (upper bound): FirstFit is a 4-approximation.
+
+Two regimes are regenerated:
+
+* **small instances** (n <= 10): the ratio is measured against the *exact*
+  optimum; the paper's guarantee ``FirstFit <= 4 OPT`` must hold on every
+  single instance, and typical ratios sit well below 2;
+* **large instances** (n up to 400): the ratio is measured against the
+  Observation 1.1 lower bound (an over-estimate of the true ratio); it must
+  stay below 4 on these random workloads and typically sits near 1.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from busytime.algorithms import first_fit
+from busytime.core.bounds import best_lower_bound
+from busytime.exact import exact_optimal_cost
+from busytime.generators import poisson_arrivals_instance, uniform_random_instance
+
+SMALL = [(8, 2), (9, 3), (10, 2)]
+LARGE = [(100, 2), (200, 5), (400, 10)]
+
+
+@pytest.mark.parametrize("n,g", SMALL, ids=[f"small-n{n}-g{g}" for n, g in SMALL])
+def test_firstfit_vs_exact_optimum(benchmark, attach_rows, n, g):
+    rows = []
+    for seed in range(5):
+        inst = uniform_random_instance(n, g, horizon=25, seed=seed)
+        ff = first_fit(inst)
+        opt = exact_optimal_cost(inst, initial_upper_bound=ff.total_busy_time)
+        ratio = ff.total_busy_time / opt
+        assert ratio <= 4.0 + 1e-9  # Theorem 2.1
+        rows.append(
+            {
+                "n": n,
+                "g": g,
+                "seed": seed,
+                "firstfit": round(ff.total_busy_time, 3),
+                "opt": round(opt, 3),
+                "ratio": round(ratio, 3),
+            }
+        )
+    mean_ratio = statistics.mean(r["ratio"] for r in rows)
+    inst = uniform_random_instance(n, g, horizon=25, seed=0)
+    benchmark(lambda: first_fit(inst))
+    attach_rows(
+        benchmark,
+        rows,
+        experiment="E2-theorem-2.1",
+        mean_ratio=round(mean_ratio, 3),
+        paper_bound=4.0,
+    )
+
+
+@pytest.mark.parametrize("n,g", LARGE, ids=[f"large-n{n}-g{g}" for n, g in LARGE])
+def test_firstfit_vs_lower_bound_large(benchmark, attach_rows, n, g):
+    rows = []
+    for maker, label in (
+        (uniform_random_instance, "uniform"),
+        (lambda n, g, seed: poisson_arrivals_instance(n, g, seed=seed), "poisson"),
+    ):
+        for seed in range(3):
+            inst = maker(n, g, seed=seed)
+            ff = first_fit(inst)
+            ratio = ff.total_busy_time / best_lower_bound(inst)
+            assert ratio <= 4.0 + 1e-9
+            rows.append(
+                {
+                    "workload": label,
+                    "n": n,
+                    "g": g,
+                    "seed": seed,
+                    "firstfit": round(ff.total_busy_time, 3),
+                    "lower_bound": round(best_lower_bound(inst), 3),
+                    "ratio_vs_lb": round(ratio, 3),
+                }
+            )
+    inst = uniform_random_instance(n, g, seed=0)
+    benchmark(lambda: first_fit(inst))
+    attach_rows(benchmark, rows, experiment="E2-theorem-2.1-large", paper_bound=4.0)

@@ -1,0 +1,75 @@
+"""E3 — Theorem 2.4 + Fig. 4: FirstFit's ratio approaches 3 from below.
+
+Regenerates the Fig. 4 family for growing ``g`` and decreasing ``eps'`` and
+reports FirstFit's cost, the reference (proof) solution's cost ``g + 1`` and
+their ratio ``(3 - 2 eps') g / (g + 1)``.  The shape to reproduce: the ratio
+is increasing in ``g``, crosses ``3 - eps`` at the parameters prescribed by
+the proof, and never exceeds 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import first_fit
+from busytime.generators import (
+    fig4_reference_schedule,
+    firstfit_lower_bound_instance,
+    theorem24_parameters,
+)
+
+G_SWEEP = [3, 5, 10, 20, 40]
+
+
+def test_ratio_increases_with_g(benchmark, attach_rows):
+    eps_prime = 0.01
+    rows = []
+    for g in G_SWEEP:
+        inst = firstfit_lower_bound_instance(g, eps_prime)
+        ff = first_fit(inst)
+        ref = fig4_reference_schedule(inst)
+        ratio = ff.total_busy_time / ref.total_busy_time
+        expected = (3 - 2 * eps_prime) * g / (g + 1)
+        assert ratio == pytest.approx(expected, rel=1e-3)
+        assert ratio < 3.0
+        rows.append(
+            {
+                "g": g,
+                "n": inst.n,
+                "firstfit": round(ff.total_busy_time, 3),
+                "reference_opt_ub": round(ref.total_busy_time, 3),
+                "ratio": round(ratio, 4),
+                "paper_prediction": round(expected, 4),
+            }
+        )
+    ratios = [r["ratio"] for r in rows]
+    assert ratios == sorted(ratios)  # increasing in g
+
+    g = G_SWEEP[-1]
+    inst = firstfit_lower_bound_instance(g, eps_prime)
+    benchmark(lambda: first_fit(inst))
+    attach_rows(benchmark, rows, experiment="E3-theorem-2.4", limit=3.0)
+
+
+@pytest.mark.parametrize("eps", [0.5, 0.25, 0.1])
+def test_ratio_exceeds_three_minus_eps(benchmark, attach_rows, eps):
+    eps_prime, g = theorem24_parameters(eps)
+    inst = firstfit_lower_bound_instance(g, eps_prime)
+    ff_cost = first_fit(inst).total_busy_time
+    ref_cost = fig4_reference_schedule(inst).total_busy_time
+    ratio = ff_cost / ref_cost
+    assert ratio > 3 - eps  # the statement of Theorem 2.4
+    benchmark(lambda: first_fit(inst))
+    attach_rows(
+        benchmark,
+        [
+            {
+                "eps": eps,
+                "eps_prime": eps_prime,
+                "g": g,
+                "ratio": round(ratio, 4),
+                "threshold": round(3 - eps, 4),
+            }
+        ],
+        experiment="E3-theorem-2.4",
+    )

@@ -1,0 +1,68 @@
+"""E10 — Figures 1–3 / Observation 2.2 / Lemma 2.3: FirstFit's proof machinery.
+
+The upper-bound proof of Theorem 2.1 rests on two structural facts about
+FirstFit runs.  This benchmark extracts and verifies them on actual runs:
+
+* for every job on machine ``M_i`` and every earlier machine ``M_k``, a
+  witness time inside the job at which ``M_k`` runs ``g`` no-shorter jobs
+  (Observation 2.2, Fig. 1);
+* ``len(J_i) >= (g/3) span(J_{i+1})`` for consecutive machines (Lemma 2.3,
+  Figs. 2–3), reported with the measured slack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import first_fit
+from busytime.analysis import lemma23_records, verify_observation22
+from busytime.generators import (
+    bursty_instance,
+    firstfit_lower_bound_instance,
+    uniform_random_instance,
+)
+
+WORKLOADS = [
+    ("uniform", lambda: uniform_random_instance(60, g=3, seed=1)),
+    ("bursty", lambda: bursty_instance(60, g=3, seed=2)),
+    ("fig4", lambda: firstfit_lower_bound_instance(8)),
+]
+
+
+@pytest.mark.parametrize(
+    "label,maker", WORKLOADS, ids=[w[0] for w in WORKLOADS]
+)
+def test_lemma23_holds_with_slack(benchmark, attach_rows, label, maker):
+    inst = maker()
+    sched = first_fit(inst)
+    records = lemma23_records(sched)
+    rows = []
+    for r in records:
+        assert r.holds  # Lemma 2.3
+        rows.append(
+            {
+                "workload": label,
+                "machine_i": r.machine_index,
+                "len_Ji": round(r.len_ji, 3),
+                "g_span_next_over_3": round(r.rhs, 3),
+                "slack": round(r.slack, 3),
+            }
+        )
+    benchmark(lambda: lemma23_records(first_fit(inst)))
+    attach_rows(benchmark, rows, experiment="E10-lemma-2.3")
+
+
+def test_observation22_witness_extraction(benchmark, attach_rows):
+    inst = uniform_random_instance(40, g=2, seed=5)
+    sched = first_fit(inst)
+    witnesses = verify_observation22(sched)  # raises if any witness is missing
+    rows = [
+        {
+            "machines": sched.num_machines,
+            "witness_pairs_checked": len(witnesses),
+            "g": inst.g,
+        }
+    ]
+    benchmark(lambda: verify_observation22(sched))
+    attach_rows(benchmark, rows, experiment="E10-observation-2.2")
+    assert witnesses

@@ -1,0 +1,74 @@
+"""E5 — Theorem 3.1: the greedy is a 2-approximation on proper instances.
+
+Regenerates two tables:
+
+* small proper instances, ratio against the exact optimum, together with the
+  *stronger* inequality the proof establishes, ``ALG <= OPT + span``;
+* large proper instances (n up to 500), cost against the lower bound and the
+  ``LB + span`` relaxation of the proof's inequality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import proper_greedy
+from busytime.core.bounds import best_lower_bound, span_bound
+from busytime.exact import exact_optimal_cost
+from busytime.generators import proper_instance, unit_interval_instance
+
+SMALL = [(9, 2), (10, 3)]
+LARGE = [(100, 3), (250, 5), (500, 10)]
+
+
+@pytest.mark.parametrize("n,g", SMALL, ids=[f"small-n{n}-g{g}" for n, g in SMALL])
+def test_greedy_vs_exact_optimum(benchmark, attach_rows, n, g):
+    rows = []
+    for seed in range(5):
+        inst = proper_instance(n, g, horizon=25, seed=seed)
+        sched = proper_greedy(inst)
+        opt = exact_optimal_cost(inst, initial_upper_bound=sched.total_busy_time)
+        assert sched.total_busy_time <= 2.0 * opt + 1e-9  # Theorem 3.1
+        assert sched.total_busy_time <= opt + span_bound(inst) + 1e-9  # proof ineq.
+        rows.append(
+            {
+                "n": n,
+                "g": g,
+                "seed": seed,
+                "greedy": round(sched.total_busy_time, 3),
+                "opt": round(opt, 3),
+                "span": round(span_bound(inst), 3),
+                "ratio": round(sched.total_busy_time / opt, 3),
+            }
+        )
+    inst = proper_instance(n, g, horizon=25, seed=0)
+    benchmark(lambda: proper_greedy(inst))
+    attach_rows(benchmark, rows, experiment="E5-theorem-3.1", paper_bound=2.0)
+
+
+@pytest.mark.parametrize("n,g", LARGE, ids=[f"large-n{n}-g{g}" for n, g in LARGE])
+def test_greedy_large_proper_instances(benchmark, attach_rows, n, g):
+    rows = []
+    for maker, label in (
+        (proper_instance, "proper"),
+        (lambda n, g, seed: unit_interval_instance(n, g, seed=seed), "unit"),
+    ):
+        for seed in range(3):
+            inst = maker(n, g, seed=seed)
+            sched = proper_greedy(inst)
+            lb = best_lower_bound(inst)
+            assert sched.total_busy_time <= lb + span_bound(inst) + 1e-9
+            rows.append(
+                {
+                    "workload": label,
+                    "n": n,
+                    "g": g,
+                    "seed": seed,
+                    "greedy": round(sched.total_busy_time, 3),
+                    "lower_bound": round(lb, 3),
+                    "ratio_vs_lb": round(sched.total_busy_time / lb, 3),
+                }
+            )
+    inst = proper_instance(n, g, seed=0)
+    benchmark(lambda: proper_greedy(inst))
+    attach_rows(benchmark, rows, experiment="E5-theorem-3.1-large", paper_bound=2.0)

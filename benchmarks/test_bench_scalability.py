@@ -1,0 +1,53 @@
+"""E12 — Runtime scalability of the algorithms.
+
+The paper's algorithms are combinatorial and low-polynomial; this benchmark
+records wall-clock time versus instance size so regressions in the
+implementation are caught and the "laptop-scale" claim of the reproduction is
+documented.  pytest-benchmark provides the statistics; the attached rows add
+the resulting cost so throughput and quality can be read together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime.algorithms import auto_schedule, first_fit, proper_greedy
+from busytime.generators import proper_instance, uniform_random_instance
+
+SIZES = [100, 500, 2000]
+
+
+@pytest.mark.parametrize("n", SIZES, ids=[f"n{n}" for n in SIZES])
+def test_firstfit_scaling(benchmark, attach_rows, n):
+    inst = uniform_random_instance(n, g=5, seed=n)
+    sched = benchmark(lambda: first_fit(inst))
+    attach_rows(
+        benchmark,
+        [{"n": n, "g": 5, "cost": round(sched.total_busy_time, 1), "machines": sched.num_machines}],
+        experiment="E12-scalability-firstfit",
+    )
+    assert sched.num_machines >= 1
+
+
+@pytest.mark.parametrize("n", SIZES, ids=[f"n{n}" for n in SIZES])
+def test_proper_greedy_scaling(benchmark, attach_rows, n):
+    inst = proper_instance(n, g=5, seed=n)
+    sched = benchmark(lambda: proper_greedy(inst))
+    attach_rows(
+        benchmark,
+        [{"n": n, "g": 5, "cost": round(sched.total_busy_time, 1), "machines": sched.num_machines}],
+        experiment="E12-scalability-greedy",
+    )
+    assert sched.num_machines >= 1
+
+
+@pytest.mark.parametrize("n", [100, 500], ids=["n100", "n500"])
+def test_dispatcher_scaling(benchmark, attach_rows, n):
+    inst = uniform_random_instance(n, g=5, seed=n + 1)
+    sched = benchmark(lambda: auto_schedule(inst))
+    attach_rows(
+        benchmark,
+        [{"n": n, "g": 5, "cost": round(sched.total_busy_time, 1), "machines": sched.num_machines}],
+        experiment="E12-scalability-auto",
+    )
+    assert sched.num_machines >= 1

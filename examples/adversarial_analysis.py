@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Reproduce the paper's worst-case analysis of FirstFit (Theorems 2.1–2.5).
+
+The script regenerates, in one run, the three quantitative stories of
+Section 2:
+
+* **Fig. 4 / Theorem 2.4** — on the adversarial three-column instance,
+  FirstFit's cost approaches ``3 * OPT`` as the parallelism ``g`` grows and
+  the column offset ``eps'`` shrinks; the table prints measured ratio vs the
+  closed-form prediction ``(3 - 2 eps') g / (g + 1)``.
+* **Section 3.1 remark** — the ranked-shift *proper* variant of the same
+  instance keeps FirstFit at ≈3 while the NextFit greedy achieves ratio ≈1.
+* **Lemma 2.3 certificate** — on the adversarial run, the inequality
+  ``len(J_i) >= (g/3) span(J_{i+1})`` that powers the upper-bound proof is
+  extracted machine by machine.
+
+Run with::
+
+    python examples/adversarial_analysis.py
+"""
+
+from __future__ import annotations
+
+from busytime import first_fit, proper_greedy
+from busytime.analysis import format_table, lemma23_records
+from busytime.generators import (
+    fig4_reference_schedule,
+    firstfit_lower_bound_instance,
+    ranked_shift_proper_instance,
+    theorem24_parameters,
+)
+
+
+def theorem_24_table() -> None:
+    rows = []
+    for g in (3, 5, 10, 20, 50):
+        for eps_prime in (0.05, 0.01):
+            inst = firstfit_lower_bound_instance(g, eps_prime)
+            ff = first_fit(inst)
+            ref = fig4_reference_schedule(inst)
+            ratio = ff.total_busy_time / ref.total_busy_time
+            rows.append(
+                {
+                    "g": g,
+                    "eps'": eps_prime,
+                    "jobs": inst.n,
+                    "FirstFit": round(ff.total_busy_time, 2),
+                    "OPT (<=)": round(ref.total_busy_time, 2),
+                    "ratio": round(ratio, 4),
+                    "predicted": round((3 - 2 * eps_prime) * g / (g + 1), 4),
+                }
+            )
+    print(format_table(rows, title="Fig. 4 / Theorem 2.4 — FirstFit ratio approaches 3"))
+    print()
+
+
+def proper_variant_table() -> None:
+    rows = []
+    for g in (5, 10, 20, 40):
+        inst = ranked_shift_proper_instance(g)
+        ref = fig4_reference_schedule(inst).total_busy_time
+        rows.append(
+            {
+                "g": g,
+                "proper?": inst.is_proper(),
+                "FirstFit ratio": round(first_fit(inst).total_busy_time / ref, 4),
+                "Greedy ratio": round(proper_greedy(inst).total_busy_time / ref, 4),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                "Ranked-shift proper variant (Section 3.1 remark) — "
+                "FirstFit stays ~3-bad, the greedy stays within 2"
+            ),
+        )
+    )
+    print()
+
+
+def lemma_23_table() -> None:
+    eps_prime, g = theorem24_parameters(0.5)
+    inst = firstfit_lower_bound_instance(g, eps_prime)
+    sched = first_fit(inst)
+    rows = [
+        {
+            "machine i": r.machine_index,
+            "len(J_i)": round(r.len_ji, 2),
+            "(g/3) span(J_{i+1})": round(r.rhs, 2),
+            "slack": round(r.slack, 2),
+            "holds": r.holds,
+        }
+        for r in lemma23_records(sched)
+    ]
+    print(
+        format_table(
+            rows,
+            title=f"Lemma 2.3 certificate on the adversarial FirstFit run (g={g})",
+        )
+    )
+    print()
+    print(
+        "Every row satisfies the inequality, as the proof of Theorem 2.1 requires; "
+        "the slack shows how much of the factor 4 the adversarial family actually uses."
+    )
+
+
+def main() -> None:
+    theorem_24_table()
+    proper_variant_table()
+    lemma_23_table()
+
+
+if __name__ == "__main__":
+    main()

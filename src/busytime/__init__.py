@@ -1,0 +1,120 @@
+"""busytime — minimizing total busy time in parallel (interval) scheduling.
+
+A faithful, laptop-scale reproduction of
+
+    M. Flammini, G. Monaco, L. Moscardelli, H. Shachnai, M. Shalom, T. Tamir,
+    S. Zaks.  *Minimizing total busy time in parallel scheduling with
+    application to optical networks.*  IPDPS 2009 / Theoretical Computer
+    Science 411 (2010) 3553-3562.
+
+The package provides:
+
+* the core data model (:mod:`busytime.core`): intervals, jobs, instances,
+  schedules and the Observation 1.1 lower bounds;
+* the paper's algorithms (:mod:`busytime.algorithms`): FirstFit
+  (4-approximation, Section 2), the NextFit greedy for proper interval
+  graphs (2-approximation, Section 3.1), Bounded_Length ((2+eps), Section
+  3.2), the clique algorithm (2-approximation, Appendix), plus baselines and
+  an auto-dispatching portfolio;
+* exact solvers for small instances (:mod:`busytime.exact`), used as OPT
+  references;
+* the optical-network application (:mod:`busytime.optical`): traffic
+  grooming / regenerator minimisation on path networks via the Section 4
+  reduction;
+* instance generators (:mod:`busytime.generators`) including the Fig. 4
+  adversarial family, and an experiment harness (:mod:`busytime.analysis`).
+
+Quick start::
+
+    from busytime import Instance, first_fit
+
+    inst = Instance.from_intervals([(0, 3), (1, 4), (2, 6), (5, 9)], g=2)
+    schedule = first_fit(inst)
+    print(schedule.total_busy_time, schedule.num_machines)
+"""
+
+from .algorithms import (
+    auto_schedule,
+    available_schedulers,
+    best_fit,
+    bounded_length,
+    clique_schedule,
+    first_fit,
+    get_scheduler,
+    machine_minimizing,
+    next_fit_by_start,
+    proper_greedy,
+    random_assignment,
+    select_algorithm,
+    singleton,
+)
+from .core import (
+    Instance,
+    Interval,
+    Job,
+    Machine,
+    Schedule,
+    ScheduleBuilder,
+    best_lower_bound,
+    combined_bound,
+    connected_components,
+    parallelism_bound,
+    span,
+    span_bound,
+    total_length,
+)
+from .exact import branch_and_bound_optimum, brute_force_optimum, exact_optimal_cost, exact_optimum
+from .optical import (
+    Lightpath,
+    PathNetwork,
+    Traffic,
+    WavelengthAssignment,
+    groom,
+    traffic_to_instance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Interval",
+    "Job",
+    "Instance",
+    "Machine",
+    "Schedule",
+    "ScheduleBuilder",
+    "connected_components",
+    "span",
+    "total_length",
+    "parallelism_bound",
+    "span_bound",
+    "combined_bound",
+    "best_lower_bound",
+    # algorithms
+    "first_fit",
+    "proper_greedy",
+    "clique_schedule",
+    "bounded_length",
+    "auto_schedule",
+    "select_algorithm",
+    "machine_minimizing",
+    "next_fit_by_start",
+    "best_fit",
+    "singleton",
+    "random_assignment",
+    "get_scheduler",
+    "available_schedulers",
+    # exact
+    "exact_optimum",
+    "exact_optimal_cost",
+    "branch_and_bound_optimum",
+    "brute_force_optimum",
+    # optical
+    "PathNetwork",
+    "Lightpath",
+    "Traffic",
+    "WavelengthAssignment",
+    "traffic_to_instance",
+    "groom",
+]

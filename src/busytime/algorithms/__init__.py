@@ -1,0 +1,60 @@
+"""Scheduling algorithms: the paper's algorithms, baselines and the dispatcher."""
+
+from .base import (
+    AlgorithmInfo,
+    FunctionScheduler,
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+)
+from .baselines import (
+    best_fit,
+    machine_minimizing,
+    next_fit_by_start,
+    random_assignment,
+    singleton,
+)
+from .bounded_length import (
+    BoundedLengthScheduler,
+    SegmentSolution,
+    bounded_length,
+    segment_jobs,
+)
+from .clique import CliqueScheduler, clique_deltas, clique_schedule
+from .dispatch import AutoScheduler, auto_schedule, select_algorithm
+from .first_fit import FirstFitScheduler, first_fit, first_fit_order
+from .local_search import LocalSearchResult, improve, local_search_first_fit
+from .proper_greedy import ProperGreedyScheduler, proper_greedy
+
+__all__ = [
+    "Scheduler",
+    "FunctionScheduler",
+    "AlgorithmInfo",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "first_fit",
+    "first_fit_order",
+    "FirstFitScheduler",
+    "proper_greedy",
+    "ProperGreedyScheduler",
+    "clique_schedule",
+    "clique_deltas",
+    "CliqueScheduler",
+    "bounded_length",
+    "segment_jobs",
+    "SegmentSolution",
+    "BoundedLengthScheduler",
+    "auto_schedule",
+    "select_algorithm",
+    "AutoScheduler",
+    "improve",
+    "local_search_first_fit",
+    "LocalSearchResult",
+    "machine_minimizing",
+    "next_fit_by_start",
+    "best_fit",
+    "singleton",
+    "random_assignment",
+]

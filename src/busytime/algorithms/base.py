@@ -1,0 +1,118 @@
+"""Common scheduler interface and registry.
+
+Every algorithm in this package is exposed both as a plain function
+(``first_fit(instance) -> Schedule``) and as a :class:`Scheduler` object with
+a uniform ``schedule(instance)`` method, a declared ``name`` and the proven
+approximation guarantee (used by reports).  The registry lets the dispatcher,
+the experiment harness and the CLI examples enumerate available algorithms by
+name without importing each module explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+
+__all__ = [
+    "Scheduler",
+    "FunctionScheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "available_schedulers",
+    "AlgorithmInfo",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Static facts about an algorithm, used in reports and documentation."""
+
+    name: str
+    paper_section: str
+    approximation_ratio: Optional[float]
+    instance_class: str
+    description: str
+
+
+class Scheduler(abc.ABC):
+    """Abstract base class for busy-time schedulers."""
+
+    #: short, unique identifier (registry key)
+    name: str = "abstract"
+    #: proven approximation guarantee on the declared instance class, or None
+    approximation_ratio: Optional[float] = None
+    #: instance class on which the guarantee holds ("general", "proper", ...)
+    instance_class: str = "general"
+    #: paper section implementing the algorithm
+    paper_section: str = ""
+
+    @abc.abstractmethod
+    def schedule(self, instance: Instance) -> Schedule:
+        """Produce a feasible schedule for the instance."""
+
+    def __call__(self, instance: Instance) -> Schedule:
+        return self.schedule(instance)
+
+    def info(self) -> AlgorithmInfo:
+        return AlgorithmInfo(
+            name=self.name,
+            paper_section=self.paper_section,
+            approximation_ratio=self.approximation_ratio,
+            instance_class=self.instance_class,
+            description=(self.__doc__ or "").strip().split("\n")[0],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Scheduler {self.name}>"
+
+
+class FunctionScheduler(Scheduler):
+    """Adapter turning a plain ``instance -> Schedule`` function into a Scheduler."""
+
+    def __init__(
+        self,
+        func: Callable[[Instance], Schedule],
+        name: str,
+        approximation_ratio: Optional[float] = None,
+        instance_class: str = "general",
+        paper_section: str = "",
+    ) -> None:
+        self._func = func
+        self.name = name
+        self.approximation_ratio = approximation_ratio
+        self.instance_class = instance_class
+        self.paper_section = paper_section
+        self.__doc__ = func.__doc__
+
+    def schedule(self, instance: Instance) -> Schedule:
+        return self._func(instance)
+
+
+_REGISTRY: Dict[str, Scheduler] = {}
+
+
+def register_scheduler(scheduler: Scheduler, overwrite: bool = False) -> Scheduler:
+    """Add a scheduler to the global registry (keyed by its ``name``)."""
+    if scheduler.name in _REGISTRY and not overwrite:
+        raise KeyError(f"scheduler {scheduler.name!r} already registered")
+    _REGISTRY[scheduler.name] = scheduler
+    return scheduler
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Look up a registered scheduler by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_schedulers() -> List[str]:
+    """Names of all registered schedulers, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,115 @@
+"""Scheduling algorithm for cliques (Appendix of the paper).
+
+When every pair of job intervals intersects the interval graph is a clique
+and, by the Helly property, all jobs share a common point ``t``.  The
+Appendix algorithm:
+
+1. pick any common point ``t``; for each job ``j`` let
+   ``delta_j = max(t - s_j, c_j - t)`` be the farthest distance of one of its
+   endpoints from ``t`` (Fig. 5's left–right partition);
+2. sort the jobs by non-increasing ``delta_j``;
+3. fill machines greedily with ``g`` jobs each in that order (the last
+   machine may receive fewer).
+
+**Theorem A.1** shows the resulting total busy time is at most ``2 * OPT``:
+machine ``i``'s busy interval is contained in ``[t - delta^i_A, t + delta^i_A]``
+where ``delta^i_A`` is the largest distance among its jobs, and the sorted
+distances majorise the corresponding quantities of any optimal solution.
+
+The paper notes (Section 1.3) that a 2-approximation for cliques had already
+appeared in [8]; this algorithm and its analysis are different and are the
+ones reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.instance import Instance
+from ..core.intervals import Job
+from ..core.schedule import Schedule, ScheduleBuilder
+from .base import FunctionScheduler, register_scheduler
+
+__all__ = ["clique_schedule", "clique_deltas", "CliqueScheduler"]
+
+
+def clique_deltas(instance: Instance, t: Optional[float] = None) -> List[float]:
+    """The distances ``delta_j`` from the common point, in job order.
+
+    ``t`` defaults to a common point of all intervals; a ``ValueError`` is
+    raised when the instance is not a clique and no explicit ``t`` is given.
+    """
+    if t is None:
+        t = instance.common_point()
+        if t is None:
+            raise ValueError("instance is not a clique: no common point exists")
+    return [max(t - j.start, j.end - t) for j in instance.jobs]
+
+
+def clique_schedule(instance: Instance, strict: bool = True) -> Schedule:
+    """Schedule a clique instance with the Appendix algorithm.
+
+    Parameters
+    ----------
+    instance:
+        A pairwise-intersecting instance.  With ``strict=True`` (default) a
+        ``ValueError`` is raised when the instance is not a clique.  With
+        ``strict=False`` the same grouping is applied around the densest
+        point of the instance; the schedule is still feasible (a machine
+        receiving at most ``g`` jobs can never exceed parallelism ``g``) but
+        the 2-approximation guarantee does not transfer.  Use the dispatcher
+        for general instances.
+    """
+    t = instance.common_point()
+    if t is None:
+        if strict:
+            raise ValueError("clique_schedule requires a pairwise-intersecting instance")
+        # Densest point: midpoint of a maximum-load piece of the load profile.
+        from ..core.events import load_profile  # local import to avoid cycle
+
+        profile = load_profile(list(instance.jobs))
+        if profile:
+            lo, hi, _ = max(profile, key=lambda p: p[2])
+            t = (lo + hi) / 2.0
+        else:
+            t = 0.0
+
+    deltas = clique_deltas(instance, t)
+    order = sorted(
+        zip(instance.jobs, deltas), key=lambda pair: (-pair[1], pair[0].id)
+    )
+    builder = ScheduleBuilder(instance, algorithm="clique")
+    g = instance.g
+    for block_start in range(0, len(order), g):
+        block = [job for job, _ in order[block_start : block_start + g]]
+        builder.assign_new_machine(block)
+    builder.meta["common_point"] = t
+    builder.meta["deltas"] = dict(
+        zip((j.id for j in instance.jobs), deltas)
+    )
+    return builder.freeze()
+
+
+def _clique_schedule_lenient(instance: Instance) -> Schedule:
+    """Registry entry point: the Appendix grouping, never rejecting the input.
+
+    The 2-approximation guarantee only applies to clique instances; on other
+    instances the produced schedule is merely feasible.
+    """
+    return clique_schedule(instance, strict=False)
+
+
+class CliqueScheduler(FunctionScheduler):
+    """Farthest-endpoint grouping; 2-approximation on clique instances."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            _clique_schedule_lenient,
+            name="clique",
+            approximation_ratio=2.0,
+            instance_class="clique",
+            paper_section="Appendix",
+        )
+
+
+register_scheduler(CliqueScheduler())

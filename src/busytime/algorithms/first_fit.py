@@ -1,0 +1,72 @@
+"""Algorithm FirstFit — the paper's main result (Section 2).
+
+FirstFit sorts the jobs in non-increasing order of length and assigns each
+job, in that order, to the lowest-indexed machine that can still process it
+without ever exceeding ``g`` simultaneous jobs; a new machine is opened when
+no existing machine fits.
+
+Guarantees proved in the paper:
+
+* **Theorem 2.1** — ``FirstFit(J) <= 4 * OPT(J)`` for every instance;
+* **Theorem 2.4** — there are instances on which FirstFit pays more than
+  ``(3 - eps) * OPT`` (see :mod:`busytime.generators.adversarial` for the
+  Fig. 4 construction), so
+* **Theorem 2.5** — the approximation ratio of FirstFit is between 3 and 4.
+
+The implementation keeps, per machine, the list of assigned jobs and answers
+the "does job J fit on machine M_i" query by clipping the machine's jobs to
+J's interval and measuring the peak overlap; total complexity is
+``O(n * m * g log g)`` with ``m`` the number of opened machines, which is the
+straightforward bound the paper's pseudo-code implies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.instance import Instance
+from ..core.intervals import Job
+from ..core.schedule import Schedule, ScheduleBuilder
+from .base import FunctionScheduler, register_scheduler
+
+__all__ = ["first_fit", "first_fit_order", "FirstFitScheduler"]
+
+
+def first_fit_order(jobs: Sequence[Job]) -> List[Job]:
+    """The processing order used by FirstFit: non-increasing length.
+
+    Ties are broken by start time and then id so that runs are deterministic
+    and reproducible across platforms (the paper leaves tie-breaking open).
+    """
+    return sorted(jobs, key=lambda j: (-j.length, j.start, j.id))
+
+
+def first_fit(instance: Instance) -> Schedule:
+    """Schedule ``instance`` with the Section 2 FirstFit algorithm.
+
+    Returns a validated :class:`~busytime.core.schedule.Schedule` whose
+    ``meta`` records the processing order (job ids) for use by the
+    certificate checks of experiment E10.
+    """
+    builder = ScheduleBuilder(instance, algorithm="first_fit")
+    order = first_fit_order(instance.jobs)
+    for job in order:
+        builder.assign_first_fit(job)
+    builder.meta["processing_order"] = [j.id for j in order]
+    return builder.freeze()
+
+
+class FirstFitScheduler(FunctionScheduler):
+    """Longest-first FirstFit; 4-approximation for general instances."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            first_fit,
+            name="first_fit",
+            approximation_ratio=4.0,
+            instance_class="general",
+            paper_section="Section 2",
+        )
+
+
+register_scheduler(FirstFitScheduler())

@@ -1,0 +1,32 @@
+"""Experiment harness: ratio measurement, certificates, sweeps and reporting."""
+
+from .certificates import (
+    Lemma23Record,
+    Observation22Witness,
+    find_observation22_witness,
+    lemma23_records,
+    verify_lemma23,
+    verify_observation22,
+)
+from .experiments import ExperimentResult, ExperimentRunner, compare_algorithms
+from .ratio import RatioMeasurement, measure, ratio_to_lower_bound, ratio_to_optimum
+from .reporting import format_measurements, format_table, summarize_ratios
+
+__all__ = [
+    "RatioMeasurement",
+    "measure",
+    "ratio_to_lower_bound",
+    "ratio_to_optimum",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "compare_algorithms",
+    "format_table",
+    "format_measurements",
+    "summarize_ratios",
+    "Observation22Witness",
+    "find_observation22_witness",
+    "verify_observation22",
+    "Lemma23Record",
+    "lemma23_records",
+    "verify_lemma23",
+]

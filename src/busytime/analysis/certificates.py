@@ -1,0 +1,164 @@
+"""Certificates for the structural facts used in the FirstFit analysis (E10).
+
+Figures 1–3 of the paper illustrate the machinery behind Theorem 2.1:
+
+* **Observation 2.2** — if FirstFit assigns job ``J`` to machine ``M_i``
+  (``i >= 2``), then on every earlier machine ``M_k`` there is a time
+  ``t_{i,k}(J)`` inside ``J`` at which ``M_k`` runs ``g`` jobs, each at least
+  as long as ``J``.
+* **Lemma 2.3** — consequently ``len(J_i) >= (g/3) * span(J_{i+1})`` for
+  every ``i``.
+
+Both facts are *about FirstFit schedules*, not about arbitrary schedules, so
+the experiment harness extracts the witnesses from an actual FirstFit run and
+verifies them numerically; a failure would indicate a bug in the FirstFit
+implementation (or in the paper!).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.intervals import Job, span, total_length
+from ..core.schedule import Machine, Schedule
+
+__all__ = [
+    "Observation22Witness",
+    "find_observation22_witness",
+    "verify_observation22",
+    "Lemma23Record",
+    "lemma23_records",
+    "verify_lemma23",
+]
+
+
+@dataclass(frozen=True)
+class Observation22Witness:
+    """A witness ``(t, S)`` for one ``(job, earlier machine)`` pair."""
+
+    job_id: int
+    machine_index: int
+    earlier_machine_index: int
+    time: float
+    witness_job_ids: Tuple[int, ...]
+
+
+def find_observation22_witness(
+    job: Job, earlier_machine: Machine, g: int
+) -> Optional[Observation22Witness]:
+    """Find a time in ``job`` where ``earlier_machine`` runs ``g`` jobs no shorter.
+
+    Returns ``None`` when no witness exists (which, for a genuine FirstFit
+    schedule, never happens).
+    """
+    candidates: List[float] = [job.start, job.end]
+    for other in earlier_machine.jobs:
+        if other.start >= job.start and other.start <= job.end:
+            candidates.append(other.start)
+        if other.end >= job.start and other.end <= job.end:
+            candidates.append(other.end)
+    # Also probe midpoints between consecutive candidate coordinates in case a
+    # maximal overlap region has no endpoint of its own inside the job.
+    candidates = sorted(set(candidates))
+    probes = list(candidates)
+    for lo, hi in zip(candidates, candidates[1:]):
+        probes.append((lo + hi) / 2.0)
+    for t in probes:
+        witnesses = [
+            other
+            for other in earlier_machine.jobs
+            if other.active_at(t) and other.length >= job.length - 1e-12
+        ]
+        if len(witnesses) >= g:
+            return Observation22Witness(
+                job_id=job.id,
+                machine_index=-1,  # filled in by the caller
+                earlier_machine_index=earlier_machine.index,
+                time=t,
+                witness_job_ids=tuple(sorted(w.id for w in witnesses[:g])),
+            )
+    return None
+
+
+def verify_observation22(schedule: Schedule) -> List[Observation22Witness]:
+    """Verify Observation 2.2 on a FirstFit schedule; return all witnesses.
+
+    Raises
+    ------
+    AssertionError
+        if some (job, earlier machine) pair has no witness — this would mean
+        the schedule was not produced by (a correct implementation of)
+        FirstFit.
+    """
+    g = schedule.instance.g
+    witnesses: List[Observation22Witness] = []
+    machines = schedule.machines
+    for i, machine in enumerate(machines):
+        for k in range(i):
+            earlier = machines[k]
+            for job in machine.jobs:
+                w = find_observation22_witness(job, earlier, g)
+                if w is None:
+                    raise AssertionError(
+                        f"Observation 2.2 violated: job {job.id} on machine "
+                        f"{machine.index} has no witness on machine {earlier.index}"
+                    )
+                witnesses.append(
+                    Observation22Witness(
+                        job_id=w.job_id,
+                        machine_index=machine.index,
+                        earlier_machine_index=earlier.index,
+                        time=w.time,
+                        witness_job_ids=w.witness_job_ids,
+                    )
+                )
+    return witnesses
+
+
+@dataclass(frozen=True)
+class Lemma23Record:
+    """The two sides of the Lemma 2.3 inequality for one machine index ``i``."""
+
+    machine_index: int
+    len_ji: float
+    span_ji_plus_1: float
+    g: int
+
+    @property
+    def lhs(self) -> float:
+        return self.len_ji
+
+    @property
+    def rhs(self) -> float:
+        return (self.g / 3.0) * self.span_ji_plus_1
+
+    @property
+    def holds(self) -> bool:
+        return self.lhs >= self.rhs - 1e-9
+
+    @property
+    def slack(self) -> float:
+        """How much room the inequality has (>= 0 when it holds)."""
+        return self.lhs - self.rhs
+
+
+def lemma23_records(schedule: Schedule) -> List[Lemma23Record]:
+    """``len(J_i)`` vs ``(g/3) span(J_{i+1})`` for every consecutive machine pair."""
+    records: List[Lemma23Record] = []
+    machines = schedule.machines
+    for i in range(len(machines) - 1):
+        records.append(
+            Lemma23Record(
+                machine_index=machines[i].index,
+                len_ji=total_length(machines[i].jobs),
+                span_ji_plus_1=span(machines[i + 1].jobs),
+                g=schedule.instance.g,
+            )
+        )
+    return records
+
+
+def verify_lemma23(schedule: Schedule) -> bool:
+    """True when every Lemma 2.3 inequality holds on this (FirstFit) schedule."""
+    return all(r.holds for r in lemma23_records(schedule))

@@ -1,0 +1,176 @@
+"""Parameter-sweep experiment runner shared by benchmarks and examples.
+
+Every experiment in EXPERIMENTS.md boils down to the same loop: generate a
+family of instances over a parameter grid, run one or more algorithms on each
+and tabulate the costs / ratios.  :class:`ExperimentRunner` implements that
+loop once so the per-experiment benchmark modules only declare *what* to
+sweep, not *how*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.bounds import best_lower_bound
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..exact import exact_optimal_cost
+from .ratio import RatioMeasurement
+from .reporting import format_table
+
+__all__ = ["ExperimentResult", "ExperimentRunner", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One (instance, algorithm) cell of an experiment grid."""
+
+    instance_name: str
+    algorithm: str
+    params: Mapping[str, object]
+    cost: float
+    num_machines: int
+    lower_bound: float
+    optimum: Optional[float]
+    runtime_seconds: float
+
+    @property
+    def ratio_lb(self) -> float:
+        if self.lower_bound <= 0:
+            return 1.0 if self.cost <= 0 else float("inf")
+        return self.cost / self.lower_bound
+
+    @property
+    def ratio_opt(self) -> Optional[float]:
+        if self.optimum is None or self.optimum <= 0:
+            return None
+        return self.cost / self.optimum
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = dict(self.params)
+        row.update(
+            {
+                "instance": self.instance_name,
+                "algorithm": self.algorithm,
+                "cost": self.cost,
+                "machines": self.num_machines,
+                "lower_bound": self.lower_bound,
+                "optimum": self.optimum,
+                "ratio_lb": self.ratio_lb,
+                "ratio_opt": self.ratio_opt,
+                "runtime_s": self.runtime_seconds,
+            }
+        )
+        return row
+
+
+class ExperimentRunner:
+    """Run algorithms over a grid of generated instances and tabulate results."""
+
+    def __init__(
+        self,
+        algorithms: Mapping[str, Callable[[Instance], Schedule]],
+        compute_optimum: bool = False,
+        max_jobs_for_optimum: int = 16,
+    ) -> None:
+        if not algorithms:
+            raise ValueError("need at least one algorithm")
+        self.algorithms = dict(algorithms)
+        self.compute_optimum = compute_optimum
+        self.max_jobs_for_optimum = max_jobs_for_optimum
+        self.results: List[ExperimentResult] = []
+
+    def run_instance(
+        self, instance: Instance, params: Optional[Mapping[str, object]] = None
+    ) -> List[ExperimentResult]:
+        """Run every algorithm on one instance; results are accumulated."""
+        params = dict(params or {})
+        lb = best_lower_bound(instance)
+        optimum: Optional[float] = None
+        best_cost: Optional[float] = None
+        new_results: List[ExperimentResult] = []
+        schedules: List[Tuple[str, Schedule, float]] = []
+        for name, algorithm in self.algorithms.items():
+            start = time.perf_counter()
+            schedule = algorithm(instance)
+            elapsed = time.perf_counter() - start
+            schedule.validate()
+            schedules.append((name, schedule, elapsed))
+            cost = schedule.total_busy_time
+            best_cost = cost if best_cost is None else min(best_cost, cost)
+        if (
+            self.compute_optimum
+            and instance.n <= self.max_jobs_for_optimum
+        ):
+            optimum = exact_optimal_cost(
+                instance, initial_upper_bound=best_cost, max_jobs=self.max_jobs_for_optimum
+            )
+        for name, schedule, elapsed in schedules:
+            result = ExperimentResult(
+                instance_name=instance.name,
+                algorithm=name,
+                params=params,
+                cost=schedule.total_busy_time,
+                num_machines=schedule.num_machines,
+                lower_bound=lb,
+                optimum=optimum,
+                runtime_seconds=elapsed,
+            )
+            self.results.append(result)
+            new_results.append(result)
+        return new_results
+
+    def run_grid(
+        self,
+        generator: Callable[..., Instance],
+        grid: Sequence[Mapping[str, object]],
+    ) -> List[ExperimentResult]:
+        """Generate one instance per grid point and run every algorithm on it."""
+        out: List[ExperimentResult] = []
+        for params in grid:
+            instance = generator(**params)
+            out.extend(self.run_instance(instance, params))
+        return out
+
+    # -- reporting -------------------------------------------------------------
+
+    def table(self, columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+        rows = [r.as_dict() for r in self.results]
+        return format_table(rows, columns=columns, title=title or None)
+
+    def worst_ratio(self, algorithm: str, against: str = "lb") -> float:
+        """The worst observed ratio of one algorithm over all results."""
+        ratios: List[float] = []
+        for r in self.results:
+            if r.algorithm != algorithm:
+                continue
+            value = r.ratio_lb if against == "lb" else r.ratio_opt
+            if value is not None:
+                ratios.append(value)
+        if not ratios:
+            raise KeyError(f"no results recorded for algorithm {algorithm!r}")
+        return max(ratios)
+
+    def mean_ratio(self, algorithm: str, against: str = "lb") -> float:
+        ratios: List[float] = []
+        for r in self.results:
+            if r.algorithm != algorithm:
+                continue
+            value = r.ratio_lb if against == "lb" else r.ratio_opt
+            if value is not None:
+                ratios.append(value)
+        if not ratios:
+            raise KeyError(f"no results recorded for algorithm {algorithm!r}")
+        return sum(ratios) / len(ratios)
+
+
+def compare_algorithms(
+    instance: Instance,
+    algorithms: Mapping[str, Callable[[Instance], Schedule]],
+    compute_optimum: bool = False,
+) -> List[ExperimentResult]:
+    """Convenience wrapper: run a head-to-head comparison on one instance."""
+    runner = ExperimentRunner(algorithms, compute_optimum=compute_optimum)
+    return runner.run_instance(instance)

@@ -1,0 +1,123 @@
+"""Approximation-ratio measurement.
+
+The paper's guarantees are stated against OPT, which is NP-hard to compute.
+Experiments therefore measure two different quantities and the reports always
+say which one they show:
+
+* ``ratio_to_optimum`` — the exact ratio ``ALG / OPT``; available when the
+  instance is small enough for the branch-and-bound solver (or falls in a
+  polynomial special case).
+* ``ratio_to_lower_bound`` — ``ALG / LB`` where ``LB`` is the best lower
+  bound of :mod:`busytime.core.bounds`.  Because ``LB <= OPT`` this value
+  *over*-estimates the true ratio, so an algorithm observed under its proven
+  guarantee against LB is certainly under it against OPT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.bounds import best_lower_bound
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..exact import exact_optimal_cost
+
+__all__ = [
+    "RatioMeasurement",
+    "ratio_to_lower_bound",
+    "ratio_to_optimum",
+    "measure",
+]
+
+
+@dataclass(frozen=True)
+class RatioMeasurement:
+    """One algorithm's result on one instance, with every reference value."""
+
+    instance_name: str
+    algorithm: str
+    n: int
+    g: int
+    cost: float
+    num_machines: int
+    lower_bound: float
+    optimum: Optional[float]
+
+    @property
+    def ratio_lb(self) -> float:
+        """``cost / lower_bound`` (an upper bound on the true ratio)."""
+        if self.lower_bound <= 0:
+            return 1.0 if self.cost <= 0 else float("inf")
+        return self.cost / self.lower_bound
+
+    @property
+    def ratio_opt(self) -> Optional[float]:
+        """``cost / OPT`` when the exact optimum is known."""
+        if self.optimum is None:
+            return None
+        if self.optimum <= 0:
+            return 1.0 if self.cost <= 0 else float("inf")
+        return self.cost / self.optimum
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "instance": self.instance_name,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "g": self.g,
+            "cost": self.cost,
+            "machines": self.num_machines,
+            "lower_bound": self.lower_bound,
+            "optimum": self.optimum,
+            "ratio_lb": self.ratio_lb,
+            "ratio_opt": self.ratio_opt,
+        }
+
+
+def ratio_to_lower_bound(schedule: Schedule) -> float:
+    """``schedule.cost / best_lower_bound(instance)``."""
+    lb = best_lower_bound(schedule.instance)
+    if lb <= 0:
+        return 1.0 if schedule.total_busy_time <= 0 else float("inf")
+    return schedule.total_busy_time / lb
+
+
+def ratio_to_optimum(schedule: Schedule, max_jobs: int = 18) -> float:
+    """``schedule.cost / OPT`` with OPT computed exactly (small instances only)."""
+    opt = exact_optimal_cost(
+        schedule.instance,
+        initial_upper_bound=schedule.total_busy_time,
+        max_jobs=max_jobs,
+    )
+    if opt <= 0:
+        return 1.0 if schedule.total_busy_time <= 0 else float("inf")
+    return schedule.total_busy_time / opt
+
+
+def measure(
+    instance: Instance,
+    algorithm: Callable[[Instance], Schedule],
+    compute_optimum: bool = False,
+    max_jobs_for_optimum: int = 18,
+) -> RatioMeasurement:
+    """Run ``algorithm`` on ``instance`` and collect every reference value."""
+    schedule = algorithm(instance)
+    schedule.validate()
+    optimum: Optional[float] = None
+    if compute_optimum and instance.n <= max_jobs_for_optimum:
+        optimum = exact_optimal_cost(
+            instance,
+            initial_upper_bound=schedule.total_busy_time,
+            max_jobs=max_jobs_for_optimum,
+        )
+    return RatioMeasurement(
+        instance_name=instance.name,
+        algorithm=schedule.algorithm,
+        n=instance.n,
+        g=instance.g,
+        cost=schedule.total_busy_time,
+        num_machines=schedule.num_machines,
+        lower_bound=best_lower_bound(instance),
+        optimum=optimum,
+    )

@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+``python -m busytime.cli <command>`` (or the ``busytime`` console script once
+installed) exposes the library's main flows without writing Python:
+
+``generate``
+    produce a synthetic instance (uniform / poisson / bursty / proper /
+    clique / bounded / fig4) and write it to a JSON file.
+``schedule``
+    load an instance (JSON or CSV), run one of the registered algorithms and
+    print a summary table; optionally write the schedule JSON.
+``compare``
+    run several algorithms on one instance and print the head-to-head table
+    with lower bounds (and the exact optimum for small instances).
+``groom``
+    generate or load path-network traffic, assign wavelengths and report the
+    regenerator / ADM / wavelength counts.
+``info``
+    print the structural profile of an instance (class, clique number,
+    bounds) and which algorithm the dispatcher would choose.
+
+Every command accepts ``--seed`` where randomness is involved, so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import io as bio
+from .algorithms import available_schedulers, get_scheduler, select_algorithm
+from .analysis import format_table
+from .core.bounds import best_lower_bound, parallelism_bound, span_bound
+from .core.instance import Instance
+from .exact import exact_optimal_cost
+from .generators import (
+    bounded_length_instance,
+    bursty_instance,
+    clique_instance,
+    firstfit_lower_bound_instance,
+    hotspot_traffic,
+    local_traffic,
+    poisson_arrivals_instance,
+    proper_instance,
+    uniform_random_instance,
+    uniform_traffic,
+)
+from .graphs.properties import profile_instance
+from .optical import groom as groom_traffic
+from .optical import traffic_to_instance
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS: Dict[str, Callable[..., Instance]] = {
+    "uniform": lambda n, g, seed: uniform_random_instance(n, g, seed=seed),
+    "poisson": lambda n, g, seed: poisson_arrivals_instance(n, g, seed=seed),
+    "bursty": lambda n, g, seed: bursty_instance(n, g, seed=seed),
+    "proper": lambda n, g, seed: proper_instance(n, g, seed=seed),
+    "clique": lambda n, g, seed: clique_instance(n, g, seed=seed),
+    "bounded": lambda n, g, seed: bounded_length_instance(n, g, seed=seed),
+    "fig4": lambda n, g, seed: firstfit_lower_bound_instance(max(g, 2)),
+}
+
+_TRAFFIC_GENERATORS = {
+    "uniform": uniform_traffic,
+    "hotspot": hotspot_traffic,
+    "local": local_traffic,
+}
+
+
+def _load_instance(path: str, g: Optional[int]) -> Instance:
+    if path.endswith(".csv"):
+        if g is None:
+            raise SystemExit("--g is required when loading a CSV job list")
+        return bio.jobs_from_csv(path, g=g)
+    instance = bio.load_instance(path)
+    if g is not None:
+        instance = instance.with_g(g)
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    maker = _GENERATORS[args.family]
+    instance = maker(args.n, args.g, args.seed)
+    bio.save_instance(instance, args.output)
+    print(f"wrote {instance.n} jobs (g={instance.g}, {instance.classify()}) to {args.output}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance, args.g)
+    scheduler = get_scheduler(args.algorithm)
+    schedule = scheduler(instance)
+    schedule.validate()
+    lb = best_lower_bound(instance)
+    rows = [
+        {
+            "algorithm": args.algorithm,
+            "n": instance.n,
+            "g": instance.g,
+            "busy_time": round(schedule.total_busy_time, 3),
+            "machines": schedule.num_machines,
+            "lower_bound": round(lb, 3),
+            "ratio_vs_lb": round(schedule.total_busy_time / lb, 3) if lb > 0 else 1.0,
+        }
+    ]
+    print(format_table(rows, title=f"schedule for {instance.name or args.instance}"))
+    if args.output:
+        bio.save_schedule(schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance, args.g)
+    names = args.algorithms or ["first_fit", "proper_greedy", "best_fit", "auto"]
+    lb = best_lower_bound(instance)
+    optimum = None
+    if args.exact and instance.n <= args.exact_limit:
+        optimum = exact_optimal_cost(instance)
+    rows = []
+    for name in names:
+        scheduler = get_scheduler(name)
+        schedule = scheduler(instance)
+        schedule.validate()
+        row = {
+            "algorithm": name,
+            "busy_time": round(schedule.total_busy_time, 3),
+            "machines": schedule.num_machines,
+            "ratio_vs_lb": round(schedule.total_busy_time / lb, 3) if lb > 0 else 1.0,
+        }
+        if optimum:
+            row["ratio_vs_opt"] = round(schedule.total_busy_time / optimum, 3)
+        rows.append(row)
+    title = f"comparison on {instance.name or args.instance} (LB={lb:.3f}"
+    title += f", OPT={optimum:.3f})" if optimum else ")"
+    print(format_table(rows, title=title))
+    return 0
+
+
+def _cmd_groom(args: argparse.Namespace) -> int:
+    if args.traffic:
+        traffic = bio.load_traffic(args.traffic)
+    else:
+        maker = _TRAFFIC_GENERATORS[args.family]
+        traffic = maker(args.nodes, args.lightpaths, args.g, seed=args.seed)
+    algorithm = None
+    if args.algorithm:
+        algorithm = get_scheduler(args.algorithm)
+    assignment = groom_traffic(traffic, algorithm=algorithm)
+    assignment.validate()
+    lb = best_lower_bound(traffic_to_instance(traffic))
+    rows = [
+        {
+            "lightpaths": traffic.n,
+            "nodes": traffic.network.num_nodes,
+            "g": traffic.g,
+            "wavelengths": assignment.num_wavelengths,
+            "regenerators": assignment.regenerators(),
+            "adms": assignment.adms(),
+            "no_grooming_regens": traffic.total_regenerator_demand(),
+            "sched_lower_bound": round(lb, 1),
+        }
+    ]
+    print(format_table(rows, title="traffic grooming (Section 4)"))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(
+                {
+                    "colors": assignment.colors,
+                    "summary": assignment.summary(),
+                },
+                indent=2,
+            )
+        )
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    instance = _load_instance(args.instance, args.g)
+    profile = profile_instance(instance)
+    rows = [
+        {"property": "n", "value": profile.n},
+        {"property": "g", "value": profile.g},
+        {"property": "class", "value": instance.classify()},
+        {"property": "clique number", "value": profile.clique_number},
+        {"property": "connected components", "value": profile.num_components},
+        {"property": "proper", "value": profile.proper},
+        {"property": "clique", "value": profile.clique},
+        {"property": "laminar", "value": profile.laminar},
+        {"property": "length ratio", "value": round(profile.length_ratio, 3)},
+        {"property": "span bound", "value": round(span_bound(instance), 3)},
+        {"property": "parallelism bound", "value": round(parallelism_bound(instance), 3)},
+        {"property": "best lower bound", "value": round(best_lower_bound(instance), 3)},
+        {"property": "dispatcher choice", "value": select_algorithm(instance)},
+    ]
+    print(format_table(rows, title=f"profile of {instance.name or args.instance}"))
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_schedulers():
+        info = get_scheduler(name).info()
+        rows.append(
+            {
+                "name": info.name,
+                "section": info.paper_section,
+                "ratio": info.approximation_ratio,
+                "class": info.instance_class,
+            }
+        )
+    print(format_table(rows, title="registered algorithms"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="busytime",
+        description="Busy-time scheduling (Flammini et al., IPDPS 2009) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic instance")
+    p_gen.add_argument("--family", choices=sorted(_GENERATORS), default="uniform")
+    p_gen.add_argument("--n", type=int, default=50)
+    p_gen.add_argument("--g", type=int, default=3)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--output", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_sched = sub.add_parser("schedule", help="run one algorithm on an instance")
+    p_sched.add_argument("instance", help="instance JSON (or CSV job list with --g)")
+    p_sched.add_argument("--algorithm", default="auto")
+    p_sched.add_argument("--g", type=int, default=None)
+    p_sched.add_argument("--output", default=None, help="write the schedule JSON here")
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_cmp = sub.add_parser("compare", help="head-to-head of several algorithms")
+    p_cmp.add_argument("instance")
+    p_cmp.add_argument("--algorithms", nargs="*", default=None)
+    p_cmp.add_argument("--g", type=int, default=None)
+    p_cmp.add_argument("--exact", action="store_true", help="also compute the exact optimum")
+    p_cmp.add_argument("--exact-limit", type=int, default=16)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_groom = sub.add_parser("groom", help="wavelength assignment on a path network")
+    p_groom.add_argument("--traffic", default=None, help="traffic JSON file")
+    p_groom.add_argument("--family", choices=sorted(_TRAFFIC_GENERATORS), default="uniform")
+    p_groom.add_argument("--nodes", type=int, default=40)
+    p_groom.add_argument("--lightpaths", type=int, default=100)
+    p_groom.add_argument("--g", type=int, default=4)
+    p_groom.add_argument("--seed", type=int, default=0)
+    p_groom.add_argument("--algorithm", default=None)
+    p_groom.add_argument("--output", default=None)
+    p_groom.set_defaults(func=_cmd_groom)
+
+    p_info = sub.add_parser("info", help="structural profile of an instance")
+    p_info.add_argument("instance")
+    p_info.add_argument("--g", type=int, default=None)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_alg = sub.add_parser("algorithms", help="list registered algorithms")
+    p_alg.set_defaults(func=_cmd_algorithms)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Core data model: intervals, jobs, instances, schedules and lower bounds."""
+
+from .bounds import (
+    best_lower_bound,
+    clique_bound,
+    combined_bound,
+    component_bound,
+    parallelism_bound,
+    span_bound,
+)
+from .events import (
+    Event,
+    breakpoints,
+    integrate_step_function,
+    load_profile,
+    sweep_events,
+)
+from .instance import Instance, connected_components
+from .intervals import (
+    Interval,
+    Job,
+    interval_contains,
+    intervals_overlap,
+    length,
+    max_point_load,
+    merge_intervals,
+    point_load,
+    properly_contains,
+    span,
+    total_length,
+    union_intervals,
+)
+from .schedule import (
+    InfeasibleScheduleError,
+    Machine,
+    Schedule,
+    ScheduleBuilder,
+    verify_schedule,
+)
+
+__all__ = [
+    "Interval",
+    "Job",
+    "Instance",
+    "Machine",
+    "Schedule",
+    "ScheduleBuilder",
+    "InfeasibleScheduleError",
+    "verify_schedule",
+    "connected_components",
+    "length",
+    "total_length",
+    "span",
+    "union_intervals",
+    "merge_intervals",
+    "point_load",
+    "max_point_load",
+    "intervals_overlap",
+    "interval_contains",
+    "properly_contains",
+    "parallelism_bound",
+    "span_bound",
+    "combined_bound",
+    "component_bound",
+    "clique_bound",
+    "best_lower_bound",
+    "Event",
+    "sweep_events",
+    "breakpoints",
+    "load_profile",
+    "integrate_step_function",
+]

@@ -1,0 +1,95 @@
+"""Lower bounds on the optimal total busy time (Observation 1.1 and friends).
+
+The paper's entire analysis hangs on two elementary lower bounds:
+
+* the **parallelism bound** ``OPT(J) >= len(J) / g`` — no machine can ever
+  run more than ``g`` jobs at once, so each unit of busy time "pays for" at
+  most ``g`` units of job length;
+* the **span bound** ``OPT(J) >= span(J)`` — wherever at least one job is
+  active, at least one machine is busy.
+
+We also provide two slightly sharper bounds used by the exact solvers for
+pruning and by the experiment harness as a tighter OPT proxy:
+
+* the **component-wise combined bound**: the combined bound applied to each
+  connected component separately and summed (valid because an optimal
+  solution never mixes components on a machine);
+* the **clique bound** for pairwise-intersecting instances: sorting the
+  per-job distances ``delta_j`` from a common point (Fig. 5) and charging one
+  machine per ``g`` jobs gives ``OPT >= sum_i delta^{(i)}`` over machine
+  indices ``i`` where ``delta^{(i)}`` is the ``(g(i-1)+1)``-th largest
+  distance — this is the inequality proved inside Theorem A.1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instance import Instance, connected_components
+
+__all__ = [
+    "parallelism_bound",
+    "span_bound",
+    "combined_bound",
+    "component_bound",
+    "clique_bound",
+    "best_lower_bound",
+]
+
+
+def parallelism_bound(instance: Instance) -> float:
+    """``len(J) / g`` (first bullet of Observation 1.1)."""
+    return instance.total_length / instance.g
+
+
+def span_bound(instance: Instance) -> float:
+    """``span(J)`` (second bullet of Observation 1.1)."""
+    return instance.span
+
+
+def combined_bound(instance: Instance) -> float:
+    """The maximum of the two Observation 1.1 bounds."""
+    return max(parallelism_bound(instance), span_bound(instance))
+
+
+def component_bound(instance: Instance) -> float:
+    """Combined bound applied per connected component and summed.
+
+    Always at least :func:`combined_bound` and still a valid lower bound,
+    because no machine of an optimal solution serves two components.
+    """
+    comps = connected_components(instance)
+    if len(comps) <= 1:
+        return combined_bound(instance)
+    return sum(combined_bound(c) for c in comps)
+
+
+def clique_bound(instance: Instance) -> float:
+    """The Theorem A.1 lower bound for pairwise-intersecting instances.
+
+    Let ``t`` be a common point of all intervals and ``delta_j`` the largest
+    distance of an endpoint of job ``j`` from ``t``.  Any solution uses at
+    least ``ceil(n/g)`` machines, and the machine containing the ``i``-th
+    group of ``g`` jobs (in non-increasing ``delta`` order) has busy time at
+    least the largest ``delta`` among jobs it serves; summing the
+    ``(g(i-1)+1)``-th largest distances over ``i`` lower-bounds ``OPT``.
+
+    Returns the combined bound unchanged when the instance is not a clique.
+    """
+    t = instance.common_point()
+    if t is None or instance.n == 0:
+        return combined_bound(instance)
+    deltas = sorted(
+        (max(t - j.start, j.end - t) for j in instance.jobs), reverse=True
+    )
+    g = instance.g
+    bound = sum(deltas[i] for i in range(0, len(deltas), g))
+    return max(bound, combined_bound(instance))
+
+
+def best_lower_bound(instance: Instance) -> float:
+    """The strongest lower bound this module knows for the given instance."""
+    candidates: List[float] = [component_bound(instance)]
+    if instance.is_clique():
+        candidates.append(clique_bound(instance))
+    return max(candidates)

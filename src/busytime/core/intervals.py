@@ -1,0 +1,289 @@
+"""Interval and job primitives (Definitions 1.1 and 1.2 of the paper).
+
+The paper models every job :math:`J_j` as a closed interval
+:math:`[s_j, c_j]` on the real line along which the job *must* be processed
+(no slack, no preemption).  Two quantities defined on intervals and sets of
+intervals drive the whole analysis:
+
+``len``
+    the length of a single interval, :math:`c - s`, extended additively to a
+    set of intervals (Definition 1.1);
+
+``span``
+    the measure of the union of a set of intervals,
+    :math:`span(\\mathcal{I}) = len(\\cup \\mathcal{I})` (Definition 1.2).
+
+``span(I) <= len(I)`` always holds, with equality exactly when the intervals
+are pairwise disjoint — this is Observation-level material in the paper and
+is exercised heavily by the property-based tests.
+
+This module contains only plain, immutable value objects and pure functions;
+all algorithmic content lives in :mod:`busytime.algorithms`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Interval",
+    "Job",
+    "length",
+    "total_length",
+    "union_intervals",
+    "span",
+    "intervals_overlap",
+    "interval_contains",
+    "properly_contains",
+    "merge_intervals",
+    "point_load",
+    "max_point_load",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[start, end]`` on the real line.
+
+    Ordering is lexicographic on ``(start, end)`` which is convenient both
+    for the proper-interval greedy (sort by start time) and for canonical
+    output.
+
+    Raises
+    ------
+    ValueError
+        if ``end < start`` (zero-length intervals are allowed; the Fig. 4
+        construction and the Bounded_Length analysis use degenerate busy
+        intervals of length zero).
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.start) or math.isnan(self.end):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end ({self.end}) must not precede start ({self.start})"
+            )
+
+    @property
+    def length(self) -> float:
+        """``len(I) = end - start`` (Definition 1.1)."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one point.
+
+        Closed-interval semantics match the paper: two jobs that merely touch
+        at an endpoint *do* conflict (both are "active" at the shared
+        instant), which is what the clique/parallelism constraint counts.
+        """
+        return self.start <= other.end and other.start <= self.end
+
+    def overlaps_openly(self, other: "Interval") -> bool:
+        """True when the two intervals share an interval of positive length."""
+        return self.start < other.end and other.start < self.end
+
+    def contains_point(self, t: float) -> bool:
+        """True when ``t`` lies inside the closed interval."""
+        return self.start <= t <= self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other`` is (not necessarily properly) contained in ``self``."""
+        return self.start <= other.start and other.end <= self.end
+
+    def properly_contains(self, other: "Interval") -> bool:
+        """True when ``other ⊂ self`` with at least one strict endpoint.
+
+        Proper-interval instances (Section 3.1) are exactly those with no
+        properly contained pair.
+        """
+        return self.contains(other) and (
+            self.start < other.start or other.end < self.end
+        )
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The overlap of the two intervals, or ``None`` if disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both (the busy interval of the pair)."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def shifted(self, delta: float) -> "Interval":
+        """A copy translated by ``delta``."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def scaled(self, factor: float) -> "Interval":
+        """A copy with both endpoints multiplied by ``factor`` (must be ≥ 0)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Interval(self.start * factor, self.end * factor)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.start, self.end)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start:g}, {self.end:g}]"
+
+
+@dataclass(frozen=True)
+class Job:
+    """A job: an interval plus an identifier and optional metadata.
+
+    Parameters
+    ----------
+    id:
+        Any hashable identifier; generators use consecutive integers, the
+        optical reduction uses the originating lightpath id.
+    interval:
+        The processing window ``[s_j, c_j]``.
+    weight:
+        Unused by the paper's objective but carried through so downstream
+        users can attach demands (the follow-up work [15] in the paper allows
+        per-job machine-capacity demands); defaults to 1.
+    tag:
+        Free-form label used by generators and the optical reduction.
+    """
+
+    id: int
+    interval: Interval
+    weight: float = 1.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("job weight must be positive")
+
+    @property
+    def start(self) -> float:
+        return self.interval.start
+
+    @property
+    def end(self) -> float:
+        return self.interval.end
+
+    @property
+    def length(self) -> float:
+        return self.interval.length
+
+    def overlaps(self, other: "Job") -> bool:
+        return self.interval.overlaps(other.interval)
+
+    def active_at(self, t: float) -> bool:
+        return self.interval.contains_point(t)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"J{self.id}{self.interval}"
+
+
+# ---------------------------------------------------------------------------
+# Pure functions on intervals / jobs (Definitions 1.1, 1.2)
+# ---------------------------------------------------------------------------
+
+
+def _as_interval(obj) -> Interval:
+    """Accept either an :class:`Interval` or a :class:`Job`."""
+    if isinstance(obj, Job):
+        return obj.interval
+    if isinstance(obj, Interval):
+        return obj
+    raise TypeError(f"expected Interval or Job, got {type(obj).__name__}")
+
+
+def length(obj) -> float:
+    """``len`` of a single interval or job (Definition 1.1)."""
+    return _as_interval(obj).length
+
+
+def total_length(items: Iterable) -> float:
+    """``len`` of a set of intervals/jobs: the sum of individual lengths."""
+    return sum(_as_interval(it).length for it in items)
+
+
+def union_intervals(items: Iterable) -> List[Interval]:
+    """The union of a set of intervals as a sorted list of disjoint intervals.
+
+    Touching intervals (one ends exactly where the next starts) are merged,
+    matching the closed-interval semantics used throughout.
+    """
+    ivs = sorted((_as_interval(it) for it in items), key=lambda iv: (iv.start, iv.end))
+    merged: List[Interval] = []
+    for iv in ivs:
+        if merged and iv.start <= merged[-1].end:
+            if iv.end > merged[-1].end:
+                merged[-1] = Interval(merged[-1].start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def merge_intervals(items: Iterable) -> List[Interval]:
+    """Alias of :func:`union_intervals` (kept for readability at call sites)."""
+    return union_intervals(items)
+
+
+def span(items: Iterable) -> float:
+    """``span(I) = len(∪ I)`` (Definition 1.2).
+
+    The busy time of a machine equals the span of the jobs assigned to it
+    (once the w.l.o.g. contiguity argument of Section 1.1 is applied — our
+    cost accounting uses the union measure directly, which is exactly the
+    total busy time after splitting a machine at its idle gaps).
+    """
+    return sum(iv.length for iv in union_intervals(items))
+
+
+def intervals_overlap(a, b) -> bool:
+    """True when the two intervals/jobs share at least one point."""
+    return _as_interval(a).overlaps(_as_interval(b))
+
+
+def interval_contains(outer, inner) -> bool:
+    """True when ``inner`` is contained in ``outer``."""
+    return _as_interval(outer).contains(_as_interval(inner))
+
+
+def properly_contains(outer, inner) -> bool:
+    """True when ``inner`` is properly contained in ``outer``."""
+    return _as_interval(outer).properly_contains(_as_interval(inner))
+
+
+def point_load(items: Sequence, t: float) -> int:
+    """Number of intervals/jobs active at time ``t`` (the paper's ``N_t``)."""
+    return sum(1 for it in items if _as_interval(it).contains_point(t))
+
+
+def max_point_load(items: Sequence) -> int:
+    """The maximum number of simultaneously active intervals.
+
+    For an interval set this equals the clique number of the induced interval
+    graph (Helly property of intervals), computed here by a left-to-right
+    sweep over endpoint events.  Closed-interval semantics: an interval that
+    starts exactly when another ends counts as overlapping, so start events
+    are processed before end events at equal coordinates.
+    """
+    events: List[Tuple[float, int]] = []
+    for it in items:
+        iv = _as_interval(it)
+        # start events get priority 0, end events priority 1 so that at a
+        # shared coordinate the start is counted before the end is released.
+        events.append((iv.start, 0))
+        events.append((iv.end, 1))
+    events.sort()
+    load = best = 0
+    for _, kind in events:
+        if kind == 0:
+            load += 1
+            best = max(best, load)
+        else:
+            load -= 1
+    return best

@@ -1,0 +1,333 @@
+"""Schedules: assignments of jobs to machines, their cost and feasibility.
+
+A *schedule* is simply a partition of the job set into machines; machine
+``M_i`` becomes busy at the earliest start of any job assigned to it and
+stays busy until the latest completion (Section 1.1's w.l.o.g. contiguity
+argument).  The cost of a machine is the span of its job set and the cost of
+the schedule is the sum over machines — exactly the quantity the paper
+minimises.
+
+Feasibility of a machine means that at no instant more than ``g`` of its jobs
+overlap (the parallelism constraint), i.e. the clique number of the induced
+interval graph of the machine's jobs is at most ``g``.
+
+The :class:`ScheduleBuilder` is the mutable companion used by the algorithms
+while they assign jobs; :meth:`ScheduleBuilder.freeze` yields the immutable
+:class:`Schedule` handed back to callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .instance import Instance
+from .intervals import Interval, Job, max_point_load, span, union_intervals
+
+__all__ = [
+    "Machine",
+    "Schedule",
+    "ScheduleBuilder",
+    "InfeasibleScheduleError",
+    "verify_schedule",
+]
+
+
+class InfeasibleScheduleError(ValueError):
+    """Raised when a schedule violates the parallelism or coverage rules."""
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One machine of a schedule: an index and the jobs assigned to it."""
+
+    index: int
+    jobs: Tuple[Job, ...]
+
+    @property
+    def busy_intervals(self) -> Tuple[Interval, ...]:
+        """The (possibly non-contiguous) union of the assigned job intervals.
+
+        The paper's w.l.o.g. step splits a machine with idle gaps into one
+        machine per contiguous piece; the busy-time cost is identical either
+        way, so we keep the jobs together and account the union measure.
+        """
+        return tuple(union_intervals(self.jobs))
+
+    @property
+    def busy_interval(self) -> Optional[Interval]:
+        """The hull ``[min start, max completion]`` of the machine, or None."""
+        if not self.jobs:
+            return None
+        return Interval(min(j.start for j in self.jobs), max(j.end for j in self.jobs))
+
+    @property
+    def busy_time(self) -> float:
+        """``busy_i``: the total busy time of this machine (span of its jobs)."""
+        return span(self.jobs)
+
+    @property
+    def load(self) -> int:
+        """Number of jobs assigned to this machine."""
+        return len(self.jobs)
+
+    @property
+    def peak_parallelism(self) -> int:
+        """Maximum number of this machine's jobs active at any instant."""
+        return max_point_load(self.jobs)
+
+    def active_job_count(self, t: float) -> int:
+        return sum(1 for j in self.jobs if j.active_at(t))
+
+    def is_feasible(self, g: int) -> bool:
+        """True when the machine never runs more than ``g`` jobs at once."""
+        return self.peak_parallelism <= g
+
+    def can_accommodate(self, job: Job, g: int) -> bool:
+        """True when adding ``job`` keeps the machine feasible for ``g``.
+
+        Only instants inside ``job``'s interval can become overloaded, so the
+        check counts, among the machine's current jobs, the peak number
+        active somewhere inside ``job`` and requires it to be at most
+        ``g - 1``.
+        """
+        overlapping = [j for j in self.jobs if j.overlaps(job)]
+        if len(overlapping) < g:
+            return True
+        clipped: List[Interval] = []
+        for j in overlapping:
+            inter = j.interval.intersection(job.interval)
+            if inter is not None:
+                clipped.append(inter)
+        return max_point_load(clipped) <= g - 1
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"M{self.index}({len(self.jobs)} jobs, busy={self.busy_time:g})"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable solution: the instance plus the machine partition.
+
+    Attributes
+    ----------
+    instance:
+        The instance the schedule solves.
+    machines:
+        The machines, in the order they were opened by the algorithm.
+    algorithm:
+        Name of the producing algorithm (for reports).
+    meta:
+        Free-form metadata (e.g. parameters, certificates) attached by the
+        producing algorithm.
+    """
+
+    instance: Instance
+    machines: Tuple[Machine, ...]
+    algorithm: str = ""
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    # -- cost ----------------------------------------------------------------
+
+    @property
+    def total_busy_time(self) -> float:
+        """The objective value: sum of machine busy times."""
+        return sum(m.busy_time for m in self.machines)
+
+    @property
+    def cost(self) -> float:
+        """Alias of :attr:`total_busy_time`."""
+        return self.total_busy_time
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    @property
+    def num_contiguous_machines(self) -> int:
+        """Number of machines after splitting idle gaps (the paper's w.l.o.g.
+        contiguous-machine normal form); the cost is unchanged by the split."""
+        return sum(len(m.busy_intervals) for m in self.machines)
+
+    def machine_of(self, job_id: int) -> int:
+        """Index of the machine processing the given job."""
+        for m in self.machines:
+            for j in m.jobs:
+                if j.id == job_id:
+                    return m.index
+        raise KeyError(f"job {job_id} is not scheduled")
+
+    def assignment(self) -> Dict[int, int]:
+        """Mapping job id -> machine index."""
+        out: Dict[int, int] = {}
+        for m in self.machines:
+            for j in m.jobs:
+                out[j.id] = m.index
+        return out
+
+    def machines_active_at(self, t: float) -> int:
+        """``M_t``: number of machines with at least one active job at ``t``."""
+        return sum(1 for m in self.machines if m.active_job_count(t) > 0)
+
+    # -- feasibility ---------------------------------------------------------
+
+    def is_feasible(self) -> bool:
+        try:
+            self.validate()
+        except InfeasibleScheduleError:
+            return False
+        return True
+
+    def validate(self) -> None:
+        """Raise :class:`InfeasibleScheduleError` if the schedule is invalid.
+
+        Checks: every job of the instance is scheduled exactly once, no
+        foreign jobs appear, and every machine respects the parallelism
+        parameter ``g``.
+        """
+        verify_schedule(self)
+
+    # -- misc ----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm or "unknown",
+            "instance": self.instance.name,
+            "n": self.instance.n,
+            "g": self.instance.g,
+            "machines": self.num_machines,
+            "total_busy_time": self.total_busy_time,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.algorithm or 'unknown'}: "
+            f"{self.num_machines} machines, busy={self.total_busy_time:g})"
+        )
+
+
+def verify_schedule(schedule: Schedule) -> None:
+    """Validate a schedule against its instance (module-level helper)."""
+    instance = schedule.instance
+    expected_ids = set(instance.job_ids)
+    seen: Dict[int, int] = {}
+    for m in schedule.machines:
+        for j in m.jobs:
+            if j.id not in expected_ids:
+                raise InfeasibleScheduleError(
+                    f"machine {m.index} schedules unknown job id {j.id}"
+                )
+            if j.id in seen:
+                raise InfeasibleScheduleError(
+                    f"job {j.id} scheduled on machines {seen[j.id]} and {m.index}"
+                )
+            seen[j.id] = m.index
+    missing = expected_ids - set(seen)
+    if missing:
+        raise InfeasibleScheduleError(f"jobs never scheduled: {sorted(missing)}")
+    for m in schedule.machines:
+        peak = m.peak_parallelism
+        if peak > instance.g:
+            raise InfeasibleScheduleError(
+                f"machine {m.index} runs {peak} jobs simultaneously "
+                f"but g = {instance.g}"
+            )
+
+
+class ScheduleBuilder:
+    """Mutable helper the algorithms use to build schedules incrementally.
+
+    The builder maintains, per machine, the list of assigned jobs, and offers
+    the feasibility query the greedy algorithms need (``fits``).  Machines are
+    indexed from 0 in order of opening, matching the paper's ``M_1, M_2, ...``
+    numbering shifted by one.
+    """
+
+    def __init__(self, instance: Instance, algorithm: str = "") -> None:
+        self.instance = instance
+        self.algorithm = algorithm
+        self._machines: List[List[Job]] = []
+        self._assigned: Dict[int, int] = {}
+        self.meta: Dict[str, object] = {}
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._machines)
+
+    def jobs_on(self, machine_index: int) -> Sequence[Job]:
+        return tuple(self._machines[machine_index])
+
+    def fits(self, machine_index: int, job: Job) -> bool:
+        """True when adding ``job`` to the machine keeps it feasible."""
+        current = self._machines[machine_index]
+        g = self.instance.g
+        overlapping = [j.interval.intersection(job.interval) for j in current]
+        overlapping = [iv for iv in overlapping if iv is not None]
+        if len(overlapping) < g:
+            return True
+        return max_point_load(overlapping) <= g - 1
+
+    def first_fitting_machine(self, job: Job) -> Optional[int]:
+        """Lowest-index machine that can accommodate ``job``, or None."""
+        for idx in range(len(self._machines)):
+            if self.fits(idx, job):
+                return idx
+        return None
+
+    # -- mutation --------------------------------------------------------------
+
+    def open_machine(self) -> int:
+        """Open a new, empty machine; returns its index."""
+        self._machines.append([])
+        return len(self._machines) - 1
+
+    def assign(self, machine_index: int, job: Job) -> None:
+        """Assign ``job`` to an existing machine (no feasibility re-check)."""
+        if job.id in self._assigned:
+            raise InfeasibleScheduleError(
+                f"job {job.id} already assigned to machine {self._assigned[job.id]}"
+            )
+        if not 0 <= machine_index < len(self._machines):
+            raise IndexError(f"no machine with index {machine_index}")
+        self._machines[machine_index].append(job)
+        self._assigned[job.id] = machine_index
+
+    def assign_first_fit(self, job: Job) -> int:
+        """Assign ``job`` to the first machine that fits, opening one if needed."""
+        idx = self.first_fitting_machine(job)
+        if idx is None:
+            idx = self.open_machine()
+        self.assign(idx, job)
+        return idx
+
+    def assign_new_machine(self, jobs: Iterable[Job]) -> int:
+        """Open a machine and assign all given jobs to it."""
+        idx = self.open_machine()
+        for job in jobs:
+            self.assign(idx, job)
+        return idx
+
+    # -- output ----------------------------------------------------------------
+
+    def freeze(self, validate: bool = True) -> Schedule:
+        """Produce the immutable :class:`Schedule` (optionally validating it)."""
+        machines = tuple(
+            Machine(index=i, jobs=tuple(jobs))
+            for i, jobs in enumerate(self._machines)
+            if jobs
+        )
+        # Re-index densely in case empty machines were opened and never used.
+        machines = tuple(
+            Machine(index=i, jobs=m.jobs) for i, m in enumerate(machines)
+        )
+        sched = Schedule(
+            instance=self.instance,
+            machines=machines,
+            algorithm=self.algorithm,
+            meta=dict(self.meta),
+        )
+        if validate:
+            sched.validate()
+        return sched

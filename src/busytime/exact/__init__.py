@@ -1,0 +1,63 @@
+"""Exact solvers used as OPT references in experiments and tests."""
+
+from typing import Optional
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from .branch_and_bound import BranchAndBoundStats, branch_and_bound_optimum
+from .brute_force import brute_force_optimum, iter_set_partitions
+from .special_cases import (
+    minimize_machine_count,
+    optimal_cost_if_polynomial,
+    solve_disjoint,
+    solve_unit_parallelism,
+)
+
+__all__ = [
+    "branch_and_bound_optimum",
+    "BranchAndBoundStats",
+    "brute_force_optimum",
+    "iter_set_partitions",
+    "solve_unit_parallelism",
+    "solve_disjoint",
+    "minimize_machine_count",
+    "optimal_cost_if_polynomial",
+    "exact_optimum",
+    "exact_optimal_cost",
+]
+
+
+def exact_optimum(
+    instance: Instance,
+    initial_upper_bound: Optional[float] = None,
+    max_jobs: int = 24,
+) -> Schedule:
+    """An exact optimum schedule, picking the cheapest applicable solver.
+
+    Polynomial special cases (``g = 1``, pairwise-disjoint jobs, everything
+    fits on one machine) are solved directly; otherwise branch and bound is
+    used, optionally warm-started with ``initial_upper_bound``.
+    """
+    if instance.n == 0:
+        return Schedule(instance=instance, machines=(), algorithm="exact")
+    if instance.g == 1:
+        return solve_unit_parallelism(instance)
+    if instance.clique_number <= 1:
+        return solve_disjoint(instance)
+    return branch_and_bound_optimum(
+        instance, initial_upper_bound=initial_upper_bound, max_jobs=max_jobs
+    )
+
+
+def exact_optimal_cost(
+    instance: Instance,
+    initial_upper_bound: Optional[float] = None,
+    max_jobs: int = 24,
+) -> float:
+    """The exact optimal total busy time (convenience wrapper)."""
+    poly = optimal_cost_if_polynomial(instance)
+    if poly is not None:
+        return poly
+    return exact_optimum(
+        instance, initial_upper_bound=initial_upper_bound, max_jobs=max_jobs
+    ).total_busy_time

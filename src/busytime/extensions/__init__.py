@@ -1,0 +1,47 @@
+"""Extensions beyond the paper's core results.
+
+Two directions the paper itself points at (Section 1.3) plus the online
+setting its applications imply:
+
+* :mod:`busytime.extensions.flexible` — jobs with release times, due dates,
+  processing times and capacity demands (the model of the cited follow-up
+  work [15]), solved by the two-phase anchor-then-pack heuristic.
+* :mod:`busytime.extensions.online` — arrival-order online schedulers and a
+  replay harness for measuring the price of irrevocable decisions.
+* ring-topology grooming (the direction of [9]) lives with the rest of the
+  optical application in :mod:`busytime.optical.ring`.
+"""
+
+from .flexible import (
+    FlexibleInstance,
+    FlexibleJob,
+    FlexibleSchedule,
+    demand_profile_peak,
+    fix_start_times,
+    flexible_first_fit,
+    flexible_lower_bound,
+)
+from .online import (
+    ONLINE_ALGORITHMS,
+    OnlineResult,
+    online_best_fit,
+    online_first_fit,
+    online_next_fit,
+    replay_online,
+)
+
+__all__ = [
+    "FlexibleJob",
+    "FlexibleInstance",
+    "FlexibleSchedule",
+    "fix_start_times",
+    "flexible_first_fit",
+    "flexible_lower_bound",
+    "demand_profile_peak",
+    "OnlineResult",
+    "online_first_fit",
+    "online_best_fit",
+    "online_next_fit",
+    "replay_online",
+    "ONLINE_ALGORITHMS",
+]

@@ -1,0 +1,136 @@
+"""Online busy-time scheduling.
+
+In many of the paper's motivating systems (lightpath provisioning, cloud
+hosts) jobs arrive over time and must be assigned to a machine *immediately
+and irrevocably*, before future jobs are known.  This module provides the
+online counterparts of the package's offline algorithms so the cost of
+making decisions online can be measured against the offline algorithms and
+the lower bounds (the competitive-ratio experiments in
+``benchmarks/test_bench_online.py``).
+
+The online model: jobs are revealed in non-decreasing order of start time
+(the natural arrival order); on revelation the scheduler must pick an
+existing machine that can host the job or open a new one; assignments are
+never revised.  Note that the offline FirstFit of Section 2 is *not* an
+online algorithm — it sorts by length, which requires knowing the whole
+input — so the honest online baselines are arrival-order FirstFit / BestFit /
+NextFit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.instance import Instance
+from ..core.intervals import Job, span
+from ..core.schedule import Schedule, ScheduleBuilder
+
+__all__ = [
+    "OnlineResult",
+    "online_first_fit",
+    "online_best_fit",
+    "online_next_fit",
+    "replay_online",
+    "ONLINE_ALGORITHMS",
+]
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Outcome of an online run, including the decision trace."""
+
+    schedule: Schedule
+    decisions: Dict[int, int]  # job id -> machine index chosen at arrival
+
+
+def _arrival_order(instance: Instance) -> List[Job]:
+    return sorted(instance.jobs, key=lambda j: (j.start, j.end, j.id))
+
+
+def replay_online(
+    instance: Instance,
+    policy: Callable[[ScheduleBuilder, Job], Optional[int]],
+    algorithm_name: str,
+) -> OnlineResult:
+    """Run an online policy over the arrival sequence of ``instance``.
+
+    ``policy(builder, job)`` returns the index of an existing machine to use
+    or ``None`` to open a new one; it must only rely on information available
+    at the job's arrival (the builder's current state).
+    """
+    builder = ScheduleBuilder(instance, algorithm=algorithm_name)
+    decisions: Dict[int, int] = {}
+    for job in _arrival_order(instance):
+        choice = policy(builder, job)
+        if choice is not None and not builder.fits(choice, job):
+            raise ValueError(
+                f"online policy chose machine {choice} which cannot host job {job.id}"
+            )
+        if choice is None:
+            choice = builder.open_machine()
+        builder.assign(choice, job)
+        decisions[job.id] = choice
+    return OnlineResult(schedule=builder.freeze(), decisions=decisions)
+
+
+def online_first_fit(instance: Instance) -> Schedule:
+    """Arrival-order FirstFit: lowest-indexed machine that still fits."""
+
+    def policy(builder: ScheduleBuilder, job: Job) -> Optional[int]:
+        return builder.first_fitting_machine(job)
+
+    return replay_online(instance, policy, "online_first_fit").schedule
+
+
+def online_best_fit(instance: Instance) -> Schedule:
+    """Arrival-order BestFit: the feasible machine whose busy time grows least.
+
+    A new machine is opened only when no existing machine can absorb the job
+    more cheaply than its own length (the same opening rule as the offline
+    BestFit baseline).
+    """
+
+    def policy(builder: ScheduleBuilder, job: Job) -> Optional[int]:
+        best_idx: Optional[int] = None
+        best_increase = float("inf")
+        for idx in range(builder.num_machines):
+            if not builder.fits(idx, job):
+                continue
+            current = list(builder.jobs_on(idx))
+            increase = span(current + [job]) - span(current)
+            if increase < best_increase:
+                best_increase = increase
+                best_idx = idx
+        if best_idx is None or best_increase >= job.length:
+            return None
+        return best_idx
+
+    return replay_online(instance, policy, "online_best_fit").schedule
+
+
+def online_next_fit(instance: Instance) -> Schedule:
+    """Arrival-order NextFit: keep one open machine, move on when it is full.
+
+    For proper interval instances this *is* the Section 3.1 greedy, so it
+    inherits the 2-approximation there — the one case where an online policy
+    matches the offline guarantee.
+    """
+
+    state = {"current": None}
+
+    def policy(builder: ScheduleBuilder, job: Job) -> Optional[int]:
+        current = state["current"]
+        if current is not None and builder.fits(current, job):
+            return current
+        state["current"] = builder.num_machines  # the machine about to be opened
+        return None
+
+    return replay_online(instance, policy, "online_next_fit").schedule
+
+
+ONLINE_ALGORITHMS: Dict[str, Callable[[Instance], Schedule]] = {
+    "online_first_fit": online_first_fit,
+    "online_best_fit": online_best_fit,
+    "online_next_fit": online_next_fit,
+}

@@ -1,0 +1,43 @@
+"""Instance and traffic generators for experiments, examples and tests."""
+
+from .adversarial import (
+    fig4_reference_schedule,
+    firstfit_lower_bound_instance,
+    firstfit_lower_bound_opt_cost,
+    ranked_shift_proper_instance,
+    theorem24_parameters,
+)
+from .optical_traffic import hotspot_traffic, local_traffic, uniform_traffic
+from .random_instances import (
+    bursty_instance,
+    poisson_arrivals_instance,
+    uniform_random_instance,
+)
+from .structured import (
+    bounded_length_instance,
+    clique_instance,
+    laminar_instance,
+    proper_instance,
+    stairs_instance,
+    unit_interval_instance,
+)
+
+__all__ = [
+    "uniform_random_instance",
+    "poisson_arrivals_instance",
+    "bursty_instance",
+    "proper_instance",
+    "clique_instance",
+    "bounded_length_instance",
+    "laminar_instance",
+    "unit_interval_instance",
+    "stairs_instance",
+    "firstfit_lower_bound_instance",
+    "firstfit_lower_bound_opt_cost",
+    "ranked_shift_proper_instance",
+    "theorem24_parameters",
+    "fig4_reference_schedule",
+    "uniform_traffic",
+    "hotspot_traffic",
+    "local_traffic",
+]

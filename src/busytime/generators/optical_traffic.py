@@ -1,0 +1,123 @@
+"""Lightpath-traffic generators for the optical experiments (E8).
+
+Traffic matrices on a path network are generated in three flavours:
+
+* :func:`uniform_traffic` — endpoints drawn uniformly at random among all
+  node pairs;
+* :func:`hotspot_traffic` — a fraction of requests terminates at a small set
+  of hub nodes (a metro-aggregation pattern), which concentrates link load
+  around the hubs;
+* :func:`local_traffic` — request lengths (hop counts) follow a truncated
+  geometric distribution, modelling predominantly short-reach demands with a
+  heavy-ish tail; the induced scheduling instances are bounded-length, so the
+  Section 3.2 algorithm applies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..optical.lightpath import Lightpath, Traffic
+from ..optical.network import PathNetwork
+
+__all__ = ["uniform_traffic", "hotspot_traffic", "local_traffic"]
+
+
+def _make_traffic(
+    network: PathNetwork, pairs, g: int, name: str
+) -> Traffic:
+    lightpaths = tuple(
+        Lightpath(id=i, a=int(a), b=int(b)) for i, (a, b) in enumerate(pairs)
+    )
+    return Traffic(network=network, lightpaths=lightpaths, g=g, name=name)
+
+
+def uniform_traffic(
+    num_nodes: int,
+    num_lightpaths: int,
+    g: int,
+    seed: Optional[int] = None,
+) -> Traffic:
+    """Uniformly random endpoint pairs on a path of ``num_nodes`` nodes."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    network = PathNetwork(num_nodes)
+    pairs = []
+    for _ in range(num_lightpaths):
+        a, b = sorted(rng.choice(num_nodes, size=2, replace=False))
+        pairs.append((a, b))
+    return _make_traffic(
+        network, pairs, g, f"uniform-traffic(N={num_nodes},n={num_lightpaths},g={g},seed={seed})"
+    )
+
+
+def hotspot_traffic(
+    num_nodes: int,
+    num_lightpaths: int,
+    g: int,
+    num_hubs: int = 2,
+    hub_fraction: float = 0.7,
+    seed: Optional[int] = None,
+) -> Traffic:
+    """Traffic where ``hub_fraction`` of requests touch one of ``num_hubs`` hubs."""
+    if not 0.0 <= hub_fraction <= 1.0:
+        raise ValueError("hub_fraction must lie in [0, 1]")
+    if num_hubs < 1 or num_hubs >= num_nodes:
+        raise ValueError("need 1 <= num_hubs < num_nodes")
+    rng = np.random.default_rng(seed)
+    network = PathNetwork(num_nodes)
+    hubs = rng.choice(num_nodes, size=num_hubs, replace=False)
+    pairs = []
+    for _ in range(num_lightpaths):
+        if rng.random() < hub_fraction:
+            hub = int(rng.choice(hubs))
+            other = int(rng.integers(0, num_nodes - 1))
+            if other >= hub:
+                other += 1
+            a, b = min(hub, other), max(hub, other)
+        else:
+            a, b = sorted(rng.choice(num_nodes, size=2, replace=False))
+        pairs.append((a, b))
+    return _make_traffic(
+        network,
+        pairs,
+        g,
+        f"hotspot-traffic(N={num_nodes},n={num_lightpaths},g={g},hubs={num_hubs},seed={seed})",
+    )
+
+
+def local_traffic(
+    num_nodes: int,
+    num_lightpaths: int,
+    g: int,
+    mean_hops: float = 4.0,
+    max_hops: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Traffic:
+    """Short-reach traffic: hop counts ~ geometric(1/mean_hops), truncated.
+
+    The resulting reduced scheduling instance has job lengths bounded by
+    ``max_hops - 1``, i.e. it falls into the Section 3.2 bounded-length class.
+    """
+    if mean_hops < 1:
+        raise ValueError("mean_hops must be at least 1")
+    rng = np.random.default_rng(seed)
+    network = PathNetwork(num_nodes)
+    if max_hops is None:
+        max_hops = min(num_nodes - 1, int(4 * mean_hops))
+    max_hops = max(1, min(max_hops, num_nodes - 1))
+    pairs = []
+    for _ in range(num_lightpaths):
+        hops = int(rng.geometric(1.0 / mean_hops))
+        hops = max(1, min(hops, max_hops))
+        a = int(rng.integers(0, num_nodes - hops))
+        pairs.append((a, a + hops))
+    return _make_traffic(
+        network,
+        pairs,
+        g,
+        f"local-traffic(N={num_nodes},n={num_lightpaths},g={g},mean_hops={mean_hops:g},seed={seed})",
+    )

@@ -1,0 +1,41 @@
+"""Interval-graph substrate: intersection graphs, colouring, b-matching."""
+
+from .bmatching import BMatchingResult, is_valid_b_matching, max_bipartite_b_matching
+from .interval_graph import (
+    build_interval_graph,
+    chromatic_number,
+    clique_number,
+    greedy_interval_coloring,
+    independent_set_count_lower_bound,
+    maximum_clique,
+    partition_into_independent_sets,
+)
+from .properties import (
+    InstanceProfile,
+    is_clique_instance,
+    is_connected_instance,
+    is_laminar_instance,
+    is_proper_instance,
+    laminar_forest,
+    profile_instance,
+)
+
+__all__ = [
+    "build_interval_graph",
+    "clique_number",
+    "maximum_clique",
+    "greedy_interval_coloring",
+    "chromatic_number",
+    "partition_into_independent_sets",
+    "independent_set_count_lower_bound",
+    "BMatchingResult",
+    "max_bipartite_b_matching",
+    "is_valid_b_matching",
+    "InstanceProfile",
+    "profile_instance",
+    "is_proper_instance",
+    "is_clique_instance",
+    "is_laminar_instance",
+    "is_connected_instance",
+    "laminar_forest",
+]

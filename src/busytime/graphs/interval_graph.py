@@ -1,0 +1,165 @@
+"""Interval-graph machinery.
+
+The paper states the scheduling problem as a graph-partitioning problem on
+the interval graph induced by the jobs (Section 1.1): partition the vertices
+into groups whose induced clique number is at most ``g`` while minimising the
+sum of the group spans.  This module builds that interval graph and provides
+the classical poly-time primitives on it that the algorithms and baselines
+need:
+
+* intersection-graph construction (as a :class:`networkx.Graph`),
+* clique number / a maximum clique (via the sweep; intervals have the Helly
+  property so a maximum clique is realised at a point),
+* minimum proper colouring (intervals are perfect graphs — the greedy sweep
+  colours with exactly ``omega`` colours), which underlies the
+  machine-minimisation baseline of Section 1.1,
+* partition of a job set into ``k`` independent sets ("threads"), the
+  operation used in the proof of Lemma 2.3 and inside Bounded_Length.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.instance import Instance
+from ..core.intervals import Job, max_point_load
+
+__all__ = [
+    "build_interval_graph",
+    "clique_number",
+    "maximum_clique",
+    "greedy_interval_coloring",
+    "chromatic_number",
+    "partition_into_independent_sets",
+    "independent_set_count_lower_bound",
+]
+
+
+def build_interval_graph(jobs: Sequence[Job]) -> nx.Graph:
+    """The intersection graph of the job intervals.
+
+    Vertices are job ids; an edge joins two jobs whose closed intervals
+    intersect.  Construction is the straightforward :math:`O(n^2)` pairwise
+    check — instances in this package are at most a few thousand jobs, and
+    the graph is only materialised for analysis/baselines, never on the hot
+    path of the approximation algorithms.
+    """
+    graph = nx.Graph()
+    for j in jobs:
+        graph.add_node(j.id, start=j.start, end=j.end, length=j.length)
+    ordered = sorted(jobs, key=lambda j: (j.start, j.end))
+    # Sweep: keep a heap of (end, id) for active jobs; all active jobs whose
+    # end >= next start overlap the next job.
+    active: List[Tuple[float, int]] = []
+    for j in ordered:
+        # Pop jobs that end strictly before this one starts (closed intervals:
+        # equality means they still touch and therefore overlap).
+        while active and active[0][0] < j.start:
+            heapq.heappop(active)
+        for _, other_id in active:
+            graph.add_edge(other_id, j.id)
+        heapq.heappush(active, (j.end, j.id))
+    return graph
+
+
+def clique_number(jobs: Sequence[Job]) -> int:
+    """``omega`` of the interval graph = maximum number of overlapping jobs."""
+    return max_point_load(jobs)
+
+
+def maximum_clique(jobs: Sequence[Job]) -> List[Job]:
+    """One maximum clique, as the set of jobs active at a densest point."""
+    if not jobs:
+        return []
+    events: List[Tuple[float, int, Job]] = []
+    for j in jobs:
+        events.append((j.start, 0, j))
+        events.append((j.end, 1, j))
+    events.sort(key=lambda e: (e[0], e[1]))
+    active: Dict[int, Job] = {}
+    best: List[Job] = []
+    for _, kind, job in events:
+        if kind == 0:
+            active[job.id] = job
+            if len(active) > len(best):
+                best = list(active.values())
+        else:
+            active.pop(job.id, None)
+    return best
+
+
+def greedy_interval_coloring(jobs: Sequence[Job]) -> Dict[int, int]:
+    """A minimum proper colouring of the interval graph.
+
+    Jobs sorted by start time are assigned the smallest free colour; for
+    interval graphs this classic sweep uses exactly ``omega`` colours.
+    Returns a mapping job id -> colour index (0-based).
+    """
+    ordered = sorted(jobs, key=lambda j: (j.start, j.end))
+    coloring: Dict[int, int] = {}
+    # Heap of (end, colour) for currently running jobs; free colours recycled.
+    running: List[Tuple[float, int]] = []
+    free: List[int] = []
+    next_color = 0
+    for j in ordered:
+        while running and running[0][0] < j.start:
+            _, col = heapq.heappop(running)
+            heapq.heappush(free, col)
+        if free:
+            col = heapq.heappop(free)
+        else:
+            col = next_color
+            next_color += 1
+        coloring[j.id] = col
+        heapq.heappush(running, (j.end, col))
+    return coloring
+
+
+def chromatic_number(jobs: Sequence[Job]) -> int:
+    """``chi`` of the interval graph; equals :func:`clique_number` (perfect)."""
+    if not jobs:
+        return 0
+    coloring = greedy_interval_coloring(jobs)
+    return max(coloring.values()) + 1
+
+
+def partition_into_independent_sets(
+    jobs: Sequence[Job], k: Optional[int] = None
+) -> List[List[Job]]:
+    """Partition jobs into ``k`` pairwise-disjoint "threads".
+
+    Each returned list is an independent set of the interval graph (no two of
+    its jobs overlap).  When ``k`` is ``None`` the minimum possible number of
+    threads (the clique number) is used.  This is exactly the decomposition
+    invoked in the proof of Lemma 2.3 ("the g threads of execution of machine
+    M_i") and in Step 2(c) of Bounded_Length.
+
+    Raises
+    ------
+    ValueError
+        if ``k`` is smaller than the clique number (no such partition exists).
+    """
+    omega = clique_number(jobs)
+    if k is None:
+        k = omega
+    if k < omega:
+        raise ValueError(
+            f"cannot partition into {k} independent sets: clique number is {omega}"
+        )
+    coloring = greedy_interval_coloring(jobs)
+    by_id = {j.id: j for j in jobs}
+    threads: List[List[Job]] = [[] for _ in range(max(k, 1))]
+    for job_id, col in coloring.items():
+        threads[col].append(by_id[job_id])
+    for thread in threads:
+        thread.sort(key=lambda j: (j.start, j.end))
+    return threads
+
+
+def independent_set_count_lower_bound(jobs: Sequence[Job], g: int) -> int:
+    """``ceil(omega / g)``: minimum number of machines any solution needs."""
+    omega = clique_number(jobs)
+    return -(-omega // g) if omega else 0

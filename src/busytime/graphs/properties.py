@@ -1,0 +1,124 @@
+"""Structural classification of interval instances.
+
+Thin, graph-level wrappers over the classification predicates of
+:class:`busytime.core.instance.Instance`, plus a couple of checks that are
+genuinely graph-theoretic (connectivity of the intersection graph, laminar
+forest extraction).  The algorithm dispatcher uses these to route an instance
+to the specialised algorithm with the best proven ratio:
+
+=====================  =======================================  =========
+instance class         algorithm                                 ratio
+=====================  =======================================  =========
+clique                 Appendix clique algorithm                 2
+proper                 Section 3.1 NextFit greedy                2
+bounded length (d)     Section 3.2 Bounded_Length                2 + eps
+general                Section 2 FirstFit                        4
+=====================  =======================================  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..core.instance import Instance, connected_components
+from ..core.intervals import Job
+from .interval_graph import build_interval_graph, clique_number
+
+__all__ = [
+    "InstanceProfile",
+    "profile_instance",
+    "is_proper_instance",
+    "is_clique_instance",
+    "is_laminar_instance",
+    "is_connected_instance",
+    "laminar_forest",
+]
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """A structural snapshot of an instance used by reports and the dispatcher."""
+
+    n: int
+    g: int
+    clique_number: int
+    num_components: int
+    proper: bool
+    clique: bool
+    laminar: bool
+    length_ratio: float
+    span: float
+    total_length: float
+
+    @property
+    def recommended_algorithm(self) -> str:
+        """Name of the specialised algorithm with the best proven ratio."""
+        if self.clique:
+            return "clique"
+        if self.proper:
+            return "proper_greedy"
+        if self.length_ratio != float("inf") and self.length_ratio <= 8:
+            return "bounded_length"
+        return "first_fit"
+
+
+def profile_instance(instance: Instance) -> InstanceProfile:
+    """Compute the :class:`InstanceProfile` of an instance."""
+    return InstanceProfile(
+        n=instance.n,
+        g=instance.g,
+        clique_number=instance.clique_number,
+        num_components=len(connected_components(instance)),
+        proper=instance.is_proper(),
+        clique=instance.is_clique(),
+        laminar=instance.is_laminar(),
+        length_ratio=instance.length_ratio(),
+        span=instance.span,
+        total_length=instance.total_length,
+    )
+
+
+def is_proper_instance(instance: Instance) -> bool:
+    """No interval properly contained in another (Section 3.1 regime)."""
+    return instance.is_proper()
+
+
+def is_clique_instance(instance: Instance) -> bool:
+    """All intervals pairwise intersect (Appendix regime)."""
+    return instance.is_clique()
+
+
+def is_laminar_instance(instance: Instance) -> bool:
+    """Any two intervals disjoint or nested."""
+    return instance.is_laminar()
+
+
+def is_connected_instance(instance: Instance) -> bool:
+    """The induced interval graph is connected (the paper's w.l.o.g.)."""
+    return instance.is_connected()
+
+
+def laminar_forest(instance: Instance) -> nx.DiGraph:
+    """The containment forest of a laminar instance.
+
+    Nodes are job ids; an arc ``u -> v`` means job ``v`` is nested directly
+    inside job ``u``.  Roots are the maximal intervals.  Raises
+    ``ValueError`` when the instance is not laminar.
+    """
+    if not instance.is_laminar():
+        raise ValueError("instance is not laminar")
+    forest = nx.DiGraph()
+    for j in instance.jobs:
+        forest.add_node(j.id, start=j.start, end=j.end)
+    jobs = sorted(instance.jobs, key=lambda j: (j.start, -j.end))
+    stack: List[Job] = []
+    for j in jobs:
+        while stack and stack[-1].end <= j.start:
+            stack.pop()
+        if stack and stack[-1].interval.contains(j.interval):
+            forest.add_edge(stack[-1].id, j.id)
+        stack.append(j)
+    return forest

@@ -1,0 +1,225 @@
+"""Serialization of instances, schedules and optical traffic.
+
+Plain-JSON (and CSV for job lists) round-trip support so instances and
+results can be exchanged with other tools, checked into experiment
+repositories, or fed to the command-line interface (:mod:`busytime.cli`).
+
+The formats are deliberately boring:
+
+``Instance`` JSON::
+
+    {
+      "format": "busytime-instance",
+      "version": 1,
+      "name": "...",
+      "g": 3,
+      "jobs": [{"id": 0, "start": 0.0, "end": 4.5, "weight": 1.0, "tag": ""}, ...]
+    }
+
+``Schedule`` JSON adds the machine partition (job ids per machine) and the
+producing algorithm; ``Traffic`` JSON stores the path length, the grooming
+factor and the lightpath endpoint pairs.  CSV files have a header row
+``id,start,end[,weight][,tag]``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .core.instance import Instance
+from .core.intervals import Interval, Job
+from .core.schedule import Machine, Schedule
+from .optical.lightpath import Lightpath, Traffic
+from .optical.network import PathNetwork
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "traffic_to_dict",
+    "traffic_from_dict",
+    "save_traffic",
+    "load_traffic",
+    "jobs_to_csv",
+    "jobs_from_csv",
+]
+
+_PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, object]:
+    """A JSON-serialisable dict describing the instance."""
+    return {
+        "format": "busytime-instance",
+        "version": 1,
+        "name": instance.name,
+        "g": instance.g,
+        "jobs": [
+            {
+                "id": j.id,
+                "start": j.start,
+                "end": j.end,
+                "weight": j.weight,
+                "tag": j.tag,
+            }
+            for j in instance.jobs
+        ],
+    }
+
+
+def instance_from_dict(data: Mapping[str, object]) -> Instance:
+    """Rebuild an :class:`Instance` from :func:`instance_to_dict` output."""
+    if data.get("format") != "busytime-instance":
+        raise ValueError("not a busytime-instance document")
+    jobs = tuple(
+        Job(
+            id=int(row["id"]),
+            interval=Interval(float(row["start"]), float(row["end"])),
+            weight=float(row.get("weight", 1.0)),
+            tag=str(row.get("tag", "")),
+        )
+        for row in data["jobs"]  # type: ignore[index]
+    )
+    return Instance(jobs=jobs, g=int(data["g"]), name=str(data.get("name", "")))
+
+
+def save_instance(instance: Instance, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: _PathLike) -> Instance:
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, object]:
+    """A JSON-serialisable dict: the instance plus the machine partition."""
+    return {
+        "format": "busytime-schedule",
+        "version": 1,
+        "algorithm": schedule.algorithm,
+        "total_busy_time": schedule.total_busy_time,
+        "instance": instance_to_dict(schedule.instance),
+        "machines": [
+            {"index": m.index, "job_ids": [j.id for j in m.jobs]}
+            for m in schedule.machines
+        ],
+    }
+
+
+def schedule_from_dict(data: Mapping[str, object]) -> Schedule:
+    """Rebuild (and re-validate) a :class:`Schedule`."""
+    if data.get("format") != "busytime-schedule":
+        raise ValueError("not a busytime-schedule document")
+    instance = instance_from_dict(data["instance"])  # type: ignore[arg-type]
+    by_id = {j.id: j for j in instance.jobs}
+    machines = []
+    for row in data["machines"]:  # type: ignore[index]
+        jobs = tuple(by_id[int(job_id)] for job_id in row["job_ids"])
+        machines.append(Machine(index=int(row["index"]), jobs=jobs))
+    schedule = Schedule(
+        instance=instance,
+        machines=tuple(machines),
+        algorithm=str(data.get("algorithm", "")),
+    )
+    schedule.validate()
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: _PathLike) -> Schedule:
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Optical traffic
+# ---------------------------------------------------------------------------
+
+
+def traffic_to_dict(traffic: Traffic) -> Dict[str, object]:
+    return {
+        "format": "busytime-traffic",
+        "version": 1,
+        "name": traffic.name,
+        "num_nodes": traffic.network.num_nodes,
+        "g": traffic.g,
+        "lightpaths": [{"id": p.id, "a": p.a, "b": p.b} for p in traffic.lightpaths],
+    }
+
+
+def traffic_from_dict(data: Mapping[str, object]) -> Traffic:
+    if data.get("format") != "busytime-traffic":
+        raise ValueError("not a busytime-traffic document")
+    network = PathNetwork(int(data["num_nodes"]))
+    lightpaths = tuple(
+        Lightpath(id=int(row["id"]), a=int(row["a"]), b=int(row["b"]))
+        for row in data["lightpaths"]  # type: ignore[index]
+    )
+    return Traffic(
+        network=network,
+        lightpaths=lightpaths,
+        g=int(data["g"]),
+        name=str(data.get("name", "")),
+    )
+
+
+def save_traffic(traffic: Traffic, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(traffic_to_dict(traffic), indent=2))
+
+
+def load_traffic(path: _PathLike) -> Traffic:
+    return traffic_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# CSV job lists
+# ---------------------------------------------------------------------------
+
+
+def jobs_to_csv(instance: Instance, path: _PathLike) -> None:
+    """Write the job list as CSV with columns ``id,start,end,weight,tag``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "start", "end", "weight", "tag"])
+        for j in instance.jobs:
+            writer.writerow([j.id, j.start, j.end, j.weight, j.tag])
+
+
+def jobs_from_csv(path: _PathLike, g: int, name: str = "") -> Instance:
+    """Read a CSV job list (``id,start,end[,weight][,tag]``) into an instance."""
+    jobs: List[Job] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or not {"start", "end"} <= set(reader.fieldnames):
+            raise ValueError("CSV must have at least 'start' and 'end' columns")
+        for i, row in enumerate(reader):
+            job_id = int(row["id"]) if row.get("id") not in (None, "") else i
+            jobs.append(
+                Job(
+                    id=job_id,
+                    interval=Interval(float(row["start"]), float(row["end"])),
+                    weight=float(row.get("weight") or 1.0),
+                    tag=row.get("tag") or "",
+                )
+            )
+    return Instance(jobs=tuple(jobs), g=g, name=name or str(path))

@@ -1,0 +1,27 @@
+"""Optical-network application: grooming / regenerator minimisation on paths."""
+
+from .costs import adm_count, combined_cost, regenerator_count, regenerators_per_node
+from .grooming import (
+    WavelengthAssignment,
+    groom,
+    instance_to_traffic,
+    schedule_to_assignment,
+    traffic_to_instance,
+)
+from .lightpath import Lightpath, Traffic
+from .network import PathNetwork
+
+__all__ = [
+    "PathNetwork",
+    "Lightpath",
+    "Traffic",
+    "WavelengthAssignment",
+    "traffic_to_instance",
+    "instance_to_traffic",
+    "schedule_to_assignment",
+    "groom",
+    "regenerator_count",
+    "regenerators_per_node",
+    "adm_count",
+    "combined_cost",
+]

@@ -1,0 +1,209 @@
+"""Wavelength assignment by reduction to busy-time scheduling (Section 4.2).
+
+The reduction: a lightpath ``p_j = (a_j, b_j)`` becomes the job
+``J_j = [a_j + 1/2, b_j - 1/2]`` and the grooming factor ``g`` becomes the
+parallelism parameter.  Wavelengths (colours) correspond to machines, and the
+regenerator at node ``i`` corresponds to the unit interval
+``[i - 1/2, i + 1/2]``: a wavelength needs that regenerator exactly when the
+union of its jobs covers the interval, so the number of regenerators used by
+a colouring equals the total busy time of the corresponding schedule.
+
+Consequently every approximation algorithm of the scheduling problem yields a
+wavelength assignment with the same guarantee on the number of regenerators
+(results (i)–(iv) of Section 4.2).
+
+This module implements:
+
+* the forward reduction (:func:`traffic_to_instance`),
+* the inverse mapping from a schedule back to a wavelength assignment
+  (:func:`schedule_to_assignment`),
+* the end-to-end groomer (:func:`groom`) parameterised by the scheduling
+  algorithm,
+* validation of the grooming constraint (at most ``g`` lightpaths of one
+  wavelength per link) and regenerator accounting, both computed directly on
+  the optical side so the reduction's correctness can be *tested* rather than
+  assumed (see ``tests/test_optical_grooming.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..algorithms.dispatch import auto_schedule
+from ..core.instance import Instance
+from ..core.intervals import Job
+from ..core.schedule import Schedule
+from .costs import adm_count, combined_cost, regenerator_count
+from .lightpath import Lightpath, Traffic
+from .network import PathNetwork
+
+__all__ = [
+    "WavelengthAssignment",
+    "traffic_to_instance",
+    "instance_to_traffic",
+    "schedule_to_assignment",
+    "groom",
+]
+
+
+@dataclass(frozen=True)
+class WavelengthAssignment:
+    """A wavelength (colour) for every lightpath of a traffic set."""
+
+    traffic: Traffic
+    colors: Mapping[int, int]  # lightpath id -> wavelength index
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        missing = {p.id for p in self.traffic} - set(self.colors)
+        if missing:
+            raise ValueError(f"lightpaths without a wavelength: {sorted(missing)}")
+
+    @property
+    def num_wavelengths(self) -> int:
+        return len(set(self.colors.values()))
+
+    def lightpaths_of_color(self, color: int) -> List[Lightpath]:
+        return [p for p in self.traffic if self.colors[p.id] == color]
+
+    def color_classes(self) -> Dict[int, List[Lightpath]]:
+        classes: Dict[int, List[Lightpath]] = {}
+        for p in self.traffic:
+            classes.setdefault(self.colors[p.id], []).append(p)
+        return classes
+
+    # -- validation -----------------------------------------------------------
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+    def validate(self) -> None:
+        """Check the grooming constraint: ≤ g same-wavelength lightpaths per link."""
+        g = self.traffic.g
+        for color, paths in self.color_classes().items():
+            for link in self.traffic.network.links:
+                load = sum(1 for p in paths if p.uses_link(link))
+                if load > g:
+                    raise ValueError(
+                        f"wavelength {color} carries {load} lightpaths on link "
+                        f"{link}, exceeding the grooming factor g = {g}"
+                    )
+
+    # -- costs ---------------------------------------------------------------
+
+    def regenerators(self) -> int:
+        """Total number of regenerators used (the alpha = 1 objective)."""
+        return regenerator_count(self)
+
+    def adms(self) -> int:
+        """Total number of ADMs used (the alpha = 0 objective)."""
+        return adm_count(self)
+
+    def cost(self, alpha: float = 1.0) -> float:
+        """``alpha * regenerators + (1 - alpha) * ADMs`` (Section 4.1)."""
+        return combined_cost(self, alpha)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "num_lightpaths": self.traffic.n,
+            "g": self.traffic.g,
+            "num_wavelengths": self.num_wavelengths,
+            "regenerators": self.regenerators(),
+            "adms": self.adms(),
+        }
+
+
+def traffic_to_instance(traffic: Traffic) -> Instance:
+    """The Section 4.2 reduction: lightpaths to busy-time scheduling jobs."""
+    jobs = tuple(
+        Job(id=p.id, interval=p.job_interval(), tag=f"lightpath({p.a},{p.b})")
+        for p in traffic
+    )
+    return Instance(jobs=jobs, g=traffic.g, name=f"reduction[{traffic.name}]")
+
+
+def instance_to_traffic(
+    instance: Instance, network: Optional[PathNetwork] = None, name: str = ""
+) -> Traffic:
+    """The inverse reduction for instances with half-integral endpoints.
+
+    Every job ``[a + 1/2, b - 1/2]`` (with integral ``a < b``) becomes the
+    lightpath ``(a, b)``.  Raises ``ValueError`` for jobs that are not of that
+    form.  Useful for round-trip testing of the reduction.
+    """
+    pairs: List[Tuple[int, int]] = []
+    max_node = 1
+    for job in instance.jobs:
+        a = job.start - 0.5
+        b = job.end + 0.5
+        if abs(a - round(a)) > 1e-9 or abs(b - round(b)) > 1e-9:
+            raise ValueError(
+                f"job {job.id} = [{job.start}, {job.end}] is not of the form "
+                "[a + 1/2, b - 1/2] with integral a < b"
+            )
+        a_i, b_i = int(round(a)), int(round(b))
+        if a_i < 0:
+            raise ValueError(f"job {job.id} maps to a negative node {a_i}")
+        pairs.append((a_i, b_i))
+        max_node = max(max_node, b_i)
+    if network is None:
+        network = PathNetwork(max_node + 1)
+    lightpaths = tuple(
+        Lightpath(id=job.id, a=a, b=b)
+        for job, (a, b) in zip(instance.jobs, pairs)
+    )
+    return Traffic(network=network, lightpaths=lightpaths, g=instance.g, name=name)
+
+
+def schedule_to_assignment(
+    traffic: Traffic, schedule: Schedule
+) -> WavelengthAssignment:
+    """Interpret a schedule of the reduced instance as a wavelength assignment.
+
+    Machine indices become wavelength indices; the job/lightpath ids coincide
+    by construction of :func:`traffic_to_instance`.
+    """
+    colors: Dict[int, int] = {}
+    for machine in schedule.machines:
+        for job in machine.jobs:
+            colors[job.id] = machine.index
+    assignment = WavelengthAssignment(
+        traffic=traffic, colors=colors, algorithm=schedule.algorithm
+    )
+    assignment.validate()
+    return assignment
+
+
+def groom(
+    traffic: Traffic,
+    algorithm: Optional[Callable[[Instance], Schedule]] = None,
+) -> WavelengthAssignment:
+    """Assign wavelengths to the traffic, minimising regenerators.
+
+    Parameters
+    ----------
+    traffic:
+        The lightpath requests and grooming factor.
+    algorithm:
+        Any ``Instance -> Schedule`` function from
+        :mod:`busytime.algorithms`; defaults to the dispatcher
+        (:func:`busytime.algorithms.auto_schedule`), which applies the
+        specialised algorithm with the best proven ratio per component.
+
+    Returns
+    -------
+    WavelengthAssignment
+        A validated assignment; its regenerator count equals the schedule's
+        total busy time (the reduction's cost-preservation property).
+    """
+    if algorithm is None:
+        algorithm = auto_schedule
+    instance = traffic_to_instance(traffic)
+    schedule = algorithm(instance)
+    return schedule_to_assignment(traffic, schedule)

@@ -1,0 +1,135 @@
+"""Lightpaths and traffic (sets of lightpath requests) on a path network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.intervals import Interval
+from .network import PathNetwork
+
+__all__ = ["Lightpath", "Traffic"]
+
+
+@dataclass(frozen=True)
+class Lightpath:
+    """A lightpath request ``p_j = (a_j, b_j)`` on a path network.
+
+    ``a < b`` is required; the lightpath uses links ``(a, a+1) .. (b-1, b)``
+    and needs regenerators at the intermediate nodes ``a+1 .. b-1``.
+    """
+
+    id: int
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a >= self.b:
+            raise ValueError(
+                f"lightpath endpoints must satisfy a < b, got ({self.a}, {self.b})"
+            )
+
+    @property
+    def hops(self) -> int:
+        """Number of links used."""
+        return self.b - self.a
+
+    @property
+    def num_regenerators(self) -> int:
+        """Regenerators needed when the lightpath does not share any."""
+        return self.b - self.a - 1
+
+    def links(self) -> List[Tuple[int, int]]:
+        return [(i, i + 1) for i in range(self.a, self.b)]
+
+    def intermediate_nodes(self) -> List[int]:
+        return list(range(self.a + 1, self.b))
+
+    def uses_link(self, link: Tuple[int, int]) -> bool:
+        return self.a <= link[0] and link[1] <= self.b
+
+    def job_interval(self) -> Interval:
+        """The Section 4.2 reduction interval ``[a + 1/2, b - 1/2]``."""
+        return Interval(self.a + 0.5, self.b - 0.5)
+
+    def shares_edge_with(self, other: "Lightpath") -> bool:
+        """True when the two lightpaths use at least one common link."""
+        return self.a < other.b and other.a < self.b
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"p{self.id}({self.a}->{self.b})"
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """A set of lightpath requests on a given path network plus grooming factor."""
+
+    network: PathNetwork
+    lightpaths: Tuple[Lightpath, ...]
+    g: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise ValueError("grooming factor g must be >= 1")
+        if not isinstance(self.lightpaths, tuple):
+            object.__setattr__(self, "lightpaths", tuple(self.lightpaths))
+        ids = [p.id for p in self.lightpaths]
+        if len(set(ids)) != len(ids):
+            raise ValueError("lightpath ids must be unique")
+        for p in self.lightpaths:
+            self.network.validate_node(p.a)
+            self.network.validate_node(p.b)
+
+    @classmethod
+    def from_pairs(
+        cls,
+        network: PathNetwork,
+        pairs: Iterable[Tuple[int, int]],
+        g: int,
+        name: str = "",
+    ) -> "Traffic":
+        lightpaths = tuple(
+            Lightpath(id=i, a=a, b=b) for i, (a, b) in enumerate(pairs)
+        )
+        return cls(network=network, lightpaths=lightpaths, g=g, name=name)
+
+    @property
+    def n(self) -> int:
+        return len(self.lightpaths)
+
+    def __len__(self) -> int:
+        return len(self.lightpaths)
+
+    def __iter__(self):
+        return iter(self.lightpaths)
+
+    def lightpath_by_id(self, lp_id: int) -> Lightpath:
+        for p in self.lightpaths:
+            if p.id == lp_id:
+                return p
+        raise KeyError(f"no lightpath with id {lp_id}")
+
+    def link_load(self, link: Tuple[int, int]) -> int:
+        """Number of lightpaths using the given link (ignoring wavelengths)."""
+        return sum(1 for p in self.lightpaths if p.uses_link(link))
+
+    def max_link_load(self) -> int:
+        """The heaviest link load; ``ceil(load / g)`` wavelengths are necessary."""
+        if not self.lightpaths:
+            return 0
+        return max(self.link_load(link) for link in self.network.links)
+
+    def total_regenerator_demand(self) -> int:
+        """Total regenerators with no sharing at all (the singleton baseline)."""
+        return sum(p.num_regenerators for p in self.lightpaths)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "num_nodes": self.network.num_nodes,
+            "num_lightpaths": self.n,
+            "g": self.g,
+            "max_link_load": self.max_link_load(),
+            "total_regenerator_demand": self.total_regenerator_demand(),
+        }

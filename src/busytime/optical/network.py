@@ -1,0 +1,80 @@
+"""Path-topology optical network model (Section 4).
+
+The paper's application is wavelength assignment ("traffic grooming") on an
+optical network whose topology is a **path**: nodes ``0, 1, ..., N-1`` with a
+fibre link between every pair of consecutive nodes.  A *lightpath* is a
+simple path between two nodes; on a path topology it is fully described by
+its two endpoints ``(a, b)`` with ``a < b`` and it uses exactly the links
+``(a, a+1), ..., (b-1, b)``.
+
+Hardware model (Section 4.1):
+
+* every lightpath needs one **ADM** (add-drop multiplexer) at each endpoint;
+* every lightpath needs one **regenerator** at each *intermediate* node;
+* lightpaths are assigned wavelengths (colours); at most ``g`` lightpaths of
+  the same wavelength may share a link (the grooming factor);
+* ``g`` lightpaths of the same wavelength that need a regenerator at the same
+  node can share one regenerator, and analogously for ADMs entering a node
+  through the same link.
+
+The busy-time scheduling results translate to the ``alpha = 1`` objective
+(minimise the number of regenerators); :mod:`busytime.optical.grooming`
+implements the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["PathNetwork"]
+
+
+@dataclass(frozen=True)
+class PathNetwork:
+    """A path (chain) topology with ``num_nodes`` nodes.
+
+    Nodes are ``0 .. num_nodes - 1``; link ``e_i`` joins nodes ``i`` and
+    ``i + 1`` for ``i`` in ``0 .. num_nodes - 2``.
+    """
+
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ValueError("a path network needs at least 2 nodes")
+
+    @property
+    def num_links(self) -> int:
+        return self.num_nodes - 1
+
+    @property
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    @property
+    def links(self) -> List[Tuple[int, int]]:
+        """All links as ``(i, i + 1)`` pairs."""
+        return [(i, i + 1) for i in range(self.num_nodes - 1)]
+
+    def validate_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} outside the path 0..{self.num_nodes - 1}"
+            )
+
+    def links_between(self, a: int, b: int) -> List[Tuple[int, int]]:
+        """The links used by a lightpath from ``a`` to ``b`` (``a < b``)."""
+        self.validate_node(a)
+        self.validate_node(b)
+        if a >= b:
+            raise ValueError(f"lightpath endpoints must satisfy a < b, got ({a}, {b})")
+        return [(i, i + 1) for i in range(a, b)]
+
+    def intermediate_nodes(self, a: int, b: int) -> List[int]:
+        """The nodes strictly between ``a`` and ``b`` (regenerator locations)."""
+        self.validate_node(a)
+        self.validate_node(b)
+        if a >= b:
+            raise ValueError(f"lightpath endpoints must satisfy a < b, got ({a}, {b})")
+        return list(range(a + 1, b))

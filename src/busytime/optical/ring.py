@@ -1,0 +1,336 @@
+"""Traffic grooming on ring networks (the direction of the follow-up work [9]).
+
+Section 4.2 of the paper handles the **path** topology; its closing remark
+(and reference [9]) points to the generalisation to other topologies, rings
+being the practically dominant one (SONET/WDM metro rings, the setting of the
+original grooming papers [12, 6]).  This module provides that extension:
+
+* a :class:`RingNetwork` with nodes ``0 .. N-1`` and links
+  ``(i, (i+1) mod N)``;
+* :class:`RingLightpath`: a clockwise arc from ``a`` to ``b`` (possibly
+  wrapping around ``N-1 -> 0``), using one regenerator per intermediate node;
+* :func:`groom_ring` — a cut-based reduction to the path algorithms:
+
+  1. pick the *cut link* with the fewest crossing lightpaths (any fixed link
+     works; the minimum-load one gives the best constant);
+  2. the crossing lightpaths all share the cut link, so they pairwise share
+     an edge: they are scheduled with the **clique algorithm** of the
+     Appendix (2-approximation among themselves) on wavelengths reserved for
+     them;
+  3. the remaining lightpaths do not use the cut link, so cutting the ring
+     there turns them into lightpaths on a **path** of ``N`` nodes; they are
+     groomed with the path machinery of Section 4 (dispatcher by default) on
+     a disjoint set of wavelengths.
+
+  Regenerators are counted natively on the ring (shared per node per
+  wavelength), so the reported cost is exact for the produced assignment even
+  though the algorithm itself is a heuristic composition of the two
+  guaranteed components.
+
+This is a faithful "closest synthetic equivalent" of the follow-up's
+direction rather than a reproduction of [9] itself (which is a different
+paper); it exists so ring workloads exercise the same code paths and so the
+benchmark E13 can compare ring grooming against the no-grooming deployment
+and the path-derived lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algorithms.clique import clique_schedule
+from ..algorithms.dispatch import auto_schedule
+from ..core.instance import Instance
+from ..core.intervals import Interval, Job
+from ..core.schedule import Schedule
+from .lightpath import Lightpath, Traffic
+from .network import PathNetwork
+
+__all__ = [
+    "RingNetwork",
+    "RingLightpath",
+    "RingTraffic",
+    "RingWavelengthAssignment",
+    "groom_ring",
+]
+
+
+@dataclass(frozen=True)
+class RingNetwork:
+    """A bidirectional ring with ``num_nodes`` nodes and as many links."""
+
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 3:
+            raise ValueError("a ring needs at least 3 nodes")
+
+    @property
+    def num_links(self) -> int:
+        return self.num_nodes
+
+    @property
+    def links(self) -> List[Tuple[int, int]]:
+        return [(i, (i + 1) % self.num_nodes) for i in range(self.num_nodes)]
+
+    def validate_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside the ring 0..{self.num_nodes - 1}")
+
+
+@dataclass(frozen=True)
+class RingLightpath:
+    """A clockwise lightpath from ``a`` to ``b`` on a ring of ``num_nodes`` nodes."""
+
+    id: int
+    a: int
+    b: int
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("lightpath endpoints must differ")
+        if not (0 <= self.a < self.num_nodes and 0 <= self.b < self.num_nodes):
+            raise ValueError("endpoints must be ring nodes")
+
+    @property
+    def hops(self) -> int:
+        return (self.b - self.a) % self.num_nodes
+
+    @property
+    def wraps(self) -> bool:
+        """True when the clockwise arc passes through the ``N-1 -> 0`` link."""
+        return self.b < self.a
+
+    @property
+    def num_regenerators(self) -> int:
+        return self.hops - 1
+
+    def links(self) -> List[Tuple[int, int]]:
+        return [
+            ((self.a + k) % self.num_nodes, (self.a + k + 1) % self.num_nodes)
+            for k in range(self.hops)
+        ]
+
+    def intermediate_nodes(self) -> List[int]:
+        return [(self.a + k) % self.num_nodes for k in range(1, self.hops)]
+
+    def uses_link(self, link: Tuple[int, int]) -> bool:
+        return link in self.links()
+
+    def rotated(self, offset: int) -> "RingLightpath":
+        """The same lightpath with node labels rotated by ``offset``."""
+        return RingLightpath(
+            id=self.id,
+            a=(self.a - offset) % self.num_nodes,
+            b=(self.b - offset) % self.num_nodes,
+            num_nodes=self.num_nodes,
+        )
+
+
+@dataclass(frozen=True)
+class RingTraffic:
+    """A set of ring lightpaths plus the grooming factor."""
+
+    network: RingNetwork
+    lightpaths: Tuple[RingLightpath, ...]
+    g: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.g < 1:
+            raise ValueError("grooming factor g must be >= 1")
+        if not isinstance(self.lightpaths, tuple):
+            object.__setattr__(self, "lightpaths", tuple(self.lightpaths))
+        ids = [p.id for p in self.lightpaths]
+        if len(set(ids)) != len(ids):
+            raise ValueError("lightpath ids must be unique")
+        for p in self.lightpaths:
+            if p.num_nodes != self.network.num_nodes:
+                raise ValueError("lightpath/network size mismatch")
+
+    @classmethod
+    def from_pairs(
+        cls,
+        network: RingNetwork,
+        pairs: Iterable[Tuple[int, int]],
+        g: int,
+        name: str = "",
+    ) -> "RingTraffic":
+        lightpaths = tuple(
+            RingLightpath(id=i, a=a, b=b, num_nodes=network.num_nodes)
+            for i, (a, b) in enumerate(pairs)
+        )
+        return cls(network=network, lightpaths=lightpaths, g=g, name=name)
+
+    @property
+    def n(self) -> int:
+        return len(self.lightpaths)
+
+    def __iter__(self):
+        return iter(self.lightpaths)
+
+    def link_load(self, link: Tuple[int, int]) -> int:
+        return sum(1 for p in self.lightpaths if p.uses_link(link))
+
+    def min_load_link(self) -> Tuple[int, int]:
+        """The link crossed by the fewest lightpaths (the default cut)."""
+        return min(self.network.links, key=lambda link: (self.link_load(link), link))
+
+    def total_regenerator_demand(self) -> int:
+        return sum(p.num_regenerators for p in self.lightpaths)
+
+
+@dataclass(frozen=True)
+class RingWavelengthAssignment:
+    """A wavelength per lightpath on the ring, plus cost accounting."""
+
+    traffic: RingTraffic
+    colors: Dict[int, int]
+    algorithm: str = ""
+    meta: Dict[str, object] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        missing = {p.id for p in self.traffic} - set(self.colors)
+        if missing:
+            raise ValueError(f"lightpaths without a wavelength: {sorted(missing)}")
+        if self.meta is None:
+            object.__setattr__(self, "meta", {})
+
+    @property
+    def num_wavelengths(self) -> int:
+        return len(set(self.colors.values()))
+
+    def color_classes(self) -> Dict[int, List[RingLightpath]]:
+        classes: Dict[int, List[RingLightpath]] = {}
+        for p in self.traffic:
+            classes.setdefault(self.colors[p.id], []).append(p)
+        return classes
+
+    def validate(self) -> None:
+        g = self.traffic.g
+        for color, paths in self.color_classes().items():
+            for link in self.traffic.network.links:
+                load = sum(1 for p in paths if p.uses_link(link))
+                if load > g:
+                    raise ValueError(
+                        f"wavelength {color} carries {load} lightpaths on link {link} "
+                        f"> g = {g}"
+                    )
+
+    def regenerators(self) -> int:
+        """Total regenerators: per wavelength, one per node used as intermediate."""
+        total = 0
+        for color, paths in self.color_classes().items():
+            needed = set()
+            for p in paths:
+                needed.update(p.intermediate_nodes())
+            total += len(needed)
+        return total
+
+
+def _crossing_and_rest(
+    traffic: RingTraffic, cut: Tuple[int, int]
+) -> Tuple[List[RingLightpath], List[RingLightpath]]:
+    crossing = [p for p in traffic if p.uses_link(cut)]
+    rest = [p for p in traffic if not p.uses_link(cut)]
+    return crossing, rest
+
+
+def groom_ring(
+    traffic: RingTraffic,
+    path_algorithm: Optional[Callable[[Instance], Schedule]] = None,
+    cut: Optional[Tuple[int, int]] = None,
+) -> RingWavelengthAssignment:
+    """Groom ring traffic by cutting the ring at a light link.
+
+    See the module docstring for the three-step construction.  The returned
+    assignment is always feasible (validated); the crossing lightpaths use
+    the clique algorithm, the rest the path dispatcher (or the supplied
+    ``path_algorithm``), on disjoint wavelength ranges.
+    """
+    if path_algorithm is None:
+        path_algorithm = auto_schedule
+    if cut is None:
+        cut = traffic.min_load_link()
+    if cut not in traffic.network.links:
+        raise ValueError(f"{cut} is not a link of the ring")
+
+    crossing, rest = _crossing_and_rest(traffic, cut)
+    colors: Dict[int, int] = {}
+    next_color = 0
+
+    # --- crossing lightpaths: pairwise share the cut link -> clique algorithm.
+    # Rotate labels so the cut sits between node N-1 and node 0; a crossing
+    # lightpath then wraps, and its "distance from the cut" on either side
+    # plays the role of delta in the Appendix analysis.  Scheduling-wise we
+    # simply model each crossing lightpath as the interval
+    # [-(left reach), right reach] around the cut point 0.
+    if crossing:
+        offset = cut[1]  # relabel so the cut link becomes (N-1, 0)
+        n_nodes = traffic.network.num_nodes
+        jobs = []
+        for p in crossing:
+            q = p.rotated(offset)
+            # q now runs from q.a (>= 1, before the cut) clockwise through
+            # node 0 area... after rotation the cut is (N-1, 0); q wraps it,
+            # i.e. q.a > q.b with the arc passing N-1 -> 0.
+            left_reach = n_nodes - q.a  # hops from q.a to the cut end N-1..0
+            right_reach = q.b
+            # Unroll the ring at the cut: rotated node k sits at coordinate
+            # k - N before the cut and at k after it, so the job interval is
+            # [-(left_reach) + 1/2, right_reach - 1/2]; every crossing job
+            # contains the cut-edge coordinate -1/2, and two crossing jobs
+            # overlap exactly when they share a ring link.
+            jobs.append(
+                Job(
+                    id=p.id,
+                    interval=Interval(
+                        -float(left_reach) + 0.5, float(right_reach) - 0.5
+                    ),
+                    tag="crossing",
+                )
+            )
+        clique_instance = Instance(jobs=tuple(jobs), g=traffic.g, name="ring-crossing")
+        sched = clique_schedule(clique_instance, strict=False)
+        for machine in sched.machines:
+            for job in machine.jobs:
+                colors[job.id] = next_color + machine.index
+        next_color += sched.num_machines
+
+    # --- non-crossing lightpaths: cut the ring open into a path.
+    if rest:
+        offset = cut[1]
+        path = PathNetwork(traffic.network.num_nodes)
+        path_lightpaths = []
+        for p in rest:
+            q = p.rotated(offset)
+            if q.a >= q.b:
+                raise AssertionError(
+                    "non-crossing lightpath still wraps after rotation; cut handling bug"
+                )
+            path_lightpaths.append(Lightpath(id=p.id, a=q.a, b=q.b))
+        path_traffic = Traffic(
+            network=path,
+            lightpaths=tuple(path_lightpaths),
+            g=traffic.g,
+            name=f"{traffic.name}|cut-open",
+        )
+        from .grooming import schedule_to_assignment, traffic_to_instance
+
+        instance = traffic_to_instance(path_traffic)
+        sched = path_algorithm(instance)
+        path_assignment = schedule_to_assignment(path_traffic, sched)
+        for lp_id, color in path_assignment.colors.items():
+            colors[lp_id] = next_color + color
+        next_color += path_assignment.num_wavelengths
+
+    assignment = RingWavelengthAssignment(
+        traffic=traffic,
+        colors=colors,
+        algorithm="ring_cut",
+        meta={"cut": cut, "crossing": len(crossing), "path_side": len(rest)},
+    )
+    assignment.validate()
+    return assignment

@@ -1,0 +1,16 @@
+"""Compatibility alias: ``repro`` re-exports the :mod:`busytime` public API.
+
+The reproduction workspace was scaffolded under the package name ``repro``;
+the library itself lives in :mod:`busytime`.  Importing ``repro`` gives you
+the same names so both spellings work::
+
+    import repro
+    import busytime
+    assert repro.first_fit is busytime.first_fit
+"""
+
+from busytime import *  # noqa: F401,F403
+from busytime import __all__ as _busytime_all
+from busytime import __version__  # noqa: F401
+
+__all__ = list(_busytime_all)

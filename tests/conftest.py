@@ -1,0 +1,60 @@
+"""Shared fixtures for the busytime test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from busytime import Instance
+from busytime.generators import (
+    bounded_length_instance,
+    clique_instance,
+    proper_instance,
+    uniform_random_instance,
+)
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """Four jobs, g = 2; the exact optimum is 11 (computed by brute force)."""
+    return Instance.from_intervals([(0, 3), (1, 4), (2, 6), (5, 9)], g=2, name="tiny")
+
+
+@pytest.fixture
+def chain_instance() -> Instance:
+    """A staircase of overlapping unit-ish jobs (proper), g = 3."""
+    return Instance.from_intervals(
+        [(i, i + 2) for i in range(10)], g=3, name="chain"
+    )
+
+
+@pytest.fixture
+def disjoint_instance() -> Instance:
+    """Pairwise-disjoint jobs: every schedule costs len(J)."""
+    return Instance.from_intervals(
+        [(3 * i, 3 * i + 1) for i in range(6)], g=2, name="disjoint"
+    )
+
+
+@pytest.fixture
+def clique_small() -> Instance:
+    return clique_instance(12, g=3, seed=7)
+
+
+@pytest.fixture
+def proper_small() -> Instance:
+    return proper_instance(15, g=3, seed=11)
+
+
+@pytest.fixture
+def random_small() -> Instance:
+    return uniform_random_instance(12, g=2, horizon=30.0, seed=13)
+
+
+@pytest.fixture
+def random_medium() -> Instance:
+    return uniform_random_instance(80, g=4, seed=17)
+
+
+@pytest.fixture
+def bounded_small() -> Instance:
+    return bounded_length_instance(14, g=2, d=3.0, horizon=20, seed=19)

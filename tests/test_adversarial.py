@@ -1,0 +1,113 @@
+"""Tests for the Fig. 4 adversarial family (busytime.generators.adversarial)."""
+
+import pytest
+
+from busytime.algorithms import first_fit, proper_greedy
+from busytime.generators import (
+    fig4_reference_schedule,
+    firstfit_lower_bound_instance,
+    firstfit_lower_bound_opt_cost,
+    ranked_shift_proper_instance,
+    theorem24_parameters,
+)
+
+
+class TestConstruction:
+    def test_job_counts(self):
+        g = 6
+        inst = firstfit_lower_bound_instance(g)
+        tags = [j.tag for j in inst.jobs]
+        assert tags.count("left") == g
+        assert tags.count("middle") == g * (g - 1)
+        assert tags.count("right") == g
+        assert inst.n == g * (g + 1)
+
+    def test_column_positions(self):
+        inst = firstfit_lower_bound_instance(4, eps_prime=0.1, perturb=False)
+        lefts = [j for j in inst.jobs if j.tag == "left"]
+        mids = [j for j in inst.jobs if j.tag == "middle"]
+        rights = [j for j in inst.jobs if j.tag == "right"]
+        assert all(j.start == 0.0 and j.end == 1.0 for j in lefts)
+        assert all(j.start == pytest.approx(0.9) for j in mids)
+        assert all(j.start == pytest.approx(1.8) for j in rights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            firstfit_lower_bound_instance(1)
+        with pytest.raises(ValueError):
+            firstfit_lower_bound_instance(3, eps_prime=0.7)
+        with pytest.raises(ValueError):
+            firstfit_lower_bound_instance(3, perturbation=0)
+
+    def test_perturbation_is_tiny(self):
+        inst = firstfit_lower_bound_instance(5, perturbation=1e-6)
+        lengths = [j.length for j in inst.jobs]
+        assert max(lengths) <= 1.0 + 1e-6
+        assert min(lengths) >= 1.0
+
+    def test_reference_schedule_feasible_and_cheap(self):
+        g = 7
+        inst = firstfit_lower_bound_instance(g)
+        ref = fig4_reference_schedule(inst)
+        ref.validate()
+        assert ref.num_machines == g + 1
+        assert ref.total_busy_time == pytest.approx(g + 1, abs=1e-3)
+        assert ref.total_busy_time <= firstfit_lower_bound_opt_cost(g)
+
+    def test_reference_schedule_requires_fig4_shape(self):
+        from busytime.core.instance import Instance
+
+        with pytest.raises(ValueError):
+            fig4_reference_schedule(Instance.from_intervals([(0, 1)], g=2))
+
+
+class TestTheorem24Behaviour:
+    @pytest.mark.parametrize("g", [2, 4, 8, 16])
+    def test_firstfit_uses_g_machines_of_full_span(self, g):
+        eps_prime = 0.05
+        inst = firstfit_lower_bound_instance(g, eps_prime)
+        sched = first_fit(inst)
+        assert sched.num_machines == g
+        for m in sched.machines:
+            assert m.busy_time == pytest.approx(3 - 2 * eps_prime, abs=1e-3)
+
+    def test_ratio_approaches_three(self):
+        ratios = []
+        for g in (5, 20, 60):
+            inst = firstfit_lower_bound_instance(g, eps_prime=0.01)
+            ratio = (
+                first_fit(inst).total_busy_time
+                / fig4_reference_schedule(inst).total_busy_time
+            )
+            ratios.append(ratio)
+        assert ratios == sorted(ratios)  # increasing in g
+        assert ratios[-1] > 2.9
+
+
+class TestRankedShiftProperVariant:
+    @pytest.mark.parametrize("g", [3, 6, 12])
+    def test_instance_is_proper(self, g):
+        assert ranked_shift_proper_instance(g).is_proper()
+
+    def test_shift_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            ranked_shift_proper_instance(2, eps_prime=0.05, shift=1.0)
+
+    def test_firstfit_bad_greedy_good(self):
+        g = 12
+        inst = ranked_shift_proper_instance(g)
+        ref = fig4_reference_schedule(inst).total_busy_time
+        assert first_fit(inst).total_busy_time / ref > 2.4
+        assert proper_greedy(inst).total_busy_time / ref <= 2.0 + 1e-9
+
+    def test_unperturbed_variant_also_proper(self):
+        assert ranked_shift_proper_instance(5, perturb=False).is_proper()
+
+
+class TestParameters:
+    def test_theorem24_parameters(self):
+        eps_prime, g = theorem24_parameters(0.2)
+        assert eps_prime == pytest.approx(0.05)
+        assert g >= 29
+        # resulting ratio really exceeds 3 - eps
+        assert (3 - 2 * eps_prime) * g / (g + 1) > 3 - 0.2

@@ -1,0 +1,174 @@
+"""Tests for the analysis harness: ratios, certificates, runner, reporting."""
+
+import pytest
+
+from busytime.algorithms import first_fit, proper_greedy, singleton
+from busytime.analysis import (
+    ExperimentRunner,
+    compare_algorithms,
+    format_measurements,
+    format_table,
+    lemma23_records,
+    measure,
+    ratio_to_lower_bound,
+    ratio_to_optimum,
+    summarize_ratios,
+    verify_lemma23,
+    verify_observation22,
+)
+from busytime.analysis.certificates import find_observation22_witness
+from busytime.core.instance import Instance
+from busytime.generators import (
+    firstfit_lower_bound_instance,
+    proper_instance,
+    uniform_random_instance,
+)
+
+
+class TestRatios:
+    def test_measure_with_optimum(self, tiny_instance):
+        m = measure(tiny_instance, first_fit, compute_optimum=True)
+        assert m.cost >= m.lower_bound
+        assert m.optimum == pytest.approx(11.0)
+        assert m.ratio_opt >= 1.0
+        assert m.ratio_lb >= m.ratio_opt - 1e-12
+
+    def test_measure_without_optimum(self, random_medium):
+        m = measure(random_medium, first_fit)
+        assert m.optimum is None
+        assert m.ratio_opt is None
+        assert m.ratio_lb >= 1.0
+
+    def test_ratio_helpers(self, tiny_instance):
+        sched = first_fit(tiny_instance)
+        assert ratio_to_lower_bound(sched) >= 1.0
+        assert ratio_to_optimum(sched) == pytest.approx(
+            sched.total_busy_time / 11.0
+        )
+
+    def test_ratio_empty_instance(self):
+        inst = Instance(jobs=(), g=2)
+        sched = first_fit(inst)
+        assert ratio_to_lower_bound(sched) == 1.0
+
+    def test_as_dict_keys(self, tiny_instance):
+        m = measure(tiny_instance, first_fit, compute_optimum=True)
+        d = m.as_dict()
+        assert {"algorithm", "cost", "ratio_lb", "ratio_opt"} <= set(d)
+
+
+class TestCertificates:
+    def test_observation22_on_firstfit(self):
+        inst = uniform_random_instance(25, g=2, seed=5)
+        sched = first_fit(inst)
+        witnesses = verify_observation22(sched)
+        g = inst.g
+        by_id = {j.id: j for j in inst.jobs}
+        for w in witnesses:
+            assert len(w.witness_job_ids) == g
+            job = by_id[w.job_id]
+            assert job.start - 1e-9 <= w.time <= job.end + 1e-9
+            for wid in w.witness_job_ids:
+                witness = by_id[wid]
+                assert witness.active_at(w.time)
+                assert witness.length >= job.length - 1e-9
+
+    def test_observation22_witness_absent(self):
+        from busytime.core.intervals import Interval, Job
+        from busytime.core.schedule import Machine
+
+        job = Job(id=0, interval=Interval(0, 5))
+        machine = Machine(index=0, jobs=(Job(id=1, interval=Interval(0, 1)),))
+        assert find_observation22_witness(job, machine, g=1) is None
+
+    def test_observation22_fails_on_non_firstfit_schedule(self):
+        # singleton puts overlapping jobs on separate machines without the
+        # "earlier machines are full of longer jobs" property.
+        inst = Instance.from_intervals([(0, 10), (0, 1)], g=2)
+        sched = singleton(inst)
+        with pytest.raises(AssertionError):
+            verify_observation22(sched)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma23_on_random_firstfit(self, seed):
+        inst = uniform_random_instance(60, g=3, seed=seed)
+        sched = first_fit(inst)
+        assert verify_lemma23(sched)
+
+    def test_lemma23_on_adversarial_firstfit(self):
+        sched = first_fit(firstfit_lower_bound_instance(8))
+        records = lemma23_records(sched)
+        assert len(records) == sched.num_machines - 1
+        assert all(r.holds for r in records)
+        assert all(r.slack >= -1e-9 for r in records)
+
+
+class TestExperimentRunner:
+    def test_run_instance_accumulates(self, random_small):
+        runner = ExperimentRunner(
+            {"first_fit": first_fit, "proper_greedy": proper_greedy},
+            compute_optimum=True,
+        )
+        results = runner.run_instance(random_small, {"n": random_small.n})
+        assert len(results) == 2
+        assert len(runner.results) == 2
+        assert all(r.optimum is not None for r in results)
+        assert all(r.ratio_opt >= 1.0 - 1e-12 for r in results)
+
+    def test_run_grid(self):
+        runner = ExperimentRunner({"first_fit": first_fit})
+        grid = [{"n": 10, "g": 2, "seed": s} for s in range(3)]
+        results = runner.run_grid(
+            lambda n, g, seed: uniform_random_instance(n, g, seed=seed), grid
+        )
+        assert len(results) == 3
+        assert runner.worst_ratio("first_fit") >= 1.0
+        assert runner.mean_ratio("first_fit") >= 1.0
+
+    def test_unknown_algorithm_stats(self):
+        runner = ExperimentRunner({"first_fit": first_fit})
+        with pytest.raises(KeyError):
+            runner.worst_ratio("nope")
+
+    def test_requires_algorithms(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner({})
+
+    def test_compare_algorithms(self, random_small):
+        results = compare_algorithms(
+            random_small, {"ff": first_fit, "single": singleton}
+        )
+        costs = {r.algorithm: r.cost for r in results}
+        assert costs["ff"] <= costs["single"] + 1e-9
+
+    def test_table_rendering(self, random_small):
+        runner = ExperimentRunner({"first_fit": first_fit})
+        runner.run_instance(random_small)
+        text = runner.table(title="demo")
+        assert "demo" in text and "first_fit" in text
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": 2.34567}, {"a": 10, "b": None}]
+        text = format_table(rows, precision=2)
+        assert "2.35" in text
+        assert "-" in text  # None rendered as dash
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_format_table_bool(self):
+        text = format_table([{"ok": True}])
+        assert "yes" in text
+
+    def test_format_measurements_and_summary(self, random_small, proper_small):
+        ms = [
+            measure(random_small, first_fit, compute_optimum=True),
+            measure(proper_small, proper_greedy, compute_optimum=False),
+        ]
+        text = format_measurements(ms, title="ratios")
+        assert "ratios" in text and "first_fit" in text
+        summary = summarize_ratios(ms)
+        assert "first_fit" in summary and "proper_greedy" in summary
+        assert summary["first_fit"]["max_ratio_lb"] >= 1.0

@@ -1,0 +1,105 @@
+"""Tests for the baseline schedulers (busytime.algorithms.baselines)."""
+
+import math
+
+import pytest
+
+from busytime.algorithms import (
+    best_fit,
+    first_fit,
+    machine_minimizing,
+    next_fit_by_start,
+    random_assignment,
+    singleton,
+)
+from busytime.core.bounds import best_lower_bound, parallelism_bound
+from busytime.core.instance import Instance
+from busytime.generators import uniform_random_instance
+
+
+ALL_BASELINES = [
+    machine_minimizing,
+    next_fit_by_start,
+    best_fit,
+    singleton,
+    random_assignment,
+]
+
+
+class TestFeasibility:
+    @pytest.mark.parametrize("algorithm", ALL_BASELINES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_all_baselines_feasible(self, algorithm, seed):
+        inst = uniform_random_instance(60, g=3, seed=seed)
+        algorithm(inst).validate()
+
+    @pytest.mark.parametrize("algorithm", ALL_BASELINES)
+    def test_empty_instance(self, algorithm):
+        sched = algorithm(Instance(jobs=(), g=2))
+        assert sched.num_machines == 0
+
+    @pytest.mark.parametrize("algorithm", ALL_BASELINES)
+    def test_cost_at_least_lower_bound(self, algorithm, random_medium):
+        sched = algorithm(random_medium)
+        assert sched.total_busy_time >= best_lower_bound(random_medium) - 1e-9
+
+
+class TestMachineMinimizing:
+    def test_uses_minimum_machines(self, random_medium):
+        sched = machine_minimizing(random_medium)
+        assert sched.num_machines == math.ceil(
+            random_medium.clique_number / random_medium.g
+        )
+
+    def test_fewer_machines_than_firstfit_or_equal(self, random_medium):
+        assert (
+            machine_minimizing(random_medium).num_machines
+            <= first_fit(random_medium).num_machines
+        )
+
+    def test_busy_time_can_be_far_from_optimal(self):
+        # The Section 1.1 remark: min-machine-count ignores busy time.  Long
+        # job + many short ones: one machine suffices, but bundling them keeps
+        # the machine busy for the whole horizon.
+        jobs = [(0, 100)] + [(i * 10, i * 10 + 1) for i in range(10)]
+        inst = Instance.from_intervals(jobs, g=2)
+        mm = machine_minimizing(inst)
+        ff = first_fit(inst)
+        assert mm.num_machines <= ff.num_machines
+        assert ff.total_busy_time <= mm.total_busy_time + 1e-9
+
+
+class TestSingleton:
+    def test_cost_is_total_length(self, random_small):
+        sched = singleton(random_small)
+        assert sched.total_busy_time == pytest.approx(random_small.total_length)
+        assert sched.num_machines == random_small.n
+
+    def test_is_g_times_parallelism_bound(self, random_small):
+        sched = singleton(random_small)
+        assert sched.total_busy_time == pytest.approx(
+            random_small.g * parallelism_bound(random_small)
+        )
+
+
+class TestOtherBaselines:
+    def test_next_fit_by_start_uses_one_machine_when_possible(self):
+        inst = Instance.from_intervals([(0, 2), (1, 3), (4, 6)], g=2)
+        assert next_fit_by_start(inst).num_machines == 1
+
+    def test_best_fit_not_worse_than_singleton(self, random_medium):
+        assert (
+            best_fit(random_medium).total_busy_time
+            <= singleton(random_medium).total_busy_time + 1e-9
+        )
+
+    def test_random_assignment_deterministic_given_seed(self, random_small):
+        a = random_assignment(random_small, seed=7)
+        b = random_assignment(random_small, seed=7)
+        assert a.assignment() == b.assignment()
+
+    def test_random_assignment_seed_changes_result(self, random_medium):
+        a = random_assignment(random_medium, seed=1)
+        b = random_assignment(random_medium, seed=2)
+        # With 80 jobs the probability of identical assignments is negligible.
+        assert a.assignment() != b.assignment()

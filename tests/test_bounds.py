@@ -1,0 +1,82 @@
+"""Unit tests for the Observation 1.1 lower bounds (busytime.core.bounds)."""
+
+import pytest
+
+from busytime.core.bounds import (
+    best_lower_bound,
+    clique_bound,
+    combined_bound,
+    component_bound,
+    parallelism_bound,
+    span_bound,
+)
+from busytime.core.instance import Instance
+from busytime.exact import exact_optimal_cost
+from busytime.generators import clique_instance, uniform_random_instance
+
+
+class TestElementaryBounds:
+    def test_parallelism_bound(self):
+        inst = Instance.from_intervals([(0, 4), (0, 4), (0, 4)], g=3)
+        assert parallelism_bound(inst) == pytest.approx(4.0)
+
+    def test_span_bound(self):
+        inst = Instance.from_intervals([(0, 4), (2, 6), (10, 11)], g=2)
+        assert span_bound(inst) == pytest.approx(7.0)
+
+    def test_combined_is_max(self):
+        inst = Instance.from_intervals([(0, 4), (0, 4), (0, 4)], g=1)
+        assert combined_bound(inst) == pytest.approx(12.0)  # parallelism dominates
+        inst2 = Instance.from_intervals([(0, 4), (10, 14)], g=4)
+        assert combined_bound(inst2) == pytest.approx(8.0)  # span dominates
+
+    def test_component_bound_at_least_combined(self):
+        inst = Instance.from_intervals(
+            [(0, 4), (0, 4), (0, 4), (10, 14), (10, 14), (10, 14)], g=3
+        )
+        assert component_bound(inst) >= combined_bound(inst)
+
+    def test_component_bound_sums_components(self):
+        # Two dense cliques far apart: per-component parallelism bound is
+        # tighter than either global bound.
+        inst = Instance.from_intervals(
+            [(0, 4)] * 6 + [(100, 104)] * 6, g=2
+        )
+        assert component_bound(inst) == pytest.approx(12.0 + 12.0)
+
+    def test_clique_bound_non_clique_falls_back(self):
+        inst = Instance.from_intervals([(0, 1), (5, 6)], g=2)
+        assert clique_bound(inst) == combined_bound(inst)
+
+    def test_clique_bound_value(self):
+        # Jobs [0,10], [4,6], [4,6], g=2, common point t=4 (max start).
+        # deltas = [6, 2, 2]; sorted desc [6,2,2]; indices 0 and 2 -> 6 + 2 = 8.
+        inst = Instance.from_intervals([(0, 10), (4, 6), (4, 6)], g=2)
+        assert clique_bound(inst) >= 8.0
+
+    def test_empty_instance(self):
+        inst = Instance(jobs=(), g=3)
+        assert parallelism_bound(inst) == 0
+        assert span_bound(inst) == 0
+        assert best_lower_bound(inst) == 0
+
+
+class TestBoundsAreValid:
+    """Every bound must be <= the exact optimum (Observation 1.1)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        inst = uniform_random_instance(9, g=2, horizon=20, seed=seed)
+        opt = exact_optimal_cost(inst)
+        assert best_lower_bound(inst) <= opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_clique_instances(self, seed):
+        inst = clique_instance(8, g=3, seed=seed)
+        opt = exact_optimal_cost(inst)
+        assert clique_bound(inst) <= opt + 1e-9
+        assert best_lower_bound(inst) <= opt + 1e-9
+
+    def test_best_lower_bound_uses_clique_bound(self):
+        inst = Instance.from_intervals([(0, 10), (4, 6), (4, 6)], g=2)
+        assert best_lower_bound(inst) >= clique_bound(inst)

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface (busytime.cli)."""
+
+import json
+
+import pytest
+
+from busytime.cli import build_parser, main
+from busytime.io import load_instance, load_schedule, save_instance, save_traffic
+from busytime.generators import uniform_random_instance, uniform_traffic
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    inst = uniform_random_instance(12, g=2, seed=1)
+    path = tmp_path / "inst.json"
+    save_instance(inst, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("generate", "schedule", "compare", "groom", "info", "algorithms"):
+            args = parser.parse_args(
+                [command] + (["x"] if command in ("schedule", "compare", "info") else [])
+                + (["--output", "o.json"] if command == "generate" else [])
+            )
+            assert args.command == command
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["uniform", "proper", "clique", "bounded", "fig4"])
+    def test_generates_loadable_instance(self, tmp_path, capsys, family):
+        out = tmp_path / f"{family}.json"
+        rc = main(
+            ["generate", "--family", family, "--n", "15", "--g", "3", "--seed", "2", "--output", str(out)]
+        )
+        assert rc == 0
+        inst = load_instance(out)
+        assert inst.n >= 1
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedule_prints_table_and_writes(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        rc = main(["schedule", str(instance_file), "--algorithm", "first_fit", "--output", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "first_fit" in text and "busy_time" in text
+        sched = load_schedule(out)
+        assert sched.algorithm == "first_fit"
+
+    def test_schedule_csv_requires_g(self, tmp_path):
+        csv_path = tmp_path / "jobs.csv"
+        csv_path.write_text("start,end\n0,5\n1,6\n")
+        with pytest.raises(SystemExit):
+            main(["schedule", str(csv_path)])
+
+    def test_schedule_csv_with_g(self, tmp_path, capsys):
+        csv_path = tmp_path / "jobs.csv"
+        csv_path.write_text("start,end\n0,5\n1,6\n")
+        assert main(["schedule", str(csv_path), "--g", "2"]) == 0
+        assert "busy_time" in capsys.readouterr().out
+
+    def test_unknown_algorithm_errors(self, instance_file):
+        with pytest.raises(KeyError):
+            main(["schedule", str(instance_file), "--algorithm", "nope"])
+
+
+class TestCompare:
+    def test_compare_with_exact(self, instance_file, capsys):
+        rc = main(["compare", str(instance_file), "--exact", "--exact-limit", "14"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "ratio_vs_opt" in text
+        assert "auto" in text
+
+    def test_compare_explicit_algorithms(self, instance_file, capsys):
+        rc = main(["compare", str(instance_file), "--algorithms", "first_fit", "singleton"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "singleton" in text
+
+
+class TestGroom:
+    def test_groom_generated_traffic(self, tmp_path, capsys):
+        out = tmp_path / "assignment.json"
+        rc = main(
+            ["groom", "--family", "uniform", "--nodes", "20", "--lightpaths", "30",
+             "--g", "3", "--seed", "4", "--output", str(out)]
+        )
+        assert rc == 0
+        assert "regenerators" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert len(data["colors"]) == 30
+
+    def test_groom_from_file(self, tmp_path, capsys):
+        traffic = uniform_traffic(15, 20, g=2, seed=8)
+        path = tmp_path / "traffic.json"
+        save_traffic(traffic, path)
+        rc = main(["groom", "--traffic", str(path)])
+        assert rc == 0
+        assert "wavelengths" in capsys.readouterr().out
+
+
+class TestInfoAndAlgorithms:
+    def test_info(self, instance_file, capsys):
+        assert main(["info", str(instance_file)]) == 0
+        text = capsys.readouterr().out
+        assert "clique number" in text
+        assert "dispatcher choice" in text
+
+    def test_info_with_g_override(self, instance_file, capsys):
+        assert main(["info", str(instance_file), "--g", "7"]) == 0
+        assert "7" in capsys.readouterr().out
+
+    def test_algorithms_listing(self, capsys):
+        assert main(["algorithms"]) == 0
+        text = capsys.readouterr().out
+        assert "first_fit" in text and "Section 2" in text

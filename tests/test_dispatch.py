@@ -1,0 +1,133 @@
+"""Tests for the algorithm dispatcher (busytime.algorithms.dispatch)."""
+
+import pytest
+
+from busytime.algorithms import (
+    auto_schedule,
+    available_schedulers,
+    first_fit,
+    get_scheduler,
+    select_algorithm,
+)
+from busytime.algorithms.base import FunctionScheduler, register_scheduler
+from busytime.core.bounds import best_lower_bound
+from busytime.core.instance import Instance
+from busytime.generators import (
+    bounded_length_instance,
+    clique_instance,
+    proper_instance,
+    uniform_random_instance,
+)
+
+
+class TestSelectAlgorithm:
+    def test_clique_detected(self):
+        assert select_algorithm(clique_instance(20, g=2, seed=0)) == "clique"
+
+    def test_single_machine_detected(self):
+        inst = Instance.from_intervals([(0, 3), (2, 5)], g=5)
+        assert select_algorithm(inst) == "single_machine"
+
+    def test_proper_detected(self):
+        inst = proper_instance(30, g=2, seed=1)
+        assert select_algorithm(inst) in ("proper_greedy", "clique", "single_machine")
+
+    def test_bounded_length_detected(self):
+        # Not a clique, not proper (nested pairs), not everything on one
+        # machine, but length ratio 2 <= 8: the bounded-length algorithm applies.
+        inst = Instance.from_intervals(
+            [(0, 2), (0.5, 1.5), (1, 3), (1.2, 2.2), (10, 12), (10.5, 11.5), (11, 13)],
+            g=2,
+        )
+        assert not inst.is_proper() and not inst.is_clique()
+        assert select_algorithm(inst) == "bounded_length"
+
+    def test_general_fallback(self):
+        inst = Instance.from_intervals(
+            [(0, 100), (1, 2), (3, 4), (50, 51), (60, 95), (20, 80)], g=2
+        )
+        assert select_algorithm(inst) == "first_fit"
+
+    def test_empty(self):
+        assert select_algorithm(Instance(jobs=(), g=1)) == "first_fit"
+
+
+class TestAutoSchedule:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: uniform_random_instance(60, g=3, seed=0),
+            lambda: clique_instance(40, g=4, seed=1),
+            lambda: proper_instance(50, g=3, seed=2),
+            lambda: bounded_length_instance(60, g=3, d=3.0, seed=3),
+        ],
+    )
+    def test_feasible_everywhere(self, maker):
+        inst = maker()
+        sched = auto_schedule(inst)
+        sched.validate()
+        assert sched.total_busy_time >= best_lower_bound(inst) - 1e-9
+
+    def test_never_worse_than_firstfit_with_portfolio(self):
+        for seed in range(5):
+            inst = uniform_random_instance(50, g=3, seed=seed)
+            assert (
+                auto_schedule(inst, portfolio=True).total_busy_time
+                <= first_fit(inst).total_busy_time + 1e-9
+            )
+
+    def test_single_machine_optimality(self):
+        inst = Instance.from_intervals([(0, 4), (1, 5), (2, 6)], g=3)
+        sched = auto_schedule(inst)
+        assert sched.num_machines == 1
+        assert sched.total_busy_time == pytest.approx(inst.span)
+
+    def test_components_metadata(self):
+        inst = Instance.from_intervals([(0, 2), (1, 3), (50, 52), (51, 53)], g=1)
+        sched = auto_schedule(inst)
+        assert len(sched.meta["components"]) == 2
+
+    def test_empty(self):
+        assert auto_schedule(Instance(jobs=(), g=1)).num_machines == 0
+
+    def test_portfolio_false_still_valid(self):
+        inst = uniform_random_instance(40, g=2, seed=9)
+        auto_schedule(inst, portfolio=False).validate()
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        names = available_schedulers()
+        for expected in [
+            "first_fit",
+            "proper_greedy",
+            "clique",
+            "bounded_length",
+            "auto",
+            "machine_min",
+            "best_fit",
+            "singleton",
+        ]:
+            assert expected in names
+
+    def test_get_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            get_scheduler("does_not_exist")
+
+    def test_duplicate_registration_rejected(self):
+        scheduler = get_scheduler("first_fit")
+        with pytest.raises(KeyError):
+            register_scheduler(scheduler)
+
+    def test_scheduler_callable_and_info(self, random_small):
+        scheduler = get_scheduler("first_fit")
+        sched = scheduler(random_small)
+        sched.validate()
+        info = scheduler.info()
+        assert info.name == "first_fit"
+        assert info.approximation_ratio == 4.0
+
+    def test_function_scheduler_wraps_docstring(self):
+        fs = FunctionScheduler(first_fit, name="tmp_ff_alias")
+        assert fs.schedule is not None
+        assert "FirstFit" in (fs.__doc__ or "")

@@ -1,0 +1,67 @@
+"""Unit tests for the sweep-line utilities (busytime.core.events)."""
+
+import pytest
+
+from busytime.core.events import (
+    Event,
+    breakpoints,
+    integrate_step_function,
+    load_profile,
+    sweep_events,
+)
+from busytime.core.intervals import Interval, Job
+
+
+def _jobs(*pairs):
+    return [Job(id=i, interval=Interval(a, b)) for i, (a, b) in enumerate(pairs)]
+
+
+class TestEvents:
+    def test_sweep_order_start_before_end(self):
+        jobs = _jobs((0, 1), (1, 2))
+        events = sweep_events(jobs)
+        # At coordinate 1 the start of job 1 must precede the end of job 0.
+        at_one = [e for e in events if e.time == 1]
+        assert at_one[0].kind == 0 and at_one[1].kind == 1
+
+    def test_event_count(self):
+        jobs = _jobs((0, 1), (2, 5), (3, 4))
+        assert len(sweep_events(jobs)) == 6
+
+    def test_breakpoints_dedup(self):
+        jobs = _jobs((0, 2), (2, 4), (0, 4))
+        assert breakpoints(jobs) == [0, 2, 4]
+
+
+class TestLoadProfile:
+    def test_simple_profile(self):
+        jobs = _jobs((0, 2), (1, 3))
+        profile = load_profile(jobs)
+        assert profile == [(0, 1, 1), (1, 2, 2), (2, 3, 1)]
+
+    def test_gap_has_zero_load(self):
+        jobs = _jobs((0, 1), (3, 4))
+        profile = load_profile(jobs)
+        loads = {(lo, hi): load for lo, hi, load in profile}
+        assert loads[(1, 3)] == 0
+
+    def test_empty(self):
+        assert load_profile([]) == []
+
+    def test_integral_of_load_equals_total_length(self):
+        jobs = _jobs((0, 2), (1, 3), (5, 9))
+        total = sum((hi - lo) * load for lo, hi, load in load_profile(jobs))
+        assert total == pytest.approx(sum(j.length for j in jobs))
+
+
+class TestIntegrate:
+    def test_integrates_constant(self):
+        jobs = _jobs((0, 4))
+        assert integrate_step_function(jobs, lambda t: 2.0) == pytest.approx(8.0)
+
+    def test_integrates_load(self):
+        jobs = _jobs((0, 2), (1, 3))
+        value = integrate_step_function(
+            jobs, lambda t: sum(1 for j in jobs if j.active_at(t))
+        )
+        assert value == pytest.approx(4.0)

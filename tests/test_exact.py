@@ -1,0 +1,180 @@
+"""Unit tests for the exact solvers (busytime.exact)."""
+
+import math
+
+import pytest
+
+from busytime.algorithms import first_fit
+from busytime.core.bounds import best_lower_bound
+from busytime.core.instance import Instance
+from busytime.exact import (
+    branch_and_bound_optimum,
+    brute_force_optimum,
+    exact_optimal_cost,
+    exact_optimum,
+    iter_set_partitions,
+    minimize_machine_count,
+    optimal_cost_if_polynomial,
+    solve_disjoint,
+    solve_unit_parallelism,
+)
+from busytime.generators import clique_instance, proper_instance, uniform_random_instance
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        # Bell numbers: B(1)=1, B(2)=2, B(3)=5, B(4)=15
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15)]:
+            assert sum(1 for _ in iter_set_partitions(list(range(n)))) == bell
+
+    def test_empty(self):
+        assert list(iter_set_partitions([])) == [[]]
+
+    def test_partitions_cover_items(self):
+        for blocks in iter_set_partitions([1, 2, 3]):
+            flat = sorted(x for b in blocks for x in b)
+            assert flat == [1, 2, 3]
+
+
+class TestBruteForce:
+    def test_known_optimum(self, tiny_instance):
+        sched = brute_force_optimum(tiny_instance)
+        assert sched.total_busy_time == pytest.approx(11.0)
+        sched.validate()
+
+    def test_rejects_large(self):
+        inst = uniform_random_instance(20, g=2, seed=0)
+        with pytest.raises(ValueError):
+            brute_force_optimum(inst)
+
+    def test_empty_instance(self):
+        sched = brute_force_optimum(Instance(jobs=(), g=2))
+        assert sched.total_busy_time == 0
+
+    def test_single_job(self):
+        inst = Instance.from_intervals([(0, 5)], g=1)
+        assert brute_force_optimum(inst).total_busy_time == 5
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_random(self, seed):
+        inst = uniform_random_instance(8, g=2, horizon=15, seed=seed)
+        bb = branch_and_bound_optimum(inst)
+        bf = brute_force_optimum(inst)
+        assert bb.total_busy_time == pytest.approx(bf.total_busy_time)
+        bb.validate()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force_clique(self, seed):
+        inst = clique_instance(7, g=3, seed=seed)
+        assert branch_and_bound_optimum(inst).total_busy_time == pytest.approx(
+            brute_force_optimum(inst).total_busy_time
+        )
+
+    def test_warm_start_with_firstfit_ub(self, random_small):
+        ff = first_fit(random_small)
+        warm = branch_and_bound_optimum(
+            random_small, initial_upper_bound=ff.total_busy_time
+        )
+        cold = branch_and_bound_optimum(random_small)
+        assert warm.total_busy_time == pytest.approx(cold.total_busy_time)
+        assert warm.total_busy_time <= ff.total_busy_time + 1e-9
+
+    def test_warm_start_equal_to_opt_still_finds_solution(self, tiny_instance):
+        # FirstFit may already be optimal; the searcher must not prune away
+        # every solution in that case.
+        opt = brute_force_optimum(tiny_instance).total_busy_time
+        sched = branch_and_bound_optimum(tiny_instance, initial_upper_bound=opt)
+        assert sched.total_busy_time == pytest.approx(opt)
+
+    def test_respects_lower_bound(self, random_small):
+        sched = branch_and_bound_optimum(random_small)
+        assert sched.total_busy_time >= best_lower_bound(random_small) - 1e-9
+
+    def test_rejects_oversized(self):
+        inst = uniform_random_instance(40, g=2, seed=1)
+        with pytest.raises(ValueError):
+            branch_and_bound_optimum(inst)
+
+    def test_stats_recorded(self, tiny_instance):
+        sched = branch_and_bound_optimum(tiny_instance)
+        assert sched.meta["optimal"] is True
+        assert sched.meta["stats"].nodes_explored > 0
+
+    def test_splits_connected_components(self):
+        inst = Instance.from_intervals(
+            [(0, 2), (1, 3), (100, 102), (101, 103)], g=1
+        )
+        sched = branch_and_bound_optimum(inst)
+        assert sched.total_busy_time == pytest.approx(8.0)
+
+
+class TestSpecialCases:
+    def test_g1_cost_is_total_length(self):
+        inst = Instance.from_intervals([(0, 3), (1, 4), (10, 12)], g=1)
+        sched = solve_unit_parallelism(inst)
+        assert sched.total_busy_time == pytest.approx(inst.total_length)
+        sched.validate()
+
+    def test_g1_requires_g1(self):
+        with pytest.raises(ValueError):
+            solve_unit_parallelism(Instance.from_intervals([(0, 1)], g=2))
+
+    def test_disjoint(self, disjoint_instance):
+        sched = solve_disjoint(disjoint_instance)
+        assert sched.total_busy_time == pytest.approx(disjoint_instance.total_length)
+
+    def test_disjoint_requires_disjoint(self):
+        with pytest.raises(ValueError):
+            solve_disjoint(Instance.from_intervals([(0, 2), (1, 3)], g=2))
+
+    def test_machine_count_minimization(self):
+        inst = uniform_random_instance(30, g=3, seed=4)
+        sched = minimize_machine_count(inst)
+        sched.validate()
+        assert sched.num_machines == math.ceil(inst.clique_number / inst.g)
+
+    def test_machine_count_empty(self):
+        sched = minimize_machine_count(Instance(jobs=(), g=2))
+        assert sched.num_machines == 0
+
+    def test_optimal_cost_if_polynomial(self):
+        assert optimal_cost_if_polynomial(
+            Instance.from_intervals([(0, 3), (5, 7)], g=1)
+        ) == pytest.approx(5.0)
+        assert optimal_cost_if_polynomial(
+            Instance.from_intervals([(0, 3), (5, 7)], g=4)
+        ) == pytest.approx(5.0)
+        # single machine suffices -> span
+        assert optimal_cost_if_polynomial(
+            Instance.from_intervals([(0, 3), (2, 7)], g=2)
+        ) == pytest.approx(7.0)
+        # genuinely hard case -> None
+        assert (
+            optimal_cost_if_polynomial(
+                Instance.from_intervals([(0, 3), (2, 7), (1, 4)], g=2)
+            )
+            is None
+        )
+
+
+class TestExactFacade:
+    def test_exact_optimum_picks_special_case(self):
+        inst = Instance.from_intervals([(0, 3), (5, 7)], g=1)
+        sched = exact_optimum(inst)
+        assert sched.algorithm == "exact_g1"
+
+    def test_exact_optimal_cost_consistency(self, tiny_instance):
+        assert exact_optimal_cost(tiny_instance) == pytest.approx(
+            brute_force_optimum(tiny_instance).total_busy_time
+        )
+
+    def test_exact_optimum_empty(self):
+        assert exact_optimum(Instance(jobs=(), g=2)).total_busy_time == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_cost_never_exceeds_heuristics(self, seed):
+        inst = proper_instance(10, g=2, seed=seed)
+        ff = first_fit(inst)
+        assert exact_optimal_cost(inst) <= ff.total_busy_time + 1e-9

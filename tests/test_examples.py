@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts.
+
+The examples double as executable documentation; these tests keep them in
+sync with the library (imports resolve, the light ones run end to end, the
+heavy ones at least expose a ``main`` and build their workloads).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "optical_grooming",
+            "cloud_consolidation",
+            "adversarial_analysis",
+            "ring_grooming",
+        ],
+    )
+    def test_importable_and_has_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+
+class TestLightExamplesRun:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "FirstFit" in out and "Optimum" in out
+
+    def test_adversarial_analysis(self, capsys):
+        _load("adversarial_analysis").main()
+        out = capsys.readouterr().out
+        assert "Theorem 2.4" in out
+        assert "Lemma 2.3" in out
+
+    def test_cloud_consolidation_workload_builder(self):
+        module = _load("cloud_consolidation")
+        jobs = module.generate_day_of_jobs(seed=1)
+        assert len(jobs) > 100
+        assert all(0 <= s < e <= module.HOURS for s, e in jobs)
+
+    def test_ring_grooming_traffic_builder(self):
+        module = _load("ring_grooming")
+        traffic = module.generate_ring_traffic(g=4, seed=1)
+        assert traffic.n == module.NUM_LIGHTPATHS
+        assert traffic.g == 4

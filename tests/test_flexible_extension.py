@@ -1,0 +1,204 @@
+"""Tests for the flexible (release/due/demand) extension (busytime.extensions.flexible)."""
+
+import pytest
+
+from busytime.algorithms import first_fit
+from busytime.core.instance import Instance
+from busytime.extensions import (
+    FlexibleInstance,
+    FlexibleJob,
+    FlexibleSchedule,
+    demand_profile_peak,
+    fix_start_times,
+    flexible_first_fit,
+    flexible_lower_bound,
+)
+from busytime.core.intervals import Interval
+from busytime.generators import uniform_random_instance
+
+
+class TestFlexibleJob:
+    def test_basic_properties(self):
+        j = FlexibleJob(id=0, release=2, due=10, processing=3)
+        assert j.slack == pytest.approx(5)
+        assert not j.is_rigid
+        assert j.interval_if_started_at(4).as_tuple() == (4, 7)
+
+    def test_rigid_job(self):
+        j = FlexibleJob(id=0, release=2, due=5, processing=3)
+        assert j.is_rigid
+        assert j.mandatory_part == Interval(2, 5)
+
+    def test_mandatory_part(self):
+        j = FlexibleJob(id=0, release=0, due=10, processing=7)
+        assert j.mandatory_part == Interval(3, 7)
+        loose = FlexibleJob(id=1, release=0, due=10, processing=4)
+        assert loose.mandatory_part is None
+
+    def test_window_too_short(self):
+        with pytest.raises(ValueError):
+            FlexibleJob(id=0, release=0, due=2, processing=3)
+
+    def test_bad_demand(self):
+        with pytest.raises(ValueError):
+            FlexibleJob(id=0, release=0, due=2, processing=1, demand=0)
+
+    def test_start_outside_window(self):
+        j = FlexibleJob(id=0, release=2, due=10, processing=3)
+        with pytest.raises(ValueError):
+            j.interval_if_started_at(1)
+        with pytest.raises(ValueError):
+            j.interval_if_started_at(8)
+
+
+class TestFlexibleInstance:
+    def test_from_tuples(self):
+        fi = FlexibleInstance.from_tuples([(0, 10, 3), (2, 8, 4)], g=2)
+        assert fi.n == 2
+        assert fi.total_work == pytest.approx(7)
+
+    def test_demand_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlexibleInstance.from_tuples([(0, 10, 3)], g=2, demands=[5])
+
+    def test_duplicate_ids_rejected(self):
+        jobs = (
+            FlexibleJob(id=0, release=0, due=5, processing=1),
+            FlexibleJob(id=0, release=0, due=5, processing=1),
+        )
+        with pytest.raises(ValueError):
+            FlexibleInstance(jobs=jobs, g=1)
+
+    def test_from_rigid_roundtrip(self):
+        rigid = uniform_random_instance(15, g=3, seed=2)
+        fi = FlexibleInstance.from_rigid(rigid)
+        assert fi.is_rigid()
+        assert fi.n == rigid.n
+        assert fi.total_work == pytest.approx(rigid.total_length)
+
+
+class TestDemandProfile:
+    def test_peak(self):
+        placed = [(Interval(0, 4), 2.0), (Interval(2, 6), 1.0), (Interval(5, 7), 3.0)]
+        assert demand_profile_peak(placed) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert demand_profile_peak([]) == 0.0
+
+    def test_touching_counts_both(self):
+        placed = [(Interval(0, 2), 1.0), (Interval(2, 4), 1.0)]
+        assert demand_profile_peak(placed) == pytest.approx(2.0)
+
+
+class TestStartTimeFixing:
+    def test_rigid_jobs_keep_their_interval(self):
+        rigid = uniform_random_instance(10, g=2, seed=4)
+        fi = FlexibleInstance.from_rigid(rigid)
+        starts = fix_start_times(fi)
+        for job in rigid.jobs:
+            assert starts[job.id] == pytest.approx(job.start)
+
+    def test_starts_respect_windows(self):
+        fi = FlexibleInstance.from_tuples(
+            [(0, 20, 5), (3, 9, 2), (10, 30, 8), (0, 40, 1)], g=2
+        )
+        starts = fix_start_times(fi)
+        for job in fi.jobs:
+            assert job.release - 1e-9 <= starts[job.id]
+            assert starts[job.id] + job.processing <= job.due + 1e-9
+
+    def test_flexibility_reduces_span(self):
+        # Two jobs that CAN be made to overlap completely; anchoring should
+        # stack them rather than spread them.
+        fi = FlexibleInstance.from_tuples([(0, 20, 5), (0, 20, 5)], g=2)
+        starts = fix_start_times(fi)
+        a, b = (fi.jobs[0], fi.jobs[1])
+        ia = a.interval_if_started_at(starts[a.id])
+        ib = b.interval_if_started_at(starts[b.id])
+        from busytime.core.intervals import span
+
+        assert span([ia, ib]) == pytest.approx(5.0)
+
+
+class TestFlexibleFirstFit:
+    def test_feasible_and_bounded(self):
+        fi = FlexibleInstance.from_tuples(
+            [(0, 10, 3), (2, 8, 4), (1, 20, 5), (0, 6, 2), (5, 25, 6)],
+            g=2,
+            demands=[1, 1, 2, 1, 1],
+        )
+        sched = flexible_first_fit(fi)
+        sched.validate()
+        assert sched.total_busy_time >= flexible_lower_bound(fi) - 1e-9
+
+    def test_matches_rigid_first_fit_on_rigid_unit_demand(self):
+        rigid = uniform_random_instance(20, g=3, seed=9)
+        fi = FlexibleInstance.from_rigid(rigid)
+        flex_sched = flexible_first_fit(fi)
+        flex_sched.validate()
+        rigid_sched = first_fit(rigid)
+        # same processing order and same fit rule -> same cost
+        assert flex_sched.total_busy_time == pytest.approx(
+            rigid_sched.total_busy_time
+        )
+
+    def test_demands_respected(self):
+        # three demand-2 jobs on capacity 3: no two may overlap on one machine
+        fi = FlexibleInstance.from_tuples(
+            [(0, 4, 4), (0, 4, 4), (0, 4, 4)], g=3, demands=[2, 2, 2]
+        )
+        sched = flexible_first_fit(fi)
+        sched.validate()
+        assert sched.num_machines == 3
+
+    def test_explicit_starts_used(self):
+        fi = FlexibleInstance.from_tuples([(0, 10, 2), (0, 10, 2)], g=1)
+        starts = {0: 0.0, 1: 8.0}
+        sched = flexible_first_fit(fi, starts=starts)
+        sched.validate()
+        assert sched.interval_of(1).start == pytest.approx(8.0)
+
+    def test_validation_catches_window_violation(self):
+        fi = FlexibleInstance.from_tuples([(0, 10, 2)], g=1)
+        bad = FlexibleSchedule(
+            instance=fi, starts={0: 9.5}, machine_of={0: 0}, algorithm="bad"
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_validation_catches_capacity_violation(self):
+        fi = FlexibleInstance.from_tuples(
+            [(0, 4, 4), (0, 4, 4)], g=3, demands=[2, 2]
+        )
+        bad = FlexibleSchedule(
+            instance=fi, starts={0: 0.0, 1: 0.0}, machine_of={0: 0, 1: 0}
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_to_rigid_schedule(self):
+        fi = FlexibleInstance.from_tuples([(0, 10, 3), (1, 12, 4)], g=2)
+        sched = flexible_first_fit(fi)
+        rigid = sched.to_rigid_schedule()
+        rigid.validate()
+        assert rigid.total_busy_time == pytest.approx(sched.total_busy_time)
+
+
+class TestFlexibleLowerBound:
+    def test_work_bound(self):
+        fi = FlexibleInstance.from_tuples(
+            [(0, 100, 10)] * 4, g=2, demands=[1, 1, 1, 1]
+        )
+        assert flexible_lower_bound(fi) >= 20.0 - 1e-9
+
+    def test_mandatory_span_bound(self):
+        fi = FlexibleInstance.from_tuples([(0, 10, 9)], g=4)
+        # mandatory part is [1, 9] of length 8
+        assert flexible_lower_bound(fi) >= 8.0 - 1e-9
+
+    def test_bound_below_heuristic(self):
+        fi = FlexibleInstance.from_tuples(
+            [(0, 15, 4), (2, 9, 3), (5, 30, 7), (1, 6, 2), (8, 20, 5)], g=2
+        )
+        sched = flexible_first_fit(fi)
+        assert flexible_lower_bound(fi) <= sched.total_busy_time + 1e-9

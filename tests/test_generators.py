@@ -1,0 +1,140 @@
+"""Tests for the instance generators (busytime.generators)."""
+
+import pytest
+
+from busytime.generators import (
+    bounded_length_instance,
+    bursty_instance,
+    clique_instance,
+    hotspot_traffic,
+    laminar_instance,
+    local_traffic,
+    poisson_arrivals_instance,
+    proper_instance,
+    stairs_instance,
+    uniform_random_instance,
+    uniform_traffic,
+    unit_interval_instance,
+)
+
+
+class TestRandomGenerators:
+    def test_uniform_shape(self):
+        inst = uniform_random_instance(25, g=3, horizon=50, seed=0)
+        assert inst.n == 25 and inst.g == 3
+        assert all(0 <= j.start < 50 for j in inst.jobs)
+        assert all(1 <= j.length <= 20 for j in inst.jobs)
+
+    def test_uniform_deterministic(self):
+        a = uniform_random_instance(10, g=2, seed=42)
+        b = uniform_random_instance(10, g=2, seed=42)
+        assert [j.interval for j in a.jobs] == [j.interval for j in b.jobs]
+
+    def test_uniform_seed_changes(self):
+        a = uniform_random_instance(10, g=2, seed=1)
+        b = uniform_random_instance(10, g=2, seed=2)
+        assert [j.interval for j in a.jobs] != [j.interval for j in b.jobs]
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_random_instance(-1, g=2)
+        with pytest.raises(ValueError):
+            uniform_random_instance(5, g=2, min_length=3, max_length=2)
+
+    def test_poisson_starts_increasing(self):
+        inst = poisson_arrivals_instance(30, g=2, seed=3)
+        starts = [j.start for j in inst.jobs]
+        assert starts == sorted(starts)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals_instance(5, g=1, arrival_rate=0)
+
+    def test_bursty_has_high_clique_number(self):
+        inst = bursty_instance(80, g=2, num_bursts=2, seed=4)
+        assert inst.clique_number >= 10
+
+    def test_bursty_validation(self):
+        with pytest.raises(ValueError):
+            bursty_instance(5, g=1, num_bursts=0)
+
+
+class TestStructuredGenerators:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_proper_is_proper(self, seed):
+        assert proper_instance(40, g=2, seed=seed).is_proper()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_clique_is_clique(self, seed):
+        assert clique_instance(30, g=2, seed=seed).is_clique()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounded_length_within_d(self, seed):
+        d = 3.0
+        inst = bounded_length_instance(40, g=2, d=d, seed=seed)
+        assert all(1.0 <= j.length <= d for j in inst.jobs)
+        assert all(float(j.start).is_integer() for j in inst.jobs)
+
+    def test_bounded_length_validation(self):
+        with pytest.raises(ValueError):
+            bounded_length_instance(5, g=1, d=0.5)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_laminar_is_laminar(self, seed):
+        assert laminar_instance(25, g=2, seed=seed).is_laminar()
+
+    def test_unit_intervals_equal_length(self):
+        inst = unit_interval_instance(20, g=2, length=2.5, seed=0)
+        assert all(j.length == pytest.approx(2.5) for j in inst.jobs)
+        assert inst.is_proper()
+
+    def test_stairs(self):
+        inst = stairs_instance(5, g=2, length=10, step=1)
+        assert inst.is_proper()
+        assert inst.clique_number == 5
+        assert inst.span == pytest.approx(14.0)
+
+    def test_generators_name_instances(self):
+        assert "uniform" in uniform_random_instance(3, g=1, seed=0).name
+        assert "clique" in clique_instance(3, g=1, seed=0).name
+
+
+class TestTrafficGenerators:
+    def test_uniform_traffic_valid(self):
+        traffic = uniform_traffic(20, 50, g=3, seed=0)
+        assert traffic.n == 50
+        assert all(0 <= p.a < p.b <= 19 for p in traffic)
+
+    def test_uniform_traffic_validation(self):
+        with pytest.raises(ValueError):
+            uniform_traffic(1, 5, g=1)
+
+    def test_hotspot_traffic_touches_hubs(self):
+        traffic = hotspot_traffic(30, 200, g=2, num_hubs=1, hub_fraction=1.0, seed=1)
+        endpoints = [(p.a, p.b) for p in traffic]
+        hubs = set()
+        for a, b in endpoints:
+            hubs.add(a)
+            hubs.add(b)
+        # with a single hub and fraction 1.0, one endpoint is shared by all
+        common = set.intersection(*[{a, b} for a, b in endpoints])
+        assert len(common) >= 1
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_traffic(10, 5, g=1, hub_fraction=2.0)
+        with pytest.raises(ValueError):
+            hotspot_traffic(10, 5, g=1, num_hubs=10)
+
+    def test_local_traffic_short_hops(self):
+        traffic = local_traffic(100, 200, g=2, mean_hops=3.0, max_hops=6, seed=2)
+        assert all(1 <= p.hops <= 6 for p in traffic)
+
+    def test_local_traffic_validation(self):
+        with pytest.raises(ValueError):
+            local_traffic(10, 5, g=1, mean_hops=0.5)
+
+    def test_traffic_deterministic(self):
+        a = uniform_traffic(20, 30, g=2, seed=5)
+        b = uniform_traffic(20, 30, g=2, seed=5)
+        assert [(p.a, p.b) for p in a] == [(p.a, p.b) for p in b]

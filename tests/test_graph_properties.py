@@ -1,0 +1,122 @@
+"""Unit tests for busytime.graphs.properties and b-matching."""
+
+import networkx as nx
+import pytest
+
+from busytime.core.instance import Instance
+from busytime.graphs.bmatching import (
+    BMatchingResult,
+    is_valid_b_matching,
+    max_bipartite_b_matching,
+)
+from busytime.graphs.properties import (
+    InstanceProfile,
+    is_clique_instance,
+    is_connected_instance,
+    is_laminar_instance,
+    is_proper_instance,
+    laminar_forest,
+    profile_instance,
+)
+from busytime.generators import clique_instance, proper_instance
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        inst = Instance.from_intervals([(0, 2), (1, 3), (10, 11)], g=2, name="p")
+        profile = profile_instance(inst)
+        assert profile.n == 3
+        assert profile.g == 2
+        assert profile.num_components == 2
+        assert profile.proper
+        assert not profile.clique
+
+    def test_recommended_algorithm_clique(self):
+        inst = clique_instance(10, g=2, seed=0)
+        assert profile_instance(inst).recommended_algorithm == "clique"
+
+    def test_recommended_algorithm_proper(self):
+        inst = proper_instance(10, g=2, seed=0)
+        rec = profile_instance(inst).recommended_algorithm
+        assert rec in ("proper_greedy", "clique")
+
+    def test_recommended_algorithm_general(self):
+        inst = Instance.from_intervals(
+            [(0, 100), (1, 2), (3, 4), (50, 51), (200, 300)], g=2
+        )
+        assert profile_instance(inst).recommended_algorithm == "first_fit"
+
+    def test_predicate_wrappers(self):
+        inst = Instance.from_intervals([(0, 5), (1, 6)], g=2)
+        assert is_clique_instance(inst)
+        assert is_proper_instance(inst)
+        assert is_connected_instance(inst)
+        assert is_laminar_instance(Instance.from_intervals([(0, 9), (1, 2)], g=2))
+
+
+class TestLaminarForest:
+    def test_forest_structure(self):
+        inst = Instance.from_intervals([(0, 10), (1, 4), (2, 3), (5, 9)], g=2)
+        forest = laminar_forest(inst)
+        assert set(forest.nodes) == {0, 1, 2, 3}
+        assert forest.has_edge(0, 1)
+        assert forest.has_edge(1, 2)
+        assert forest.has_edge(0, 3)
+        assert forest.in_degree(0) == 0
+
+    def test_non_laminar_rejected(self):
+        inst = Instance.from_intervals([(0, 5), (3, 8)], g=2)
+        with pytest.raises(ValueError):
+            laminar_forest(inst)
+
+
+class TestBMatching:
+    def test_simple_perfect_matching(self):
+        result = max_bipartite_b_matching(
+            {"m": 2}, {"a": 1, "b": 1}, [("m", "a"), ("m", "b")]
+        )
+        assert result.size == 2
+        assert set(result.edges) == {("m", "a"), ("m", "b")}
+
+    def test_capacity_limits_matching(self):
+        result = max_bipartite_b_matching(
+            {"m": 1}, {"a": 1, "b": 1}, [("m", "a"), ("m", "b")]
+        )
+        assert result.size == 1
+
+    def test_multiple_machines(self):
+        left = {0: 2, 1: 2}
+        right = {h: 1 for h in range(4)}
+        edges = [(m, h) for m in left for h in right]
+        result = max_bipartite_b_matching(left, right, edges)
+        assert result.size == 4
+        assert is_valid_b_matching(result, left, right, edges)
+
+    def test_no_edges(self):
+        result = max_bipartite_b_matching({0: 1}, {0: 1}, [])
+        assert result.size == 0
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(KeyError):
+            max_bipartite_b_matching({0: 1}, {0: 1}, [(0, 9)])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            max_bipartite_b_matching({0: -1}, {0: 1}, [(0, 0)])
+
+    def test_result_accessors(self):
+        result = max_bipartite_b_matching(
+            {"m": 2}, {"a": 1, "b": 1}, [("m", "a"), ("m", "b")]
+        )
+        assert sorted(result.matched_right_of("m")) == ["a", "b"]
+        assert result.matched_left_of("a") == ["m"]
+
+    def test_is_valid_rejects_duplicate_edge(self):
+        result = BMatchingResult(edges=(("m", "a"), ("m", "a")), size=2)
+        assert not is_valid_b_matching(result, {"m": 2}, {"a": 2}, [("m", "a")])
+
+    def test_is_valid_rejects_overloaded_vertex(self):
+        result = BMatchingResult(edges=(("m", "a"), ("m", "b")), size=2)
+        assert not is_valid_b_matching(
+            result, {"m": 1}, {"a": 1, "b": 1}, [("m", "a"), ("m", "b")]
+        )

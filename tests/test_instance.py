@@ -1,0 +1,195 @@
+"""Unit tests for busytime.core.instance."""
+
+import pytest
+
+from busytime.core.instance import Instance, connected_components
+from busytime.core.intervals import Interval, Job
+
+
+class TestConstruction:
+    def test_from_tuples(self):
+        inst = Instance.from_intervals([(0, 1), (2, 3)], g=2)
+        assert inst.n == 2
+        assert inst.g == 2
+        assert inst.jobs[0].interval == Interval(0, 1)
+
+    def test_from_intervals_objects(self):
+        inst = Instance.from_intervals([Interval(0, 1)], g=1)
+        assert inst.jobs[0].id == 0
+
+    def test_from_jobs(self):
+        jobs = [Job(id=5, interval=Interval(0, 1))]
+        inst = Instance.from_intervals(jobs, g=1)
+        assert inst.jobs[0].id == 5
+
+    def test_invalid_item_type(self):
+        with pytest.raises(TypeError):
+            Instance.from_intervals([("a", "b", "c")], g=1)
+
+    def test_g_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Instance.from_intervals([(0, 1)], g=0)
+
+    def test_duplicate_ids_rejected(self):
+        jobs = (Job(id=1, interval=Interval(0, 1)), Job(id=1, interval=Interval(2, 3)))
+        with pytest.raises(ValueError):
+            Instance(jobs=jobs, g=1)
+
+    def test_with_g(self):
+        inst = Instance.from_intervals([(0, 1)], g=2)
+        assert inst.with_g(5).g == 5
+        assert inst.with_g(5).jobs == inst.jobs
+
+    def test_restricted_to(self):
+        inst = Instance.from_intervals([(0, 1), (2, 3), (4, 5)], g=2)
+        sub = inst.restricted_to([0, 2])
+        assert sub.n == 2
+        assert {j.id for j in sub.jobs} == {0, 2}
+
+    def test_restricted_to_unknown_id(self):
+        inst = Instance.from_intervals([(0, 1)], g=2)
+        with pytest.raises(KeyError):
+            inst.restricted_to([7])
+
+    def test_iteration_and_len(self):
+        inst = Instance.from_intervals([(0, 1), (2, 3)], g=1)
+        assert len(inst) == 2
+        assert len(list(inst)) == 2
+
+    def test_job_by_id(self):
+        inst = Instance.from_intervals([(0, 1), (2, 3)], g=1)
+        assert inst.job_by_id(1).interval == Interval(2, 3)
+        with pytest.raises(KeyError):
+            inst.job_by_id(9)
+
+
+class TestAggregates:
+    def test_total_length_and_span(self):
+        inst = Instance.from_intervals([(0, 3), (2, 5), (10, 11)], g=2)
+        assert inst.total_length == 7
+        assert inst.span == 6
+
+    def test_horizon(self):
+        inst = Instance.from_intervals([(1, 3), (2, 9)], g=2)
+        assert inst.horizon == (1, 9)
+
+    def test_horizon_empty(self):
+        inst = Instance(jobs=(), g=1)
+        assert inst.horizon == (0.0, 0.0)
+
+    def test_load_and_clique_number(self):
+        inst = Instance.from_intervals([(0, 4), (1, 5), (2, 6), (10, 12)], g=2)
+        assert inst.load_at(3) == 3
+        assert inst.clique_number == 3
+
+    def test_length_extremes(self):
+        inst = Instance.from_intervals([(0, 1), (0, 5)], g=1)
+        assert inst.max_length == 5
+        assert inst.min_length == 1
+
+    def test_length_ratio(self):
+        inst = Instance.from_intervals([(0, 2), (0, 6)], g=1)
+        assert inst.length_ratio() == 3.0
+
+    def test_length_ratio_zero_length(self):
+        inst = Instance.from_intervals([(0, 0), (0, 6)], g=1)
+        assert inst.length_ratio() == float("inf")
+
+    def test_length_ratio_empty(self):
+        assert Instance(jobs=(), g=1).length_ratio() == 1.0
+
+
+class TestClassification:
+    def test_proper_true(self):
+        inst = Instance.from_intervals([(0, 2), (1, 3), (2, 4)], g=2)
+        assert inst.is_proper()
+
+    def test_proper_false_nested(self):
+        inst = Instance.from_intervals([(0, 10), (2, 3)], g=2)
+        assert not inst.is_proper()
+
+    def test_proper_false_shared_start(self):
+        inst = Instance.from_intervals([(0, 10), (0, 3)], g=2)
+        assert not inst.is_proper()
+
+    def test_proper_duplicates_allowed(self):
+        inst = Instance.from_intervals([(0, 2), (0, 2), (1, 3)], g=2)
+        assert inst.is_proper()
+
+    def test_clique_true(self):
+        inst = Instance.from_intervals([(0, 5), (2, 8), (4, 6)], g=2)
+        assert inst.is_clique()
+        assert inst.common_point() == 4
+
+    def test_clique_false(self):
+        inst = Instance.from_intervals([(0, 1), (2, 3)], g=2)
+        assert not inst.is_clique()
+        assert inst.common_point() is None
+
+    def test_clique_empty(self):
+        inst = Instance(jobs=(), g=1)
+        assert inst.is_clique()
+        assert inst.common_point() is None
+
+    def test_laminar_true(self):
+        inst = Instance.from_intervals([(0, 10), (1, 4), (2, 3), (5, 9), (12, 13)], g=2)
+        assert inst.is_laminar()
+
+    def test_laminar_false(self):
+        inst = Instance.from_intervals([(0, 5), (3, 8)], g=2)
+        assert not inst.is_laminar()
+
+    def test_bounded_length(self):
+        inst = Instance.from_intervals([(0, 1), (5, 7)], g=2)
+        assert inst.is_bounded_length(2.0)
+        assert not inst.is_bounded_length(1.5)
+
+    def test_classify_priorities(self):
+        assert Instance.from_intervals([(0, 5), (1, 6)], g=2).classify() == "clique"
+        assert (
+            Instance.from_intervals([(0, 2), (1, 3), (4, 6)], g=2).classify()
+            == "proper"
+        )
+        assert Instance.from_intervals([(0, 9), (1, 2), (3, 4)], g=2).classify() == "laminar"
+        assert (
+            Instance.from_intervals([(0, 9), (1, 20), (2, 3), (25, 26)], g=2).classify()
+            == "general"
+        )
+
+    def test_summary_keys(self):
+        summary = Instance.from_intervals([(0, 1)], g=1, name="x").summary()
+        assert summary["name"] == "x"
+        assert summary["n"] == 1
+        assert "class" in summary
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        inst = Instance.from_intervals([(0, 2), (1, 3), (2, 4)], g=2)
+        comps = connected_components(inst)
+        assert len(comps) == 1
+        assert comps[0].n == 3
+
+    def test_two_components(self):
+        inst = Instance.from_intervals([(0, 2), (1, 3), (10, 12), (11, 13)], g=2)
+        comps = connected_components(inst)
+        assert len(comps) == 2
+        assert sorted(c.n for c in comps) == [2, 2]
+
+    def test_touching_jobs_same_component(self):
+        inst = Instance.from_intervals([(0, 1), (1, 2)], g=2)
+        assert len(connected_components(inst)) == 1
+
+    def test_empty_instance(self):
+        assert connected_components(Instance(jobs=(), g=1)) == []
+
+    def test_components_preserve_g_and_jobs(self):
+        inst = Instance.from_intervals([(0, 1), (5, 6)], g=3, name="two")
+        comps = connected_components(inst)
+        assert all(c.g == 3 for c in comps)
+        all_ids = sorted(j.id for c in comps for j in c.jobs)
+        assert all_ids == [0, 1]
+
+    def test_is_connected(self):
+        assert Instance.from_intervals([(0, 2), (1, 3)], g=1).is_connected()
+        assert not Instance.from_intervals([(0, 1), (5, 6)], g=1).is_connected()

@@ -1,0 +1,112 @@
+"""Unit tests for busytime.graphs.interval_graph."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from busytime.core.intervals import Interval, Job
+from busytime.graphs.interval_graph import (
+    build_interval_graph,
+    chromatic_number,
+    clique_number,
+    greedy_interval_coloring,
+    independent_set_count_lower_bound,
+    maximum_clique,
+    partition_into_independent_sets,
+)
+from busytime.generators import uniform_random_instance
+
+
+def _jobs(*pairs):
+    return [Job(id=i, interval=Interval(a, b)) for i, (a, b) in enumerate(pairs)]
+
+
+class TestGraphConstruction:
+    def test_edges_match_pairwise_overlap(self):
+        jobs = _jobs((0, 2), (1, 3), (4, 6), (2, 4))
+        graph = build_interval_graph(jobs)
+        expected = {
+            (a.id, b.id)
+            for a, b in itertools.combinations(jobs, 2)
+            if a.overlaps(b)
+        }
+        got = {tuple(sorted(e)) for e in graph.edges}
+        assert got == {tuple(sorted(e)) for e in expected}
+
+    def test_touching_intervals_are_adjacent(self):
+        jobs = _jobs((0, 1), (1, 2))
+        graph = build_interval_graph(jobs)
+        assert graph.has_edge(0, 1)
+
+    def test_node_attributes(self):
+        jobs = _jobs((0, 2))
+        graph = build_interval_graph(jobs)
+        assert graph.nodes[0]["start"] == 0
+        assert graph.nodes[0]["length"] == 2
+
+    def test_random_instance_matches_bruteforce_edges(self):
+        inst = uniform_random_instance(30, g=2, seed=3)
+        graph = build_interval_graph(list(inst.jobs))
+        for a, b in itertools.combinations(inst.jobs, 2):
+            assert graph.has_edge(a.id, b.id) == a.overlaps(b)
+
+
+class TestCliqueAndColoring:
+    def test_clique_number(self):
+        jobs = _jobs((0, 4), (1, 5), (2, 6), (10, 11))
+        assert clique_number(jobs) == 3
+
+    def test_maximum_clique_is_clique(self):
+        jobs = _jobs((0, 4), (1, 5), (2, 6), (5.5, 7), (10, 11))
+        clique = maximum_clique(jobs)
+        assert len(clique) == clique_number(jobs)
+        for a, b in itertools.combinations(clique, 2):
+            assert a.overlaps(b)
+
+    def test_maximum_clique_empty(self):
+        assert maximum_clique([]) == []
+
+    def test_coloring_is_proper(self):
+        inst = uniform_random_instance(40, g=2, seed=5)
+        coloring = greedy_interval_coloring(list(inst.jobs))
+        for a, b in itertools.combinations(inst.jobs, 2):
+            if a.overlaps(b):
+                assert coloring[a.id] != coloring[b.id]
+
+    def test_coloring_uses_omega_colors(self):
+        inst = uniform_random_instance(40, g=2, seed=6)
+        jobs = list(inst.jobs)
+        assert chromatic_number(jobs) == clique_number(jobs)
+
+    def test_chromatic_number_empty(self):
+        assert chromatic_number([]) == 0
+
+
+class TestIndependentSetPartition:
+    def test_threads_are_independent(self):
+        inst = uniform_random_instance(30, g=2, seed=8)
+        threads = partition_into_independent_sets(list(inst.jobs))
+        for thread in threads:
+            for a, b in itertools.combinations(thread, 2):
+                assert not a.overlaps(b)
+
+    def test_partition_covers_all_jobs(self):
+        jobs = _jobs((0, 2), (1, 3), (2, 4))
+        threads = partition_into_independent_sets(jobs)
+        assert sorted(j.id for t in threads for j in t) == [0, 1, 2]
+
+    def test_explicit_k(self):
+        jobs = _jobs((0, 2), (1, 3))
+        threads = partition_into_independent_sets(jobs, k=4)
+        assert len(threads) == 4
+
+    def test_k_below_omega_rejected(self):
+        jobs = _jobs((0, 2), (1, 3))
+        with pytest.raises(ValueError):
+            partition_into_independent_sets(jobs, k=1)
+
+    def test_machine_count_lower_bound(self):
+        jobs = _jobs((0, 4), (1, 5), (2, 6), (3, 7), (4.5, 8))
+        assert independent_set_count_lower_bound(jobs, g=2) == 2
+        assert independent_set_count_lower_bound([], g=2) == 0

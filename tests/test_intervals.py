@@ -1,0 +1,182 @@
+"""Unit tests for busytime.core.intervals (Definitions 1.1 and 1.2)."""
+
+import math
+
+import pytest
+
+from busytime.core.intervals import (
+    Interval,
+    Job,
+    interval_contains,
+    intervals_overlap,
+    length,
+    max_point_load,
+    point_load,
+    properly_contains,
+    span,
+    total_length,
+    union_intervals,
+)
+
+
+class TestInterval:
+    def test_basic_length(self):
+        assert Interval(2.0, 5.0).length == 3.0
+
+    def test_zero_length_allowed(self):
+        assert Interval(4.0, 4.0).length == 0.0
+
+    def test_reversed_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 2.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, float("nan"))
+
+    def test_overlaps_closed_semantics(self):
+        # touching intervals overlap under the closed-interval conflict model
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+        assert Interval(1, 2).overlaps(Interval(0, 1))
+
+    def test_overlaps_disjoint(self):
+        assert not Interval(0, 1).overlaps(Interval(1.5, 2))
+
+    def test_overlaps_openly(self):
+        assert not Interval(0, 1).overlaps_openly(Interval(1, 2))
+        assert Interval(0, 1.5).overlaps_openly(Interval(1, 2))
+
+    def test_contains_point(self):
+        iv = Interval(1, 3)
+        assert iv.contains_point(1)
+        assert iv.contains_point(3)
+        assert iv.contains_point(2)
+        assert not iv.contains_point(3.0001)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert not Interval(0, 10).contains(Interval(-1, 5))
+
+    def test_properly_contains(self):
+        assert Interval(0, 10).properly_contains(Interval(2, 5))
+        assert Interval(0, 10).properly_contains(Interval(0, 5))
+        assert not Interval(0, 10).properly_contains(Interval(0, 10))
+        assert not Interval(2, 5).properly_contains(Interval(0, 10))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 8)) == Interval(5, 5)
+        assert Interval(0, 5).intersection(Interval(6, 8)) is None
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 7)) == Interval(0, 7)
+
+    def test_shifted(self):
+        assert Interval(1, 2).shifted(3) == Interval(4, 5)
+        assert Interval(1, 2).shifted(-1) == Interval(0, 1)
+
+    def test_scaled(self):
+        assert Interval(1, 2).scaled(2) == Interval(2, 4)
+        with pytest.raises(ValueError):
+            Interval(1, 2).scaled(-1)
+
+    def test_ordering(self):
+        assert Interval(0, 5) < Interval(1, 2)
+        assert Interval(0, 2) < Interval(0, 5)
+
+    def test_as_tuple(self):
+        assert Interval(1, 4).as_tuple() == (1, 4)
+
+
+class TestJob:
+    def test_properties(self):
+        j = Job(id=3, interval=Interval(2, 7))
+        assert j.start == 2 and j.end == 7 and j.length == 5
+
+    def test_weight_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Job(id=0, interval=Interval(0, 1), weight=0)
+
+    def test_overlaps(self):
+        a = Job(id=0, interval=Interval(0, 2))
+        b = Job(id=1, interval=Interval(2, 4))
+        c = Job(id=2, interval=Interval(5, 6))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_active_at(self):
+        j = Job(id=0, interval=Interval(1, 3))
+        assert j.active_at(1) and j.active_at(3)
+        assert not j.active_at(0.5)
+
+
+class TestSetFunctions:
+    def test_length_single(self):
+        assert length(Interval(0, 4)) == 4
+        assert length(Job(id=0, interval=Interval(0, 4))) == 4
+
+    def test_length_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            length((0, 4))
+
+    def test_total_length(self):
+        ivs = [Interval(0, 1), Interval(0, 1), Interval(5, 8)]
+        assert total_length(ivs) == 5
+
+    def test_union_merges_touching(self):
+        ivs = [Interval(0, 1), Interval(1, 2), Interval(3, 4)]
+        assert union_intervals(ivs) == [Interval(0, 2), Interval(3, 4)]
+
+    def test_union_merges_nested(self):
+        ivs = [Interval(0, 10), Interval(2, 3)]
+        assert union_intervals(ivs) == [Interval(0, 10)]
+
+    def test_union_empty(self):
+        assert union_intervals([]) == []
+
+    def test_span_disjoint_equals_total_length(self):
+        ivs = [Interval(0, 1), Interval(2, 3), Interval(4, 6)]
+        assert span(ivs) == total_length(ivs) == 4
+
+    def test_span_overlapping_is_less(self):
+        ivs = [Interval(0, 3), Interval(1, 4)]
+        assert span(ivs) == 4 < total_length(ivs)
+
+    def test_span_le_len_always(self):
+        ivs = [Interval(0, 5), Interval(1, 2), Interval(4, 9), Interval(20, 21)]
+        assert span(ivs) <= total_length(ivs)
+
+    def test_point_load(self):
+        jobs = [
+            Job(id=0, interval=Interval(0, 2)),
+            Job(id=1, interval=Interval(1, 3)),
+            Job(id=2, interval=Interval(2, 4)),
+        ]
+        assert point_load(jobs, 2) == 3
+        assert point_load(jobs, 0.5) == 1
+        assert point_load(jobs, 10) == 0
+
+    def test_max_point_load(self):
+        jobs = [
+            Job(id=0, interval=Interval(0, 2)),
+            Job(id=1, interval=Interval(1, 3)),
+            Job(id=2, interval=Interval(2, 4)),
+            Job(id=3, interval=Interval(10, 11)),
+        ]
+        assert max_point_load(jobs) == 3
+
+    def test_max_point_load_counts_touching(self):
+        jobs = [Job(id=0, interval=Interval(0, 1)), Job(id=1, interval=Interval(1, 2))]
+        assert max_point_load(jobs) == 2
+
+    def test_max_point_load_empty(self):
+        assert max_point_load([]) == 0
+
+    def test_helpers(self):
+        assert intervals_overlap(Interval(0, 2), Interval(1, 5))
+        assert interval_contains(Interval(0, 5), Interval(1, 2))
+        assert properly_contains(Interval(0, 5), Interval(1, 2))
+        assert not properly_contains(Interval(0, 5), Interval(0, 5))

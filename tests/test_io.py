@@ -1,0 +1,125 @@
+"""Tests for serialization (busytime.io)."""
+
+import json
+
+import pytest
+
+from busytime import Instance, first_fit
+from busytime.generators import uniform_random_instance, uniform_traffic
+from busytime.io import (
+    instance_from_dict,
+    instance_to_dict,
+    jobs_from_csv,
+    jobs_to_csv,
+    load_instance,
+    load_schedule,
+    load_traffic,
+    save_instance,
+    save_schedule,
+    save_traffic,
+    schedule_from_dict,
+    schedule_to_dict,
+    traffic_from_dict,
+    traffic_to_dict,
+)
+
+
+class TestInstanceSerialization:
+    def test_dict_round_trip(self):
+        inst = uniform_random_instance(12, g=3, seed=1)
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.g == inst.g
+        assert back.name == inst.name
+        assert [(j.id, j.start, j.end) for j in back.jobs] == [
+            (j.id, j.start, j.end) for j in inst.jobs
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        inst = uniform_random_instance(8, g=2, seed=2)
+        path = tmp_path / "inst.json"
+        save_instance(inst, path)
+        back = load_instance(path)
+        assert back.n == inst.n
+        assert json.loads(path.read_text())["format"] == "busytime-instance"
+
+    def test_preserves_tags_and_weights(self):
+        from busytime.core.intervals import Interval, Job
+
+        inst = Instance(
+            jobs=(Job(id=3, interval=Interval(0, 2), weight=2.5, tag="x"),), g=1
+        )
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.jobs[0].weight == 2.5
+        assert back.jobs[0].tag == "x"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            instance_from_dict({"format": "something-else"})
+
+
+class TestScheduleSerialization:
+    def test_round_trip_revalidates(self, tmp_path):
+        inst = uniform_random_instance(15, g=2, seed=3)
+        sched = first_fit(inst)
+        path = tmp_path / "sched.json"
+        save_schedule(sched, path)
+        back = load_schedule(path)
+        assert back.total_busy_time == pytest.approx(sched.total_busy_time)
+        assert back.num_machines == sched.num_machines
+        assert back.algorithm == "first_fit"
+        assert back.assignment() == sched.assignment()
+
+    def test_corrupted_partition_rejected(self):
+        inst = uniform_random_instance(5, g=2, seed=4)
+        sched = first_fit(inst)
+        data = schedule_to_dict(sched)
+        data["machines"][0]["job_ids"].append(data["machines"][0]["job_ids"][0])
+        with pytest.raises(Exception):
+            schedule_from_dict(data)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_from_dict({"format": "nope"})
+
+
+class TestTrafficSerialization:
+    def test_round_trip(self, tmp_path):
+        traffic = uniform_traffic(20, 30, g=3, seed=5)
+        path = tmp_path / "traffic.json"
+        save_traffic(traffic, path)
+        back = load_traffic(path)
+        assert back.g == traffic.g
+        assert back.network.num_nodes == traffic.network.num_nodes
+        assert [(p.a, p.b) for p in back] == [(p.a, p.b) for p in traffic]
+
+    def test_dict_round_trip(self):
+        traffic = uniform_traffic(10, 12, g=2, seed=6)
+        assert traffic_from_dict(traffic_to_dict(traffic)).n == traffic.n
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            traffic_from_dict({"format": "nope"})
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        inst = uniform_random_instance(10, g=2, seed=7)
+        path = tmp_path / "jobs.csv"
+        jobs_to_csv(inst, path)
+        back = jobs_from_csv(path, g=2)
+        assert back.n == inst.n
+        assert back.total_length == pytest.approx(inst.total_length)
+
+    def test_minimal_columns(self, tmp_path):
+        path = tmp_path / "jobs.csv"
+        path.write_text("start,end\n0,5\n3,9\n")
+        inst = jobs_from_csv(path, g=1, name="minimal")
+        assert inst.n == 2
+        assert inst.jobs[1].id == 1
+        assert inst.name == "minimal"
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            jobs_from_csv(path, g=1)

@@ -1,0 +1,89 @@
+"""Tests for the local-search improvement pass (busytime.algorithms.local_search)."""
+
+import pytest
+
+from busytime.algorithms import (
+    first_fit,
+    improve,
+    local_search_first_fit,
+    singleton,
+)
+from busytime.algorithms.base import get_scheduler
+from busytime.core.bounds import best_lower_bound
+from busytime.core.instance import Instance
+from busytime.exact import exact_optimal_cost
+from busytime.generators import (
+    clique_instance,
+    firstfit_lower_bound_instance,
+    uniform_random_instance,
+)
+
+
+class TestImprove:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_and_feasible(self, seed):
+        inst = uniform_random_instance(60, g=3, seed=seed)
+        base = first_fit(inst)
+        improved = improve(base)
+        improved.validate()
+        assert improved.total_busy_time <= base.total_busy_time + 1e-9
+        assert improved.total_busy_time >= best_lower_bound(inst) - 1e-9
+
+    def test_improves_singleton_substantially(self):
+        inst = clique_instance(40, g=4, seed=1)
+        base = singleton(inst)
+        improved = improve(base)
+        # merging alone should roughly divide the cost by g on a clique
+        assert improved.total_busy_time < 0.5 * base.total_busy_time
+
+    def test_fig4_schedule_is_a_local_optimum(self):
+        # On the Fig. 4 family every single relocation, merge or swap is
+        # infeasible or non-improving: the FirstFit schedule is a local
+        # optimum, so the paper's lower-bound family survives cheap
+        # post-optimisation.  (Escaping it needs a multi-job rearrangement.)
+        inst = firstfit_lower_bound_instance(8)
+        base = first_fit(inst)
+        improved = improve(base)
+        assert improved.total_busy_time == pytest.approx(base.total_busy_time)
+        stats = improved.meta["local_search"]
+        assert stats["relocations"] == stats["merges"] == stats["swaps"] == 0
+
+    def test_stats_recorded(self):
+        inst = clique_instance(20, g=4, seed=2)
+        improved = improve(singleton(inst))
+        stats = improved.meta["local_search"]
+        assert stats["merges"] + stats["relocations"] > 0
+        assert improved.algorithm.endswith("+ls")
+
+    def test_local_optimum_is_stable(self):
+        inst = uniform_random_instance(30, g=2, seed=3)
+        once = improve(first_fit(inst))
+        twice = improve(once)
+        assert twice.total_busy_time == pytest.approx(once.total_busy_time)
+
+    def test_empty_and_single_job(self):
+        assert improve(first_fit(Instance(jobs=(), g=2))).num_machines == 0
+        single = Instance.from_intervals([(0, 5)], g=2)
+        improved = improve(first_fit(single))
+        assert improved.total_busy_time == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_beats_exact_optimum(self, seed):
+        inst = uniform_random_instance(9, g=2, horizon=20, seed=seed)
+        improved = improve(first_fit(inst))
+        opt = exact_optimal_cost(inst)
+        assert improved.total_busy_time >= opt - 1e-9
+
+
+class TestRegisteredVariant:
+    def test_registered(self):
+        scheduler = get_scheduler("first_fit_ls")
+        assert scheduler.approximation_ratio == 4.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_never_worse_than_plain_first_fit(self, seed):
+        inst = uniform_random_instance(80, g=4, seed=seed)
+        assert (
+            local_search_first_fit(inst).total_busy_time
+            <= first_fit(inst).total_busy_time + 1e-9
+        )

@@ -1,0 +1,226 @@
+"""Tests for the optical-network application (Section 4)."""
+
+import pytest
+
+from busytime.algorithms import first_fit, proper_greedy
+from busytime.core.instance import Instance
+from busytime.exact import exact_optimal_cost
+from busytime.generators import local_traffic, uniform_traffic
+from busytime.optical import (
+    Lightpath,
+    PathNetwork,
+    Traffic,
+    WavelengthAssignment,
+    adm_count,
+    combined_cost,
+    groom,
+    instance_to_traffic,
+    regenerator_count,
+    regenerators_per_node,
+    schedule_to_assignment,
+    traffic_to_instance,
+)
+
+
+class TestPathNetwork:
+    def test_basic(self):
+        net = PathNetwork(5)
+        assert net.num_links == 4
+        assert net.links == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            PathNetwork(1)
+
+    def test_links_between(self):
+        net = PathNetwork(6)
+        assert net.links_between(1, 4) == [(1, 2), (2, 3), (3, 4)]
+        with pytest.raises(ValueError):
+            net.links_between(4, 1)
+        with pytest.raises(ValueError):
+            net.links_between(0, 9)
+
+    def test_intermediate_nodes(self):
+        net = PathNetwork(6)
+        assert net.intermediate_nodes(1, 4) == [2, 3]
+        assert net.intermediate_nodes(1, 2) == []
+
+
+class TestLightpathAndTraffic:
+    def test_lightpath_basics(self):
+        p = Lightpath(id=0, a=2, b=6)
+        assert p.hops == 4
+        assert p.num_regenerators == 3
+        assert p.links() == [(2, 3), (3, 4), (4, 5), (5, 6)]
+        assert p.intermediate_nodes() == [3, 4, 5]
+        assert p.uses_link((4, 5))
+        assert not p.uses_link((6, 7))
+
+    def test_lightpath_job_interval(self):
+        p = Lightpath(id=0, a=2, b=6)
+        assert p.job_interval().as_tuple() == (2.5, 5.5)
+
+    def test_lightpath_invalid(self):
+        with pytest.raises(ValueError):
+            Lightpath(id=0, a=3, b=3)
+
+    def test_shares_edge(self):
+        assert Lightpath(id=0, a=0, b=3).shares_edge_with(Lightpath(id=1, a=2, b=5))
+        assert not Lightpath(id=0, a=0, b=3).shares_edge_with(Lightpath(id=1, a=3, b=5))
+
+    def test_traffic_construction_and_queries(self):
+        net = PathNetwork(8)
+        traffic = Traffic.from_pairs(net, [(0, 3), (2, 5), (5, 7)], g=2, name="t")
+        assert traffic.n == 3
+        assert traffic.link_load((2, 3)) == 2
+        assert traffic.max_link_load() == 2
+        assert traffic.total_regenerator_demand() == 2 + 2 + 1
+        assert traffic.lightpath_by_id(1).a == 2
+        with pytest.raises(KeyError):
+            traffic.lightpath_by_id(9)
+
+    def test_traffic_validation(self):
+        net = PathNetwork(4)
+        with pytest.raises(ValueError):
+            Traffic.from_pairs(net, [(0, 9)], g=2)
+        with pytest.raises(ValueError):
+            Traffic.from_pairs(net, [(0, 2)], g=0)
+        with pytest.raises(ValueError):
+            Traffic(
+                network=net,
+                lightpaths=(Lightpath(id=0, a=0, b=1), Lightpath(id=0, a=1, b=2)),
+                g=1,
+            )
+
+
+class TestReduction:
+    def test_traffic_to_instance_intervals(self):
+        net = PathNetwork(10)
+        traffic = Traffic.from_pairs(net, [(0, 4), (3, 9)], g=3)
+        inst = traffic_to_instance(traffic)
+        assert inst.g == 3
+        assert inst.jobs[0].interval.as_tuple() == (0.5, 3.5)
+        assert inst.jobs[1].interval.as_tuple() == (3.5, 8.5)
+
+    def test_job_length_counts_regenerators(self):
+        p = Lightpath(id=0, a=1, b=7)
+        assert p.job_interval().length == pytest.approx(p.num_regenerators)
+
+    def test_round_trip(self):
+        net = PathNetwork(12)
+        traffic = Traffic.from_pairs(net, [(0, 4), (3, 9), (10, 11)], g=2)
+        back = instance_to_traffic(traffic_to_instance(traffic), network=net)
+        assert [(p.a, p.b) for p in back] == [(p.a, p.b) for p in traffic]
+        assert back.g == traffic.g
+
+    def test_inverse_rejects_non_half_integral(self):
+        inst = Instance.from_intervals([(0.3, 2.5)], g=1)
+        with pytest.raises(ValueError):
+            instance_to_traffic(inst)
+
+    def test_cost_preservation(self):
+        """Regenerator count == total busy time of the schedule (Section 4.2)."""
+        for seed in range(5):
+            traffic = uniform_traffic(25, 40, g=3, seed=seed)
+            inst = traffic_to_instance(traffic)
+            sched = first_fit(inst)
+            assignment = schedule_to_assignment(traffic, sched)
+            assert assignment.regenerators() == pytest.approx(sched.total_busy_time)
+
+
+class TestWavelengthAssignment:
+    def _tiny(self):
+        net = PathNetwork(6)
+        traffic = Traffic.from_pairs(net, [(0, 3), (1, 4), (3, 5)], g=2)
+        return traffic
+
+    def test_validate_grooming_constraint(self):
+        traffic = self._tiny()
+        good = WavelengthAssignment(traffic=traffic, colors={0: 0, 1: 0, 2: 0})
+        good.validate()  # max load on any link is 2 == g
+        traffic1 = Traffic(
+            network=traffic.network, lightpaths=traffic.lightpaths, g=1
+        )
+        bad = WavelengthAssignment(traffic=traffic1, colors={0: 0, 1: 0, 2: 0})
+        assert not bad.is_valid()
+
+    def test_missing_color_rejected(self):
+        traffic = self._tiny()
+        with pytest.raises(ValueError):
+            WavelengthAssignment(traffic=traffic, colors={0: 0})
+
+    def test_regenerator_count_manual(self):
+        traffic = self._tiny()
+        wa = WavelengthAssignment(traffic=traffic, colors={0: 0, 1: 0, 2: 1})
+        # color 0: paths (0,3),(1,4): intermediates {1,2} ∪ {2,3} = {1,2,3} -> 3
+        # color 1: path (3,5): intermediates {4} -> 1
+        assert wa.regenerators() == 4
+        per_node = regenerators_per_node(wa)
+        assert per_node[2] == 1 and per_node[4] == 1
+
+    def test_adm_count_sharing(self):
+        net = PathNetwork(6)
+        # two lightpaths meeting at node 3 with no common edge share an ADM
+        traffic = Traffic.from_pairs(net, [(0, 3), (3, 5)], g=1)
+        wa = WavelengthAssignment(traffic=traffic, colors={0: 0, 1: 0})
+        # node 0: 1 ADM, node 3: shared -> 1, node 5: 1  => 3
+        assert wa.adms() == 3
+        split = WavelengthAssignment(traffic=traffic, colors={0: 0, 1: 1})
+        assert split.adms() == 4
+
+    def test_combined_cost(self):
+        traffic = self._tiny()
+        wa = WavelengthAssignment(traffic=traffic, colors={0: 0, 1: 0, 2: 1})
+        assert wa.cost(alpha=1.0) == wa.regenerators()
+        assert wa.cost(alpha=0.0) == wa.adms()
+        mid = wa.cost(alpha=0.5)
+        assert mid == pytest.approx(0.5 * wa.regenerators() + 0.5 * wa.adms())
+        with pytest.raises(ValueError):
+            wa.cost(alpha=2.0)
+
+    def test_summary(self):
+        traffic = self._tiny()
+        wa = WavelengthAssignment(traffic=traffic, colors={0: 0, 1: 0, 2: 1})
+        summary = wa.summary()
+        assert summary["num_wavelengths"] == 2
+        assert summary["g"] == 2
+
+
+class TestGroom:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_groom_valid_and_cost_preserving(self, seed):
+        traffic = uniform_traffic(30, 60, g=3, seed=seed)
+        wa = groom(traffic, algorithm=first_fit)
+        wa.validate()
+        inst = traffic_to_instance(traffic)
+        # The schedule's total busy time and the independently computed
+        # regenerator count must agree exactly (Section 4.2 cost preservation).
+        sched = first_fit(inst)
+        assert wa.regenerators() == pytest.approx(sched.total_busy_time)
+        # and never below the scheduling lower bound
+        assert wa.regenerators() >= exact_regen_lower_bound(traffic) - 1e-9
+
+    def test_groom_with_explicit_algorithm(self):
+        traffic = local_traffic(40, 50, g=2, seed=1)
+        wa = groom(traffic, algorithm=first_fit)
+        wa.validate()
+        assert wa.algorithm == "first_fit"
+
+    def test_groom_small_exact_ratio(self):
+        traffic = uniform_traffic(12, 9, g=2, seed=3)
+        wa = groom(traffic, algorithm=first_fit)
+        inst = traffic_to_instance(traffic)
+        opt = exact_optimal_cost(inst)
+        assert wa.regenerators() <= 4 * opt + 1e-9
+
+    def test_groom_never_worse_than_no_sharing(self):
+        traffic = uniform_traffic(20, 30, g=3, seed=7)
+        wa = groom(traffic)
+        assert wa.regenerators() <= traffic.total_regenerator_demand()
+
+
+def exact_regen_lower_bound(traffic):
+    """Helper: the scheduling lower bound expressed in regenerators."""
+    from busytime.core.bounds import best_lower_bound
+
+    return best_lower_bound(traffic_to_instance(traffic))

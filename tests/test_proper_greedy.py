@@ -1,0 +1,104 @@
+"""Tests for the Section 3.1 greedy on proper interval graphs (Theorem 3.1)."""
+
+import pytest
+
+from busytime.algorithms import first_fit, proper_greedy
+from busytime.algorithms.base import get_scheduler
+from busytime.core.bounds import best_lower_bound, span_bound
+from busytime.core.instance import Instance
+from busytime.exact import exact_optimal_cost
+from busytime.generators import (
+    fig4_reference_schedule,
+    proper_instance,
+    ranked_shift_proper_instance,
+    stairs_instance,
+    unit_interval_instance,
+)
+
+
+class TestMechanics:
+    def test_single_machine_when_it_fits(self):
+        inst = stairs_instance(4, g=4, length=10, step=1)
+        sched = proper_greedy(inst)
+        assert sched.num_machines == 1
+        assert sched.total_busy_time == pytest.approx(13.0)
+
+    def test_opens_new_machine_on_gplus1_clique(self):
+        inst = Instance.from_intervals([(0, 10), (1, 11), (2, 12)], g=2)
+        sched = proper_greedy(inst)
+        assert sched.num_machines == 2
+
+    def test_strict_rejects_non_proper(self):
+        inst = Instance.from_intervals([(0, 10), (2, 3)], g=2)
+        with pytest.raises(ValueError):
+            proper_greedy(inst, strict=True)
+
+    def test_non_strict_still_feasible_on_non_proper(self):
+        inst = Instance.from_intervals([(0, 10), (2, 3), (1, 9), (4, 5)], g=2)
+        sched = proper_greedy(inst)
+        sched.validate()
+
+    def test_empty(self):
+        assert proper_greedy(Instance(jobs=(), g=2)).num_machines == 0
+
+    def test_meta_records_properness(self, proper_small):
+        assert proper_greedy(proper_small).meta["proper_instance"] is True
+
+    def test_registered(self):
+        scheduler = get_scheduler("proper_greedy")
+        assert scheduler.approximation_ratio == 2.0
+        assert scheduler.instance_class == "proper"
+
+
+class TestTheorem31:
+    """Greedy <= OPT + span <= 2 * OPT on proper instances."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_alg_le_opt_plus_span_small(self, seed):
+        inst = proper_instance(10, g=2, horizon=25, seed=seed)
+        sched = proper_greedy(inst)
+        opt = exact_optimal_cost(inst, initial_upper_bound=sched.total_busy_time)
+        assert sched.total_busy_time <= opt + span_bound(inst) + 1e-9
+        assert sched.total_busy_time <= 2.0 * opt + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_approx_large_against_lb(self, seed):
+        inst = proper_instance(200, g=5, seed=seed)
+        sched = proper_greedy(inst)
+        lb = best_lower_bound(inst)
+        # ALG <= LB + span <= 2*LB would be too strong in general; the proven
+        # inequality ALG <= OPT + span, relaxed through OPT >= LB, gives
+        # ALG <= ratio*OPT with ratio <= 1 + span/OPT <= 1 + span/LB.
+        assert sched.total_busy_time <= lb + span_bound(inst) + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unit_intervals(self, seed):
+        inst = unit_interval_instance(60, g=3, seed=seed)
+        sched = proper_greedy(inst)
+        assert sched.total_busy_time <= best_lower_bound(inst) + span_bound(inst) + 1e-9
+
+    def test_machine_count_claim(self, proper_small):
+        """Claim 2 of Theorem 3.1: M^A_t <= M^O_t + 1 <= ceil(N_t/g) + 1."""
+        sched = proper_greedy(proper_small)
+        import numpy as np
+
+        lo, hi = proper_small.horizon
+        for t in np.linspace(lo, hi, 50):
+            nt = proper_small.load_at(t)
+            mat = sched.machines_active_at(t)
+            assert mat <= -(-nt // proper_small.g) + 1
+
+
+class TestSeparationFromFirstFit:
+    """The ranked-shift proper variant: FirstFit ~3-bad, Greedy <= 2."""
+
+    @pytest.mark.parametrize("g", [5, 10, 20])
+    def test_greedy_beats_firstfit(self, g):
+        inst = ranked_shift_proper_instance(g)
+        assert inst.is_proper()
+        ref = fig4_reference_schedule(inst).total_busy_time
+        ff_ratio = first_fit(inst).total_busy_time / ref
+        greedy_ratio = proper_greedy(inst).total_busy_time / ref
+        assert greedy_ratio <= 2.0 + 1e-6
+        assert ff_ratio > 2.3
+        assert ff_ratio > greedy_ratio

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from busytime.algorithms import (
+    auto_schedule,
+    best_fit,
+    bounded_length,
+    first_fit,
+    next_fit_by_start,
+    proper_greedy,
+)
+from busytime.core.bounds import best_lower_bound, combined_bound
+from busytime.core.instance import Instance, connected_components
+from busytime.core.intervals import (
+    Interval,
+    max_point_load,
+    span,
+    total_length,
+    union_intervals,
+)
+from busytime.exact import exact_optimal_cost
+from busytime.graphs.interval_graph import (
+    chromatic_number,
+    clique_number,
+    partition_into_independent_sets,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(finite)
+    length = draw(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False, width=32)
+    )
+    return Interval(float(start), float(start + length))
+
+
+@st.composite
+def instances(draw, max_jobs=20, min_jobs=0, max_g=5):
+    ivs = draw(st.lists(intervals(), min_size=min_jobs, max_size=max_jobs))
+    g = draw(st.integers(min_value=1, max_value=max_g))
+    return Instance.from_intervals(ivs, g=g)
+
+
+@st.composite
+def small_instances(draw):
+    """Instances small enough for the exact solver."""
+    ivs = draw(st.lists(intervals(), min_size=1, max_size=8))
+    g = draw(st.integers(min_value=1, max_value=3))
+    return Instance.from_intervals(ivs, g=g)
+
+
+ALGORITHMS = {
+    "first_fit": first_fit,
+    "proper_greedy": proper_greedy,
+    "next_fit_by_start": next_fit_by_start,
+    "best_fit": best_fit,
+    "auto": auto_schedule,
+    "bounded_length": bounded_length,
+}
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ---------------------------------------------------------------------------
+# Interval-level invariants (Definitions 1.1 / 1.2)
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalInvariants:
+    @given(st.lists(intervals(), max_size=30))
+    @RELAXED
+    def test_span_le_total_length(self, ivs):
+        assert span(ivs) <= total_length(ivs) + 1e-6
+
+    @given(st.lists(intervals(), max_size=30))
+    @RELAXED
+    def test_union_is_disjoint_and_sorted(self, ivs):
+        merged = union_intervals(ivs)
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.start
+
+    @given(st.lists(intervals(), max_size=30))
+    @RELAXED
+    def test_union_preserves_measure_of_each_interval(self, ivs):
+        merged = union_intervals(ivs)
+        for iv in ivs:
+            assert any(m.start <= iv.start and iv.end <= m.end for m in merged) or (
+                iv.length == 0
+            )
+
+    @given(st.lists(intervals(), min_size=1, max_size=25))
+    @RELAXED
+    def test_max_point_load_bounds(self, ivs):
+        load = max_point_load(ivs)
+        assert 1 <= load <= len(ivs)
+
+    @given(st.lists(intervals(), min_size=2, max_size=20))
+    @RELAXED
+    def test_disjoint_iff_span_equals_length(self, ivs):
+        # Only test the forward direction with positive-length intervals:
+        # span == len  =>  no two intervals overlap on positive measure.
+        assume(all(iv.length > 0 for iv in ivs))
+        if math.isclose(span(ivs), total_length(ivs), rel_tol=1e-9, abs_tol=1e-9):
+            # span == len (up to fp tolerance) implies every pairwise overlap
+            # has (near-)zero measure: len - span integrates the multiplicity
+            # excess, which dominates each pairwise overlap's length.
+            for i, a in enumerate(ivs):
+                for b in ivs[i + 1 :]:
+                    inter = a.intersection(b)
+                    assert inter is None or inter.length <= 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Graph-level invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGraphInvariants:
+    @given(instances(max_jobs=25))
+    @RELAXED
+    def test_interval_graphs_are_perfect(self, inst):
+        jobs = list(inst.jobs)
+        assert chromatic_number(jobs) == clique_number(jobs)
+
+    @given(instances(max_jobs=20, min_jobs=1))
+    @RELAXED
+    def test_independent_set_partition_valid(self, inst):
+        threads = partition_into_independent_sets(list(inst.jobs))
+        assert sum(len(t) for t in threads) == inst.n
+        for thread in threads:
+            assert max_point_load(thread) <= 1
+
+    @given(instances(max_jobs=20))
+    @RELAXED
+    def test_components_partition_jobs(self, inst):
+        comps = connected_components(inst)
+        ids = sorted(j.id for c in comps for j in c.jobs)
+        assert ids == sorted(inst.job_ids)
+        assert sum(c.span for c in comps) == pytest.approx(inst.span, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Schedule-level invariants: every algorithm, arbitrary instances
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleInvariants:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    @given(inst=instances(max_jobs=18))
+    @RELAXED
+    def test_feasible_and_bounded_below(self, name, inst):
+        sched = ALGORITHMS[name](inst)
+        sched.validate()  # every job exactly once, parallelism respected
+        assert sched.total_busy_time >= best_lower_bound(inst) - 1e-6
+        # cost accounting: total == sum of machine spans
+        assert sched.total_busy_time == pytest.approx(
+            sum(span(m.jobs) for m in sched.machines), rel=1e-9
+        )
+        # no algorithm can beat the span bound per component
+        assert sched.num_machines <= inst.n
+
+    @given(inst=instances(max_jobs=14, max_g=3))
+    @RELAXED
+    def test_auto_never_worse_than_first_fit(self, inst):
+        assert (
+            auto_schedule(inst).total_busy_time
+            <= first_fit(inst).total_busy_time + 1e-6
+        )
+
+    @given(inst=small_instances())
+    @RELAXED
+    def test_firstfit_within_4_opt(self, inst):
+        ff = first_fit(inst)
+        opt = exact_optimal_cost(inst, initial_upper_bound=ff.total_busy_time)
+        assert ff.total_busy_time <= 4.0 * opt + 1e-6
+
+    @given(inst=small_instances())
+    @RELAXED
+    def test_exact_is_lower_than_heuristics_and_above_lb(self, inst):
+        opt = exact_optimal_cost(inst)
+        assert combined_bound(inst) - 1e-6 <= opt
+        assert opt <= first_fit(inst).total_busy_time + 1e-6
+        assert opt <= best_fit(inst).total_busy_time + 1e-6
+
+    @given(inst=instances(max_jobs=16, max_g=4))
+    @RELAXED
+    def test_proper_greedy_theorem_on_proper_instances(self, inst):
+        assume(inst.is_proper())
+        sched = proper_greedy(inst)
+        # ALG <= LB + span is implied by ALG <= OPT + span (Theorem 3.1 proof)
+        # only through OPT >= LB -- too weak to assert; instead check the
+        # machine-count claim M^A_t <= ceil(N_t / g) + 1 at all breakpoints.
+        from busytime.core.events import breakpoints
+
+        for t in breakpoints(list(inst.jobs)):
+            nt = inst.load_at(t)
+            assert sched.machines_active_at(t) <= math.ceil(nt / inst.g) + 1
+
+
+# ---------------------------------------------------------------------------
+# Optical reduction invariants
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def traffics(draw):
+    from busytime.optical import PathNetwork, Traffic
+
+    num_nodes = draw(st.integers(min_value=3, max_value=25))
+    n = draw(st.integers(min_value=1, max_value=25))
+    g = draw(st.integers(min_value=1, max_value=4))
+    pairs = []
+    for _ in range(n):
+        a = draw(st.integers(min_value=0, max_value=num_nodes - 2))
+        b = draw(st.integers(min_value=a + 1, max_value=num_nodes - 1))
+        pairs.append((a, b))
+    return Traffic.from_pairs(PathNetwork(num_nodes), pairs, g=g)
+
+
+class TestOpticalInvariants:
+    @given(traffic=traffics())
+    @RELAXED
+    def test_reduction_cost_preservation(self, traffic):
+        from busytime.optical import schedule_to_assignment, traffic_to_instance
+
+        inst = traffic_to_instance(traffic)
+        sched = first_fit(inst)
+        assignment = schedule_to_assignment(traffic, sched)
+        assignment.validate()
+        assert assignment.regenerators() == pytest.approx(
+            sched.total_busy_time, abs=1e-6
+        )
+
+    @given(traffic=traffics())
+    @RELAXED
+    def test_round_trip(self, traffic):
+        from busytime.optical import instance_to_traffic, traffic_to_instance
+
+        back = instance_to_traffic(
+            traffic_to_instance(traffic), network=traffic.network
+        )
+        assert [(p.a, p.b) for p in back] == [(p.a, p.b) for p in traffic]

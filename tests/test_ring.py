@@ -1,0 +1,155 @@
+"""Tests for ring-topology grooming (busytime.optical.ring)."""
+
+import numpy as np
+import pytest
+
+from busytime.algorithms import first_fit
+from busytime.optical.ring import (
+    RingLightpath,
+    RingNetwork,
+    RingTraffic,
+    RingWavelengthAssignment,
+    groom_ring,
+)
+
+
+def _random_ring_traffic(num_nodes=24, n=40, g=3, seed=0, wrap_every=4):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(n):
+        a, b = sorted(int(x) for x in rng.choice(num_nodes, size=2, replace=False))
+        if i % wrap_every == 0:
+            a, b = b, a  # clockwise arc wrapping through N-1 -> 0
+        pairs.append((a, b))
+    return RingTraffic.from_pairs(RingNetwork(num_nodes), pairs, g=g)
+
+
+class TestRingNetwork:
+    def test_links(self):
+        net = RingNetwork(4)
+        assert net.num_links == 4
+        assert (3, 0) in net.links
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            RingNetwork(2)
+
+
+class TestRingLightpath:
+    def test_non_wrapping(self):
+        p = RingLightpath(id=0, a=1, b=4, num_nodes=8)
+        assert p.hops == 3
+        assert not p.wraps
+        assert p.intermediate_nodes() == [2, 3]
+        assert p.links() == [(1, 2), (2, 3), (3, 4)]
+
+    def test_wrapping(self):
+        p = RingLightpath(id=0, a=6, b=2, num_nodes=8)
+        assert p.hops == 4
+        assert p.wraps
+        assert p.intermediate_nodes() == [7, 0, 1]
+        assert (7, 0) in p.links()
+
+    def test_uses_link(self):
+        p = RingLightpath(id=0, a=6, b=2, num_nodes=8)
+        assert p.uses_link((7, 0))
+        assert not p.uses_link((2, 3))
+
+    def test_rotation_preserves_hops(self):
+        p = RingLightpath(id=0, a=6, b=2, num_nodes=8)
+        q = p.rotated(3)
+        assert q.hops == p.hops
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RingLightpath(id=0, a=3, b=3, num_nodes=8)
+        with pytest.raises(ValueError):
+            RingLightpath(id=0, a=9, b=2, num_nodes=8)
+
+
+class TestRingTraffic:
+    def test_link_load_and_cut(self):
+        net = RingNetwork(6)
+        traffic = RingTraffic.from_pairs(net, [(0, 3), (1, 4), (5, 2)], g=2)
+        assert traffic.link_load((1, 2)) == 3
+        cut = traffic.min_load_link()
+        assert traffic.link_load(cut) <= min(
+            traffic.link_load(link) for link in net.links
+        )
+
+    def test_regenerator_demand(self):
+        net = RingNetwork(6)
+        traffic = RingTraffic.from_pairs(net, [(0, 3), (4, 1)], g=2)
+        assert traffic.total_regenerator_demand() == 2 + 2
+
+    def test_validation(self):
+        net = RingNetwork(6)
+        with pytest.raises(ValueError):
+            RingTraffic.from_pairs(net, [(0, 3)], g=0)
+        with pytest.raises(ValueError):
+            RingTraffic(
+                network=net,
+                lightpaths=(RingLightpath(id=0, a=0, b=2, num_nodes=7),),
+                g=1,
+            )
+
+
+class TestGroomRing:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_assignment_valid(self, seed):
+        traffic = _random_ring_traffic(seed=seed)
+        assignment = groom_ring(traffic)
+        assignment.validate()
+        assert set(assignment.colors) == {p.id for p in traffic}
+
+    def test_regenerators_never_exceed_no_grooming(self):
+        traffic = _random_ring_traffic(seed=9, g=4)
+        assignment = groom_ring(traffic)
+        assert assignment.regenerators() <= traffic.total_regenerator_demand()
+
+    def test_grooming_factor_helps(self):
+        base = None
+        for g in (1, 4):
+            traffic = _random_ring_traffic(seed=5, g=g)
+            regens = groom_ring(traffic).regenerators()
+            if g == 1:
+                base = regens
+        assert regens <= base
+
+    def test_explicit_cut(self):
+        traffic = _random_ring_traffic(seed=2)
+        assignment = groom_ring(traffic, cut=(0, 1))
+        assignment.validate()
+        assert assignment.meta["cut"] == (0, 1)
+
+    def test_invalid_cut_rejected(self):
+        traffic = _random_ring_traffic(seed=2)
+        with pytest.raises(ValueError):
+            groom_ring(traffic, cut=(0, 5))
+
+    def test_custom_path_algorithm(self):
+        traffic = _random_ring_traffic(seed=3)
+        assignment = groom_ring(traffic, path_algorithm=first_fit)
+        assignment.validate()
+
+    def test_no_crossing_lightpaths(self):
+        # all lightpaths avoid the (N-1, 0) link -> pure path behaviour
+        net = RingNetwork(10)
+        traffic = RingTraffic.from_pairs(net, [(0, 4), (2, 7), (5, 9)], g=2)
+        assignment = groom_ring(traffic, cut=(9, 0))
+        assignment.validate()
+        assert assignment.meta["crossing"] == 0
+
+    def test_all_crossing_lightpaths(self):
+        # every lightpath wraps through (N-1, 0): the clique branch handles all
+        net = RingNetwork(10)
+        traffic = RingTraffic.from_pairs(net, [(8, 2), (7, 1), (9, 3), (6, 4)], g=2)
+        assignment = groom_ring(traffic, cut=(9, 0))
+        assignment.validate()
+        assert assignment.meta["path_side"] == 0
+        assert assignment.num_wavelengths >= 2  # 4 crossing lightpaths, g = 2
+
+    def test_missing_color_rejected(self):
+        traffic = _random_ring_traffic(n=3, seed=1)
+        with pytest.raises(ValueError):
+            RingWavelengthAssignment(traffic=traffic, colors={0: 0})
