@@ -1,14 +1,17 @@
 #!/usr/bin/env python
-"""Quickstart: schedule a handful of jobs and inspect the result.
+"""Quickstart: one solve session, start to finish.
 
-This walks through the core public API in ~60 lines:
+This walks through the package's front door — the solve-session engine — in
+~60 lines:
 
-1. build an :class:`busytime.Instance` from plain ``(start, end)`` tuples,
-2. run the paper's FirstFit 4-approximation and the auto-dispatching
-   portfolio,
-3. compare against the Observation 1.1 lower bounds and (because the
-   instance is tiny) the exact optimum,
-4. print the assignment machine by machine.
+1. build a :class:`busytime.Instance` from plain ``(start, end)`` tuples,
+2. wrap it in a :class:`busytime.SolveRequest` and hand it to
+   :meth:`busytime.Engine.solve`,
+3. read the :class:`busytime.SolveReport`: cost, lower bound, the exact
+   optimum (the instance is tiny), which algorithm ran on each connected
+   component and the proven-ratio certificate,
+4. compare against the paper's FirstFit 4-approximation called as a plain
+   function, and print the engine's assignment machine by machine.
 
 Run with::
 
@@ -17,15 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from busytime import (
-    Instance,
-    auto_schedule,
-    best_lower_bound,
-    exact_optimal_cost,
-    first_fit,
-    parallelism_bound,
-    span_bound,
-)
+from busytime import Engine, Instance, SolveRequest, first_fit
 
 
 def main() -> None:
@@ -38,27 +33,35 @@ def main() -> None:
     ]
     instance = Instance.from_intervals(jobs, g=2, name="quickstart")
 
+    # One request carries the instance plus every option the engine needs;
+    # compute_optimum is feasible here because the instance is tiny.
+    request = SolveRequest(instance=instance, compute_optimum=True)
+    report = Engine().solve(request)
+
     print(f"instance: {instance}")
     print(f"  span(J)        = {instance.span:.1f}")
     print(f"  len(J)         = {instance.total_length:.1f}")
     print(f"  clique number  = {instance.clique_number}")
-    print(f"  span bound     = {span_bound(instance):.2f}")
-    print(f"  parallelism bd = {parallelism_bound(instance):.2f}")
-    print(f"  best LB        = {best_lower_bound(instance):.2f}")
+    print(f"  best LB        = {report.lower_bound:.2f}")
     print()
 
-    ff = first_fit(instance)
-    auto = auto_schedule(instance)
-    opt = exact_optimal_cost(instance, initial_upper_bound=ff.total_busy_time)
-
+    ff = first_fit(instance)  # every algorithm is still a plain function
     print(f"FirstFit  : busy time = {ff.total_busy_time:.2f} on {ff.num_machines} machines")
-    print(f"Dispatcher: busy time = {auto.total_busy_time:.2f} on {auto.num_machines} machines")
-    print(f"Optimum   : busy time = {opt:.2f}")
-    print(f"FirstFit / OPT = {ff.total_busy_time / opt:.3f}  (Theorem 2.1 guarantees <= 4)")
+    print(f"Engine    : busy time = {report.cost:.2f} on {report.num_machines} machines")
+    print(f"Optimum   : busy time = {report.optimum:.2f}")
+    print(f"FirstFit / OPT = {ff.total_busy_time / report.optimum:.3f}  (Theorem 2.1 guarantees <= 4)")
+    print(f"engine certificate: cost <= {report.proven_ratio:g} * OPT "
+          f"(solved in {report.wall_time_seconds * 1000:.1f} ms)")
     print()
 
-    print("FirstFit assignment:")
-    for machine in ff.machines:
+    print("engine decisions (one per connected component):")
+    for decision in report.components:
+        print(f"  {decision.component}: n={decision.n}  -> {decision.algorithm} "
+              f"(cost {decision.cost:.1f}, proven ratio {decision.proven_ratio:g})")
+    print()
+
+    print("engine assignment:")
+    for machine in report.schedule.machines:
         jobs_text = ", ".join(
             f"J{j.id}[{j.start:g},{j.end:g}]" for j in sorted(machine.jobs, key=lambda j: j.start)
         )

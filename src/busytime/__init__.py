@@ -22,18 +22,34 @@ The package provides:
   grooming / regenerator minimisation on path networks via the Section 4
   reduction;
 * instance generators (:mod:`busytime.generators`) including the Fig. 4
-  adversarial family, and an experiment harness (:mod:`busytime.analysis`).
+  adversarial family, and an experiment harness (:mod:`busytime.analysis`);
+* the solve-session engine (:mod:`busytime.engine`): one request/response
+  API — ``SolveRequest -> Engine -> SolveReport`` — shared by the CLI, the
+  experiment harness and the examples, with per-component algorithm
+  selection, portfolio execution, batch fan-out and structured reports.
 
 Quick start::
 
-    from busytime import Instance, first_fit
+    from busytime import Engine, Instance, SolveRequest
 
     inst = Instance.from_intervals([(0, 3), (1, 4), (2, 6), (5, 9)], g=2)
-    schedule = first_fit(inst)
-    print(schedule.total_busy_time, schedule.num_machines)
+    report = Engine().solve(SolveRequest(instance=inst))
+    print(report.cost, report.num_machines, report.lower_bound)
+    for decision in report.components:       # which algorithm ran where
+        print(decision.component, decision.algorithm, decision.proven_ratio)
+
+The batch path fans out across instances (optionally in a process pool)::
+
+    reports = Engine().solve_many(requests, max_workers=4)
+
+Individual algorithms remain available as plain functions
+(``first_fit(inst) -> Schedule``) and through the registry
+(:func:`get_scheduler`); :func:`auto_schedule` is a thin wrapper returning
+just the engine's schedule.
 """
 
 from .algorithms import (
+    algorithm_table,
     auto_schedule,
     available_schedulers,
     best_fit,
@@ -62,6 +78,14 @@ from .core import (
     span,
     span_bound,
     total_length,
+)
+from .engine import (
+    Engine,
+    RequestValidationError,
+    SolveReport,
+    SolveRequest,
+    solve,
+    solve_many,
 )
 from .exact import branch_and_bound_optimum, brute_force_optimum, exact_optimal_cost, exact_optimum
 from .optical import (
@@ -105,6 +129,14 @@ __all__ = [
     "random_assignment",
     "get_scheduler",
     "available_schedulers",
+    "algorithm_table",
+    # engine
+    "Engine",
+    "SolveRequest",
+    "SolveReport",
+    "RequestValidationError",
+    "solve",
+    "solve_many",
     # exact
     "exact_optimum",
     "exact_optimal_cost",

@@ -4,6 +4,8 @@ from .base import (
     AlgorithmInfo,
     FunctionScheduler,
     Scheduler,
+    algorithm_table,
+    all_schedulers,
     available_schedulers,
     get_scheduler,
     register_scheduler,
@@ -34,6 +36,8 @@ __all__ = [
     "register_scheduler",
     "get_scheduler",
     "available_schedulers",
+    "all_schedulers",
+    "algorithm_table",
     "first_fit",
     "first_fit_order",
     "FirstFitScheduler",

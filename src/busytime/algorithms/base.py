@@ -1,18 +1,30 @@
-"""Common scheduler interface and registry.
+"""Common scheduler interface and capability registry.
 
 Every algorithm in this package is exposed both as a plain function
 (``first_fit(instance) -> Schedule``) and as a :class:`Scheduler` object with
-a uniform ``schedule(instance)`` method, a declared ``name`` and the proven
-approximation guarantee (used by reports).  The registry lets the dispatcher,
-the experiment harness and the CLI examples enumerate available algorithms by
-name without importing each module explicitly.
+a uniform ``schedule(instance)`` method, a declared ``name`` and *capability
+metadata*: the proven approximation guarantee, the instance classes the
+guarantee applies to, preconditions (such as a maximum length ratio),
+determinism and whether the algorithm is a composite dispatcher.  The engine's
+selection policy (:mod:`busytime.engine.policy`) queries this metadata —
+via :meth:`Scheduler.handles` and :func:`all_schedulers` — instead of
+hard-coding a per-algorithm dispatch chain, so a newly registered algorithm
+becomes selectable by declaring its capabilities alone.
+
+The registry lets the engine, the experiment harness and the CLI enumerate
+available algorithms by name without importing each module explicitly.
+:func:`register_scheduler` doubles as a decorator for plain functions::
+
+    @register_scheduler(name="my_greedy", approximation_ratio=3.0)
+    def my_greedy(instance):
+        ...
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.instance import Instance
 from ..core.schedule import Schedule
@@ -23,19 +35,56 @@ __all__ = [
     "register_scheduler",
     "get_scheduler",
     "available_schedulers",
+    "all_schedulers",
+    "algorithm_table",
     "AlgorithmInfo",
 ]
 
 
 @dataclass(frozen=True)
 class AlgorithmInfo:
-    """Static facts about an algorithm, used in reports and documentation."""
+    """Capability metadata for one algorithm.
+
+    Beyond the descriptive fields used in reports and documentation, the
+    engine's selection policy reads:
+
+    ``instance_classes``
+        Structural classes the algorithm (and its guarantee) applies to:
+        ``"general"`` (always applicable), ``"clique"``, ``"proper"``,
+        ``"laminar"`` or ``"bounded_length"`` (applicable when the length
+        ratio is finite and at most ``max_length_ratio``).
+    ``max_length_ratio``
+        Precondition on ``instance.length_ratio()``; ``None`` means no bound.
+    ``deterministic``
+        Same instance always yields the same schedule (required for the
+        engine's reproducibility guarantees; non-deterministic algorithms are
+        never auto-selected).
+    ``anytime``
+        Produces a feasible schedule early and improves it (e.g. local
+        search); relevant under time budgets.
+    ``selection_priority``
+        Tie-break when two applicable algorithms have the same proven ratio;
+        lower wins.
+    ``portfolio_member``
+        Whether the algorithm joins the engine's per-component portfolio
+        when applicable (expensive post-optimisers opt out).
+    ``composite``
+        True for meta-algorithms (the ``auto`` dispatcher) that orchestrate
+        other registered algorithms; never selected by a policy.
+    """
 
     name: str
     paper_section: str
     approximation_ratio: Optional[float]
     instance_class: str
     description: str
+    instance_classes: Tuple[str, ...] = ("general",)
+    max_length_ratio: Optional[float] = None
+    deterministic: bool = True
+    anytime: bool = False
+    selection_priority: int = 100
+    portfolio_member: bool = True
+    composite: bool = False
 
 
 class Scheduler(abc.ABC):
@@ -45,10 +94,24 @@ class Scheduler(abc.ABC):
     name: str = "abstract"
     #: proven approximation guarantee on the declared instance class, or None
     approximation_ratio: Optional[float] = None
-    #: instance class on which the guarantee holds ("general", "proper", ...)
+    #: primary instance class on which the guarantee holds (kept for reports)
     instance_class: str = "general"
     #: paper section implementing the algorithm
     paper_section: str = ""
+    #: all structural classes the algorithm applies to (see AlgorithmInfo)
+    instance_classes: Tuple[str, ...] = ("general",)
+    #: precondition on instance.length_ratio(), or None
+    max_length_ratio: Optional[float] = None
+    #: same instance always yields the same schedule
+    deterministic: bool = True
+    #: produces feasible schedules early and keeps improving them
+    anytime: bool = False
+    #: tie-break among equal proven ratios; lower wins
+    selection_priority: int = 100
+    #: joins the engine's per-component portfolio when applicable
+    portfolio_member: bool = True
+    #: meta-algorithm orchestrating other registered algorithms
+    composite: bool = False
 
     @abc.abstractmethod
     def schedule(self, instance: Instance) -> Schedule:
@@ -57,6 +120,33 @@ class Scheduler(abc.ABC):
     def __call__(self, instance: Instance) -> Schedule:
         return self.schedule(instance)
 
+    def handles(self, instance: Instance) -> bool:
+        """True when this algorithm's declared capabilities cover ``instance``.
+
+        The check is purely structural (class membership plus the length-ratio
+        precondition); it does not run the algorithm.
+        """
+        if self.max_length_ratio is not None:
+            ratio = instance.length_ratio()
+            if ratio == float("inf") or ratio > self.max_length_ratio:
+                return False
+        for cls in self.instance_classes:
+            if cls == "general":
+                return True
+            if cls == "bounded_length":
+                # Gated by max_length_ratio (checked above).  A declaration
+                # without the threshold would make the algorithm universally
+                # applicable by accident, so it never matches instead.
+                if self.max_length_ratio is not None:
+                    return True
+            if cls == "clique" and instance.is_clique():
+                return True
+            if cls == "proper" and instance.is_proper():
+                return True
+            if cls == "laminar" and instance.is_laminar():
+                return True
+        return False
+
     def info(self) -> AlgorithmInfo:
         return AlgorithmInfo(
             name=self.name,
@@ -64,6 +154,13 @@ class Scheduler(abc.ABC):
             approximation_ratio=self.approximation_ratio,
             instance_class=self.instance_class,
             description=(self.__doc__ or "").strip().split("\n")[0],
+            instance_classes=self.instance_classes,
+            max_length_ratio=self.max_length_ratio,
+            deterministic=self.deterministic,
+            anytime=self.anytime,
+            selection_priority=self.selection_priority,
+            portfolio_member=self.portfolio_member,
+            composite=self.composite,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -80,12 +177,28 @@ class FunctionScheduler(Scheduler):
         approximation_ratio: Optional[float] = None,
         instance_class: str = "general",
         paper_section: str = "",
+        instance_classes: Optional[Tuple[str, ...]] = None,
+        max_length_ratio: Optional[float] = None,
+        deterministic: bool = True,
+        anytime: bool = False,
+        selection_priority: int = 100,
+        portfolio_member: bool = True,
+        composite: bool = False,
     ) -> None:
         self._func = func
         self.name = name
         self.approximation_ratio = approximation_ratio
         self.instance_class = instance_class
         self.paper_section = paper_section
+        self.instance_classes = (
+            instance_classes if instance_classes is not None else (instance_class,)
+        )
+        self.max_length_ratio = max_length_ratio
+        self.deterministic = deterministic
+        self.anytime = anytime
+        self.selection_priority = selection_priority
+        self.portfolio_member = portfolio_member
+        self.composite = composite
         self.__doc__ = func.__doc__
 
     def schedule(self, instance: Instance) -> Schedule:
@@ -95,8 +208,37 @@ class FunctionScheduler(Scheduler):
 _REGISTRY: Dict[str, Scheduler] = {}
 
 
-def register_scheduler(scheduler: Scheduler, overwrite: bool = False) -> Scheduler:
-    """Add a scheduler to the global registry (keyed by its ``name``)."""
+def register_scheduler(
+    scheduler: Optional[Scheduler] = None, overwrite: bool = False, **metadata
+) -> Union[Scheduler, Callable[[Callable[[Instance], Schedule]], Callable]]:
+    """Add a scheduler to the global registry (keyed by its ``name``).
+
+    Two forms are supported.  Called with a :class:`Scheduler` instance it
+    registers and returns it (the historical form).  Called with keyword
+    metadata only it acts as a decorator for a plain scheduling function,
+    wrapping it in a :class:`FunctionScheduler`::
+
+        @register_scheduler(name="my_greedy", approximation_ratio=3.0)
+        def my_greedy(instance):
+            ...
+
+    The decorated function is returned unchanged (so it stays usable as a
+    plain ``instance -> Schedule`` function); the registered wrapper is
+    attached as ``func.scheduler``.
+    """
+    if scheduler is None:
+        if "name" not in metadata:
+            raise TypeError("decorator form requires a name= keyword")
+
+        def decorator(func: Callable[[Instance], Schedule]):
+            wrapper = FunctionScheduler(func, **metadata)
+            register_scheduler(wrapper, overwrite=overwrite)
+            func.scheduler = wrapper  # type: ignore[attr-defined]
+            return func
+
+        return decorator
+    if metadata:
+        raise TypeError("metadata keywords apply only to the decorator form")
     if scheduler.name in _REGISTRY and not overwrite:
         raise KeyError(f"scheduler {scheduler.name!r} already registered")
     _REGISTRY[scheduler.name] = scheduler
@@ -116,3 +258,16 @@ def get_scheduler(name: str) -> Scheduler:
 def available_schedulers() -> List[str]:
     """Names of all registered schedulers, sorted."""
     return sorted(_REGISTRY)
+
+
+def all_schedulers() -> List[Scheduler]:
+    """All registered scheduler objects, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def algorithm_table() -> List[AlgorithmInfo]:
+    """One :class:`AlgorithmInfo` row per registered algorithm, sorted by name.
+
+    Used by ``busytime algorithms`` (CLI) and by documentation generators.
+    """
+    return [s.info() for s in all_schedulers()]

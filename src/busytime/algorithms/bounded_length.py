@@ -237,9 +237,14 @@ class BoundedLengthScheduler(FunctionScheduler):
         super().__init__(
             bounded_length,
             name="bounded_length",
-            approximation_ratio=2.0,  # 2 + eps, eps configurable
+            # 2 + eps with the default eps=0.1; declared honestly so the
+            # engine's proven-ratio certificate never overstates the paper.
+            approximation_ratio=2.1,
             instance_class="bounded_length",
             paper_section="Section 3.2",
+            instance_classes=("bounded_length",),
+            max_length_ratio=8.0,
+            selection_priority=30,
         )
 
 

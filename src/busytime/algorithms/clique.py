@@ -109,6 +109,8 @@ class CliqueScheduler(FunctionScheduler):
             approximation_ratio=2.0,
             instance_class="clique",
             paper_section="Appendix",
+            instance_classes=("clique",),
+            selection_priority=10,
         )
 
 

@@ -1,87 +1,35 @@
-"""Automatic algorithm selection.
+"""Automatic algorithm selection (thin wrapper over :mod:`busytime.engine`).
 
 The paper proves different ratios for different instance classes; a user who
 just wants "the best schedule this package can produce" should not need to
-classify their instance by hand.  :func:`auto_schedule` does that:
-
-1. split the instance into connected components (always valid);
-2. per component, detect the structural class (clique → Appendix algorithm,
-   proper → Section 3.1 greedy, everything fits on one machine → trivial,
-   otherwise FirstFit and, when the length ratio is small, Bounded_Length);
-3. optionally run a portfolio of applicable algorithms and keep the cheapest
-   schedule (``portfolio=True``), which can only help since every candidate
-   is feasible.
-
-The per-component best proven ratio is recorded in the returned schedule's
-``meta`` so experiment reports can show which guarantee applies.
+classify their instance by hand.  :func:`auto_schedule` keeps that historical
+one-call API, but the orchestration itself — component splitting, capability
+lookup, the per-component portfolio — lives in the engine
+(:class:`busytime.engine.Engine`), which all entry points now share.  Use the
+engine directly when you also want the lower bounds, the per-component
+decisions and the proven-ratio certificate instead of a bare schedule.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
-
-from ..core.instance import Instance, connected_components
-from ..core.schedule import Machine, Schedule
+from ..core.instance import Instance
+from ..core.schedule import Schedule
 from .base import FunctionScheduler, register_scheduler
-from .bounded_length import bounded_length
-from .clique import clique_schedule
-from .first_fit import first_fit
-from .proper_greedy import proper_greedy
 
 __all__ = ["auto_schedule", "select_algorithm", "AutoScheduler"]
 
-#: Length-ratio threshold below which Bounded_Length joins the portfolio.
-_BOUNDED_LENGTH_RATIO = 8.0
-
 
 def select_algorithm(instance: Instance) -> str:
-    """Name of the specialised algorithm with the best proven ratio."""
-    if instance.n == 0:
-        return "first_fit"
-    if instance.clique_number <= instance.g:
-        return "single_machine"
-    if instance.is_clique():
-        return "clique"
-    if instance.is_proper():
-        return "proper_greedy"
-    ratio = instance.length_ratio()
-    if ratio != float("inf") and ratio <= _BOUNDED_LENGTH_RATIO:
-        return "bounded_length"
-    return "first_fit"
+    """Name of the specialised algorithm with the best proven ratio.
 
+    Delegates to the engine's default (``best_ratio``) selection policy,
+    which ranks the registered algorithms by their declared capabilities;
+    ``"single_machine"`` denotes the structural everything-fits-on-one-machine
+    shortcut.
+    """
+    from ..engine.policy import get_policy
 
-def _schedule_component(
-    component: Instance, portfolio: bool
-) -> Tuple[str, Schedule]:
-    choice = select_algorithm(component)
-    candidates: List[Tuple[str, Schedule]] = []
-
-    if choice == "single_machine":
-        # Everything fits on one machine: that machine costs span(J), which
-        # matches the span lower bound and is therefore optimal.
-        machines = (Machine(index=0, jobs=component.jobs),)
-        sched = Schedule(
-            instance=component,
-            machines=machines,
-            algorithm="single_machine",
-            meta={"optimal": True},
-        )
-        sched.validate()
-        return "single_machine", sched
-
-    if choice == "clique":
-        candidates.append(("clique", clique_schedule(component)))
-    if choice == "proper_greedy" or (portfolio and component.is_proper()):
-        candidates.append(("proper_greedy", proper_greedy(component)))
-    if choice == "bounded_length" or portfolio:
-        ratio = component.length_ratio()
-        if ratio != float("inf") and ratio <= _BOUNDED_LENGTH_RATIO:
-            candidates.append(("bounded_length", bounded_length(component)))
-    # FirstFit is always applicable and is the guarantee of last resort.
-    candidates.append(("first_fit", first_fit(component)))
-
-    name, best = min(candidates, key=lambda c: c[1].total_busy_time)
-    return name, best
+    return get_policy("best_ratio").choose(instance)
 
 
 def auto_schedule(instance: Instance, portfolio: bool = True) -> Schedule:
@@ -92,36 +40,19 @@ def auto_schedule(instance: Instance, portfolio: bool = True) -> Schedule:
     instance:
         Any instance.
     portfolio:
-        When True (default) all applicable algorithms are run per component
-        and the cheapest feasible schedule is kept; when False only the
-        single algorithm chosen by :func:`select_algorithm` runs.
+        When True (default) all applicable portfolio algorithms are run per
+        component and the cheapest feasible schedule is kept; when False only
+        the policy's preferred algorithm runs (plus FirstFit, the guarantee
+        of last resort).
+
+    The per-component decisions are recorded in the returned schedule's
+    ``meta["components"]``; :meth:`busytime.engine.Engine.solve` returns the
+    same schedule inside a full :class:`~busytime.engine.SolveReport`.
     """
-    if instance.n == 0:
-        return Schedule(instance=instance, machines=(), algorithm="auto")
+    from ..engine import Engine, SolveRequest
 
-    machines: List[Machine] = []
-    per_component: List[Dict[str, object]] = []
-    for component in connected_components(instance):
-        name, sched = _schedule_component(component, portfolio)
-        per_component.append(
-            {
-                "component": component.name,
-                "n": component.n,
-                "algorithm": name,
-                "cost": sched.total_busy_time,
-            }
-        )
-        for m in sched.machines:
-            machines.append(Machine(index=len(machines), jobs=m.jobs))
-
-    result = Schedule(
-        instance=instance,
-        machines=tuple(machines),
-        algorithm="auto",
-        meta={"components": per_component, "portfolio": portfolio},
-    )
-    result.validate()
-    return result
+    report = Engine().solve(SolveRequest(instance=instance, portfolio=portfolio))
+    return report.schedule
 
 
 class AutoScheduler(FunctionScheduler):
@@ -134,6 +65,8 @@ class AutoScheduler(FunctionScheduler):
             approximation_ratio=4.0,
             instance_class="general",
             paper_section="Sections 2, 3, Appendix",
+            composite=True,
+            portfolio_member=False,
         )
 
 

@@ -66,6 +66,8 @@ class FirstFitScheduler(FunctionScheduler):
             approximation_ratio=4.0,
             instance_class="general",
             paper_section="Section 2",
+            instance_classes=("general",),
+            selection_priority=40,
         )
 
 

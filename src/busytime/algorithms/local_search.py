@@ -204,5 +204,8 @@ register_scheduler(
         approximation_ratio=4.0,
         instance_class="general",
         paper_section="Section 2 + post-optimisation",
+        anytime=True,
+        selection_priority=90,
+        portfolio_member=False,
     )
 )

@@ -73,6 +73,8 @@ class ProperGreedyScheduler(FunctionScheduler):
             approximation_ratio=2.0,
             instance_class="proper",
             paper_section="Section 3.1",
+            instance_classes=("proper",),
+            selection_priority=20,
         )
 
 

@@ -3,19 +3,20 @@
 Every experiment in EXPERIMENTS.md boils down to the same loop: generate a
 family of instances over a parameter grid, run one or more algorithms on each
 and tabulate the costs / ratios.  :class:`ExperimentRunner` implements that
-loop once so the per-experiment benchmark modules only declare *what* to
-sweep, not *how*.
+loop once — building a :class:`~busytime.engine.SolveRequest` per (instance,
+algorithm) cell, handing it to the shared :class:`~busytime.engine.Engine`
+and consuming the returned :class:`~busytime.engine.SolveReport` — so the
+per-experiment benchmark modules only declare *what* to sweep, not *how*.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.bounds import best_lower_bound
 from ..core.instance import Instance
 from ..core.schedule import Schedule
+from ..engine import Engine, SolveReport, SolveRequest
 from ..exact import exact_optimal_cost
 from .ratio import RatioMeasurement
 from .reporting import format_table
@@ -67,19 +68,28 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Run algorithms over a grid of generated instances and tabulate results."""
+    """Run algorithms over a grid of generated instances and tabulate results.
+
+    ``algorithms`` maps a display label to any ``instance -> Schedule``
+    callable; labels matching registry names are not required.  Each cell is
+    executed through the engine, so per-cell timing, validation and the lower
+    bound come from the :class:`~busytime.engine.SolveReport` rather than
+    being re-implemented here.
+    """
 
     def __init__(
         self,
         algorithms: Mapping[str, Callable[[Instance], Schedule]],
         compute_optimum: bool = False,
         max_jobs_for_optimum: int = 16,
+        engine: Optional[Engine] = None,
     ) -> None:
         if not algorithms:
             raise ValueError("need at least one algorithm")
         self.algorithms = dict(algorithms)
         self.compute_optimum = compute_optimum
         self.max_jobs_for_optimum = max_jobs_for_optimum
+        self.engine = engine or Engine()
         self.results: List[ExperimentResult] = []
 
     def run_instance(
@@ -87,36 +97,29 @@ class ExperimentRunner:
     ) -> List[ExperimentResult]:
         """Run every algorithm on one instance; results are accumulated."""
         params = dict(params or {})
-        lb = best_lower_bound(instance)
-        optimum: Optional[float] = None
-        best_cost: Optional[float] = None
-        new_results: List[ExperimentResult] = []
-        schedules: List[Tuple[str, Schedule, float]] = []
+        reports: List[Tuple[str, SolveReport]] = []
         for name, algorithm in self.algorithms.items():
-            start = time.perf_counter()
-            schedule = algorithm(instance)
-            elapsed = time.perf_counter() - start
-            schedule.validate()
-            schedules.append((name, schedule, elapsed))
-            cost = schedule.total_busy_time
-            best_cost = cost if best_cost is None else min(best_cost, cost)
-        if (
-            self.compute_optimum
-            and instance.n <= self.max_jobs_for_optimum
-        ):
+            request = SolveRequest(instance=instance, algorithm=name)
+            reports.append((name, self.engine.solve(request, scheduler=algorithm)))
+        optimum: Optional[float] = None
+        if self.compute_optimum and instance.n <= self.max_jobs_for_optimum:
+            best_cost = min(report.cost for _, report in reports)
             optimum = exact_optimal_cost(
-                instance, initial_upper_bound=best_cost, max_jobs=self.max_jobs_for_optimum
+                instance,
+                initial_upper_bound=best_cost,
+                max_jobs=self.max_jobs_for_optimum,
             )
-        for name, schedule, elapsed in schedules:
+        new_results: List[ExperimentResult] = []
+        for name, report in reports:
             result = ExperimentResult(
                 instance_name=instance.name,
                 algorithm=name,
                 params=params,
-                cost=schedule.total_busy_time,
-                num_machines=schedule.num_machines,
-                lower_bound=lb,
+                cost=report.cost,
+                num_machines=report.num_machines,
+                lower_bound=report.lower_bound,
                 optimum=optimum,
-                runtime_seconds=elapsed,
+                runtime_seconds=float(report.timings.get("schedule", 0.0)),
             )
             self.results.append(result)
             new_results.append(result)
@@ -140,29 +143,26 @@ class ExperimentRunner:
         rows = [r.as_dict() for r in self.results]
         return format_table(rows, columns=columns, title=title or None)
 
+    def _ratios(self, algorithm: str, against: str) -> List[float]:
+        """All recorded ratios of one algorithm (vs "lb" or vs "opt")."""
+        ratios: List[float] = []
+        for r in self.results:
+            if r.algorithm != algorithm:
+                continue
+            value = r.ratio_lb if against == "lb" else r.ratio_opt
+            if value is not None:
+                ratios.append(value)
+        if not ratios:
+            raise KeyError(f"no results recorded for algorithm {algorithm!r}")
+        return ratios
+
     def worst_ratio(self, algorithm: str, against: str = "lb") -> float:
         """The worst observed ratio of one algorithm over all results."""
-        ratios: List[float] = []
-        for r in self.results:
-            if r.algorithm != algorithm:
-                continue
-            value = r.ratio_lb if against == "lb" else r.ratio_opt
-            if value is not None:
-                ratios.append(value)
-        if not ratios:
-            raise KeyError(f"no results recorded for algorithm {algorithm!r}")
-        return max(ratios)
+        return max(self._ratios(algorithm, against))
 
     def mean_ratio(self, algorithm: str, against: str = "lb") -> float:
-        ratios: List[float] = []
-        for r in self.results:
-            if r.algorithm != algorithm:
-                continue
-            value = r.ratio_lb if against == "lb" else r.ratio_opt
-            if value is not None:
-                ratios.append(value)
-        if not ratios:
-            raise KeyError(f"no results recorded for algorithm {algorithm!r}")
+        """The mean observed ratio of one algorithm over all results."""
+        ratios = self._ratios(algorithm, against)
         return sum(ratios) / len(ratios)
 
 

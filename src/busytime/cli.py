@@ -1,7 +1,10 @@
 """Command-line interface.
 
 ``python -m busytime.cli <command>`` (or the ``busytime`` console script once
-installed) exposes the library's main flows without writing Python:
+installed) exposes the library's main flows without writing Python.  Every
+scheduling command routes through the solve-session engine
+(:mod:`busytime.engine`): the CLI builds a :class:`~busytime.engine.SolveRequest`
+and renders the returned :class:`~busytime.engine.SolveReport`.
 
 ``generate``
     produce a synthetic instance (uniform / poisson / bursty / proper /
@@ -9,6 +12,10 @@ installed) exposes the library's main flows without writing Python:
 ``schedule``
     load an instance (JSON or CSV), run one of the registered algorithms and
     print a summary table; optionally write the schedule JSON.
+``solve``
+    batch mode: solve one or more instance JSONs (or a whole directory via
+    ``--batch``) through the engine, optionally across a process pool
+    (``--workers``), and write per-instance SolveReport JSONs.
 ``compare``
     run several algorithms on one instance and print the head-to-head table
     with lower bounds (and the exact optimum for small instances).
@@ -17,7 +24,7 @@ installed) exposes the library's main flows without writing Python:
     regenerator / ADM / wavelength counts.
 ``info``
     print the structural profile of an instance (class, clique number,
-    bounds) and which algorithm the dispatcher would choose.
+    bounds) and which algorithm the engine's policy would choose.
 
 Every command accepts ``--seed`` where randomness is involved, so runs are
 reproducible.
@@ -32,10 +39,11 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from . import io as bio
-from .algorithms import available_schedulers, get_scheduler, select_algorithm
+from .algorithms import algorithm_table, get_scheduler, select_algorithm
 from .analysis import format_table
 from .core.bounds import best_lower_bound, parallelism_bound, span_bound
 from .core.instance import Instance
+from .engine import Engine, SolveRequest, available_policies
 from .exact import exact_optimal_cost
 from .generators import (
     bounded_length_instance,
@@ -55,6 +63,9 @@ from .optical import traffic_to_instance
 
 __all__ = ["main", "build_parser"]
 
+_DEFAULT_N = 50
+_DEFAULT_SEED = 0
+
 _GENERATORS: Dict[str, Callable[..., Instance]] = {
     "uniform": lambda n, g, seed: uniform_random_instance(n, g, seed=seed),
     "poisson": lambda n, g, seed: poisson_arrivals_instance(n, g, seed=seed),
@@ -62,7 +73,6 @@ _GENERATORS: Dict[str, Callable[..., Instance]] = {
     "proper": lambda n, g, seed: proper_instance(n, g, seed=seed),
     "clique": lambda n, g, seed: clique_instance(n, g, seed=seed),
     "bounded": lambda n, g, seed: bounded_length_instance(n, g, seed=seed),
-    "fig4": lambda n, g, seed: firstfit_lower_bound_instance(max(g, 2)),
 }
 
 _TRAFFIC_GENERATORS = {
@@ -83,63 +93,146 @@ def _load_instance(path: str, g: Optional[int]) -> Instance:
     return instance
 
 
+def _request_for(instance: Instance, algorithm: str, **options) -> SolveRequest:
+    """Build a SolveRequest; the pseudo-name ``auto`` means policy dispatch."""
+    if algorithm == "auto":
+        forced = None
+    else:
+        get_scheduler(algorithm)  # unknown names raise KeyError, as historically
+        forced = algorithm
+    return SolveRequest(instance=instance, algorithm=forced, **options)
+
+
 # ---------------------------------------------------------------------------
 # Sub-command implementations
 # ---------------------------------------------------------------------------
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    maker = _GENERATORS[args.family]
-    instance = maker(args.n, args.g, args.seed)
+    if args.family == "fig4":
+        # The Fig. 4 (Theorem 2.4) construction is fully determined by g:
+        # it has exactly g*(g+1) jobs and no randomness.  Silently ignoring
+        # --n/--seed used to mislead; now it is an explicit error.
+        if args.n is not None or args.seed is not None:
+            raise SystemExit(
+                "the fig4 family is fully determined by --g (it has g*(g+1) "
+                "jobs and no randomness); --n and --seed do not apply"
+            )
+        instance = firstfit_lower_bound_instance(max(args.g, 2))
+    else:
+        maker = _GENERATORS[args.family]
+        n = _DEFAULT_N if args.n is None else args.n
+        seed = _DEFAULT_SEED if args.seed is None else args.seed
+        instance = maker(n, args.g, seed)
     bio.save_instance(instance, args.output)
     print(f"wrote {instance.n} jobs (g={instance.g}, {instance.classify()}) to {args.output}")
     return 0
 
 
+def _report_row(label: str, report) -> Dict[str, object]:
+    summary = report.summary()
+    return {
+        "algorithm": label,
+        "n": summary["n"],
+        "g": summary["g"],
+        "busy_time": round(summary["cost"], 3),
+        "machines": summary["machines"],
+        "lower_bound": round(summary["lower_bound"], 3),
+        "ratio_vs_lb": (
+            round(summary["ratio_vs_lb"], 3) if summary["lower_bound"] > 0 else 1.0
+        ),
+    }
+
+
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance, args.g)
-    scheduler = get_scheduler(args.algorithm)
-    schedule = scheduler(instance)
-    schedule.validate()
-    lb = best_lower_bound(instance)
-    rows = [
-        {
-            "algorithm": args.algorithm,
-            "n": instance.n,
-            "g": instance.g,
-            "busy_time": round(schedule.total_busy_time, 3),
-            "machines": schedule.num_machines,
-            "lower_bound": round(lb, 3),
-            "ratio_vs_lb": round(schedule.total_busy_time / lb, 3) if lb > 0 else 1.0,
-        }
-    ]
-    print(format_table(rows, title=f"schedule for {instance.name or args.instance}"))
+    engine = Engine()
+    report = engine.solve(_request_for(instance, args.algorithm))
+    print(
+        format_table(
+            [_report_row(args.algorithm, report)],
+            title=f"schedule for {instance.name or args.instance}",
+        )
+    )
     if args.output:
-        bio.save_schedule(schedule, args.output)
+        bio.save_schedule(report.schedule, args.output)
         print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    paths: List[Path] = [Path(p) for p in args.instances]
+    if args.batch:
+        batch_dir = Path(args.batch)
+        if not batch_dir.is_dir():
+            raise SystemExit(f"--batch expects a directory, got {args.batch}")
+        paths.extend(sorted(batch_dir.glob(args.glob)))
+    if not paths:
+        raise SystemExit("nothing to solve: pass instance files and/or --batch DIR")
+
+    engine = Engine()
+    requests = []
+    for path in paths:
+        instance = _load_instance(str(path), args.g)
+        requests.append(
+            _request_for(
+                instance,
+                args.algorithm,
+                policy=args.policy,
+                portfolio=not args.no_portfolio,
+                time_limit=args.time_limit,
+                compute_optimum=args.exact,
+                tags={"file": path.name},
+            )
+        )
+    reports = engine.solve_many(requests, max_workers=args.workers)
+
+    rows = []
+    for path, report in zip(paths, reports):
+        row = _report_row(report.algorithm, report)
+        row = {"file": path.name, **row}
+        row["proven_ratio"] = report.proven_ratio
+        if report.optimum is not None:
+            row["optimum"] = round(report.optimum, 3)
+        row["time_s"] = round(report.wall_time_seconds, 4)
+        rows.append(row)
+    workers_note = f", workers={args.workers}" if args.workers else ""
+    print(format_table(rows, title=f"solved {len(reports)} instances{workers_note}"))
+
+    if args.output_dir:
+        out_dir = Path(args.output_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        used: Dict[str, int] = {}
+        for path, report in zip(paths, reports):
+            # Inputs from different directories may share a stem; suffix
+            # duplicates instead of silently overwriting earlier reports.
+            count = used.get(path.stem, 0)
+            used[path.stem] = count + 1
+            stem = path.stem if count == 0 else f"{path.stem}-{count + 1}"
+            bio.save_solve_report(report, out_dir / f"{stem}.report.json")
+        print(f"{len(reports)} reports written to {out_dir}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance, args.g)
     names = args.algorithms or ["first_fit", "proper_greedy", "best_fit", "auto"]
-    lb = best_lower_bound(instance)
+    engine = Engine()
+    reports = [(name, engine.solve(_request_for(instance, name))) for name in names]
+    lb = reports[0][1].lower_bound
     optimum = None
     if args.exact and instance.n <= args.exact_limit:
         optimum = exact_optimal_cost(instance)
     rows = []
-    for name in names:
-        scheduler = get_scheduler(name)
-        schedule = scheduler(instance)
-        schedule.validate()
+    for name, report in reports:
         row = {
             "algorithm": name,
-            "busy_time": round(schedule.total_busy_time, 3),
-            "machines": schedule.num_machines,
-            "ratio_vs_lb": round(schedule.total_busy_time / lb, 3) if lb > 0 else 1.0,
+            "busy_time": round(report.cost, 3),
+            "machines": report.num_machines,
+            "ratio_vs_lb": round(report.ratio_vs_lb, 3) if lb > 0 else 1.0,
         }
         if optimum:
-            row["ratio_vs_opt"] = round(schedule.total_busy_time / optimum, 3)
+            row["ratio_vs_opt"] = round(report.cost / optimum, 3)
         rows.append(row)
     title = f"comparison on {instance.name or args.instance} (LB={lb:.3f}"
     title += f", OPT={optimum:.3f})" if optimum else ")"
@@ -210,14 +303,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_algorithms(args: argparse.Namespace) -> int:
     rows = []
-    for name in available_schedulers():
-        info = get_scheduler(name).info()
+    for info in algorithm_table():
         rows.append(
             {
                 "name": info.name,
                 "section": info.paper_section,
                 "ratio": info.approximation_ratio,
                 "class": info.instance_class,
+                "classes": ",".join(info.instance_classes),
+                "portfolio": info.portfolio_member,
             }
         )
     print(format_table(rows, title="registered algorithms"))
@@ -237,10 +331,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_gen = sub.add_parser("generate", help="generate a synthetic instance")
-    p_gen.add_argument("--family", choices=sorted(_GENERATORS), default="uniform")
-    p_gen.add_argument("--n", type=int, default=50)
+    p_gen.add_argument(
+        "--family", choices=sorted(_GENERATORS) + ["fig4"], default="uniform"
+    )
+    p_gen.add_argument(
+        "--n", type=int, default=None,
+        help=f"number of jobs (default {_DEFAULT_N}; not applicable to fig4)",
+    )
     p_gen.add_argument("--g", type=int, default=3)
-    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
+        "--seed", type=int, default=None,
+        help=f"random seed (default {_DEFAULT_SEED}; not applicable to fig4)",
+    )
     p_gen.add_argument("--output", required=True)
     p_gen.set_defaults(func=_cmd_generate)
 
@@ -250,6 +352,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--g", type=int, default=None)
     p_sched.add_argument("--output", default=None, help="write the schedule JSON here")
     p_sched.set_defaults(func=_cmd_schedule)
+
+    p_solve = sub.add_parser(
+        "solve", help="solve a batch of instances through the engine"
+    )
+    p_solve.add_argument("instances", nargs="*", help="instance JSON files")
+    p_solve.add_argument(
+        "--batch", default=None, help="directory of instance JSONs to solve"
+    )
+    p_solve.add_argument(
+        "--glob", default="*.json", help="filename pattern inside --batch"
+    )
+    p_solve.add_argument("--algorithm", default="auto")
+    p_solve.add_argument(
+        "--policy", default=None, choices=available_policies(),
+        help="selection policy for dispatched (auto) solves",
+    )
+    p_solve.add_argument(
+        "--no-portfolio", action="store_true",
+        help="run only the selected algorithm per component",
+    )
+    p_solve.add_argument("--g", type=int, default=None)
+    p_solve.add_argument(
+        "--workers", type=int, default=None,
+        help="fan out across a process pool of this size",
+    )
+    p_solve.add_argument(
+        "--time-limit", type=float, default=None,
+        help="soft per-instance budget in seconds (dispatched solves only; "
+        "ignored with a forced --algorithm)",
+    )
+    p_solve.add_argument(
+        "--exact", action="store_true",
+        help="also compute the exact optimum for small instances",
+    )
+    p_solve.add_argument(
+        "--output-dir", default=None, help="write one SolveReport JSON per instance"
+    )
+    p_solve.set_defaults(func=_cmd_solve)
 
     p_cmp = sub.add_parser("compare", help="head-to-head of several algorithms")
     p_cmp.add_argument("instance")

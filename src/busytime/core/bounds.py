@@ -88,7 +88,18 @@ def clique_bound(instance: Instance) -> float:
 
 
 def best_lower_bound(instance: Instance) -> float:
-    """The strongest lower bound this module knows for the given instance."""
+    """The strongest lower bound this module knows for the given instance.
+
+    Memoised on the (immutable) instance: the engine attaches this bound to
+    every report and the experiment harness asks once per algorithm, so the
+    component sweep should only ever run once per instance.
+    """
+    return instance._memo(
+        "_best_lower_bound", lambda: _compute_best_lower_bound(instance)
+    )
+
+
+def _compute_best_lower_bound(instance: Instance) -> float:
     candidates: List[float] = [component_bound(instance)]
     if instance.is_clique():
         candidates.append(clique_bound(instance))

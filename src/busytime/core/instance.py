@@ -79,6 +79,22 @@ class Instance:
         if len(set(ids)) != len(ids):
             raise ValueError("job ids must be unique within an instance")
 
+    def _memo(self, key: str, compute):
+        """Cache a structural query on this (immutable) instance.
+
+        The engine's selection policies probe the same classifications
+        (properness, clique number, length ratio) once per registered
+        algorithm; memoising keeps that O(n log n) work to once per instance.
+        Safe because instances are frozen and the cache bypasses dataclass
+        equality/repr (it lives in ``__dict__``, not in the fields).
+        """
+        try:
+            return self.__dict__[key]
+        except KeyError:
+            value = compute()
+            object.__setattr__(self, key, value)
+            return value
+
     @classmethod
     def from_intervals(
         cls,
@@ -151,7 +167,7 @@ class Instance:
     @property
     def clique_number(self) -> int:
         """Maximum number of simultaneously active jobs (interval-graph ω)."""
-        return max_point_load(self.jobs)
+        return self._memo("_clique_number", lambda: max_point_load(self.jobs))
 
     @property
     def max_length(self) -> float:
@@ -174,6 +190,9 @@ class Instance:
         start-time order (the paper uses this fact in Section 3.1: sorting by
         start time also sorts by completion time).
         """
+        return self._memo("_is_proper", self._compute_is_proper)
+
+    def _compute_is_proper(self) -> bool:
         unique = sorted({(j.start, j.end) for j in self.jobs})
         for i in range(1, len(unique)):
             if unique[i][0] == unique[i - 1][0]:
@@ -194,7 +213,10 @@ class Instance:
         """
         if not self.jobs:
             return True
-        return max(j.start for j in self.jobs) <= min(j.end for j in self.jobs)
+        return self._memo(
+            "_is_clique",
+            lambda: max(j.start for j in self.jobs) <= min(j.end for j in self.jobs),
+        )
 
     def common_point(self) -> Optional[float]:
         """A point contained in every job interval, if one exists."""
@@ -213,6 +235,9 @@ class Instance:
         follow-up work cited in Section 1.3; the classifier is provided for
         completeness and used by the dispatcher.
         """
+        return self._memo("_is_laminar", self._compute_is_laminar)
+
+    def _compute_is_laminar(self) -> bool:
         jobs = sorted(self.jobs, key=lambda j: (j.start, -j.end))
         stack: List[Job] = []
         for j in jobs:
@@ -234,6 +259,9 @@ class Instance:
         """
         if not self.jobs:
             return 1.0
+        return self._memo("_length_ratio", self._compute_length_ratio)
+
+    def _compute_length_ratio(self) -> float:
         longest = self.max_length
         shortest = self.min_length
         if shortest == 0:

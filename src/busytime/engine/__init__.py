@@ -1,0 +1,41 @@
+"""Unified solve-session API: ``SolveRequest -> Engine -> SolveReport``.
+
+This package is the single orchestration seam of the library.  Build a
+declarative :class:`SolveRequest`, hand it to an :class:`Engine` (or the
+module-level :func:`solve` / :func:`solve_many`), and consume the structured
+:class:`SolveReport` — schedule, lower bounds, per-component algorithm
+decisions, proven-ratio certificate and timings — instead of re-implementing
+component splitting, algorithm selection and bound computation at every call
+site.  Later scaling work (caching, sharding, async backends) plugs in here.
+"""
+
+from .core import Engine, solve, solve_many
+from .policy import (
+    DEFAULT_POLICY,
+    BestRatioPolicy,
+    FirstFitPolicy,
+    SelectionPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
+from .report import ComponentDecision, SolveReport
+from .request import OBJECTIVES, RequestValidationError, SolveRequest
+
+__all__ = [
+    "Engine",
+    "solve",
+    "solve_many",
+    "SolveRequest",
+    "SolveReport",
+    "ComponentDecision",
+    "RequestValidationError",
+    "OBJECTIVES",
+    "SelectionPolicy",
+    "BestRatioPolicy",
+    "FirstFitPolicy",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "DEFAULT_POLICY",
+]

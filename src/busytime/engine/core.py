@@ -1,0 +1,338 @@
+"""The solve-session engine: ``SolveRequest -> Engine -> SolveReport``.
+
+Every entry point of the package — :func:`busytime.auto_schedule`, the
+experiment harness, the CLI, the examples — routes scheduling work through
+:class:`Engine`, the one place that implements the orchestration loop the
+paper's algorithms need around them:
+
+1. split the instance into connected components (Section 1.4 w.l.o.g.);
+2. per component, rank the applicable registered algorithms via the request's
+   selection policy (capability metadata, see :mod:`busytime.engine.policy`);
+3. run the preferred algorithm — or, with ``portfolio=True``, every
+   applicable portfolio algorithm — and keep the cheapest feasible schedule;
+4. assemble the merged schedule, the Observation 1.1 lower bound, the
+   per-component decisions, the proven-ratio certificate and timings into a
+   :class:`~busytime.engine.report.SolveReport`.
+
+:meth:`Engine.solve_many` is the batch path: it preserves request order and
+optionally fans out across a ``concurrent.futures`` process pool.  Requests
+and reports are plain frozen dataclasses, so the pool ships them with
+ordinary pickling and the parallel results are identical to the serial ones
+(all selectable algorithms are deterministic).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import Scheduler, get_scheduler
+from ..core.bounds import best_lower_bound
+from ..core.instance import Instance, connected_components
+from ..core.schedule import Machine, Schedule
+from .policy import DEFAULT_POLICY, SINGLE_MACHINE, SelectionPolicy, get_policy
+from .report import ComponentDecision, SolveReport
+from .request import SolveRequest
+
+__all__ = ["Engine", "solve", "solve_many"]
+
+
+def _single_machine_schedule(component: Instance) -> Schedule:
+    """All jobs on one machine: cost ``span(J)``, matching the span bound,
+    hence optimal — feasible exactly when the clique number is at most ``g``."""
+    sched = Schedule(
+        instance=component,
+        machines=(Machine(index=0, jobs=component.jobs),),
+        algorithm=SINGLE_MACHINE,
+        meta={"optimal": True},
+    )
+    sched.validate()
+    return sched
+
+
+def _solve_component(
+    component: Instance, portfolio: bool, policy: SelectionPolicy
+) -> Tuple[ComponentDecision, Schedule]:
+    """Best schedule for one connected component under the given policy."""
+    ranked = policy.rank(component)
+    if ranked[0] == SINGLE_MACHINE:
+        sched = _single_machine_schedule(component)
+        decision = ComponentDecision(
+            component=component.name,
+            n=component.n,
+            algorithm=SINGLE_MACHINE,
+            cost=sched.total_busy_time,
+            proven_ratio=1.0,
+        )
+        return decision, sched
+
+    if portfolio:
+        names = [n for n in ranked if get_scheduler(n).portfolio_member]
+    else:
+        names = [ranked[0]]
+    # FirstFit is always applicable and is the guarantee of last resort.
+    if "first_fit" not in names:
+        names.append("first_fit")
+
+    candidates = [(name, get_scheduler(name)(component)) for name in names]
+    name, best = min(candidates, key=lambda c: c[1].total_busy_time)
+    # The kept schedule costs no more than any candidate's, so the best
+    # guarantee among the candidates certifies it.
+    proven = min(
+        (
+            get_scheduler(n).approximation_ratio
+            for n in names
+            if get_scheduler(n).approximation_ratio is not None
+        ),
+        default=None,
+    )
+    decision = ComponentDecision(
+        component=component.name,
+        n=component.n,
+        algorithm=name,
+        cost=best.total_busy_time,
+        proven_ratio=proven,
+    )
+    return decision, best
+
+
+class Engine:
+    """Facade turning :class:`SolveRequest` objects into :class:`SolveReport` s.
+
+    The engine is stateless apart from its default policy name, so one
+    instance can be shared freely (and worker processes rebuild an equivalent
+    one from nothing).
+    """
+
+    def __init__(self, default_policy: str = DEFAULT_POLICY) -> None:
+        get_policy(default_policy)  # fail fast on unknown names
+        self.default_policy = default_policy
+
+    # -- single request -------------------------------------------------------
+
+    def solve(
+        self,
+        request: SolveRequest,
+        scheduler: Optional[Callable[[Instance], Schedule]] = None,
+    ) -> SolveReport:
+        """Solve one request.
+
+        ``scheduler`` optionally supplies the scheduling callable out of
+        band (the experiment harness measures arbitrary callables this way);
+        ``request.algorithm`` then only labels the report.
+        """
+        request.validate(check_algorithm=scheduler is None)
+        started = time.monotonic()
+        timings: Dict[str, float] = {}
+        policy_name = request.policy or self.default_policy
+
+        if scheduler is not None or request.algorithm is not None:
+            report = self._solve_forced(request, scheduler, policy_name, timings)
+        else:
+            report = self._solve_dispatched(request, policy_name, timings)
+
+        lb_started = time.monotonic()
+        lower_bound = best_lower_bound(request.instance)
+        timings["lower_bound"] = time.monotonic() - lb_started
+
+        optimum: Optional[float] = None
+        if (
+            request.compute_optimum
+            and request.instance.n <= request.max_jobs_for_optimum
+        ):
+            from ..exact import exact_optimal_cost
+
+            opt_started = time.monotonic()
+            optimum = exact_optimal_cost(
+                request.instance,
+                initial_upper_bound=report.schedule.total_busy_time,
+                max_jobs=request.max_jobs_for_optimum,
+            )
+            timings["optimum"] = time.monotonic() - opt_started
+
+        timings["total"] = time.monotonic() - started
+        return replace(
+            report,
+            lower_bound=lower_bound,
+            optimum=optimum,
+            timings=dict(timings),
+            tags=dict(request.tags),
+        )
+
+    def _solve_forced(
+        self,
+        request: SolveRequest,
+        scheduler: Optional[Callable[[Instance], Schedule]],
+        policy_name: str,
+        timings: Dict[str, float],
+    ) -> SolveReport:
+        """Run one named (or supplied) algorithm on the whole instance."""
+        if scheduler is None:
+            scheduler = get_scheduler(request.algorithm)
+        label = request.algorithm or getattr(scheduler, "name", "custom")
+        started = time.monotonic()
+        schedule = scheduler(request.instance)
+        timings["schedule"] = time.monotonic() - started
+        if request.validate_schedule:
+            schedule.validate()
+        proven: Optional[float] = None
+        if isinstance(scheduler, Scheduler) and scheduler.handles(request.instance):
+            proven = scheduler.approximation_ratio
+        return SolveReport(
+            schedule=schedule,
+            algorithm=label,
+            policy=policy_name,
+            portfolio=False,
+            lower_bound=0.0,
+            proven_ratio=proven,
+        )
+
+    def _solve_dispatched(
+        self, request: SolveRequest, policy_name: str, timings: Dict[str, float]
+    ) -> SolveReport:
+        """Component-wise dispatch through the selection policy."""
+        instance = request.instance
+        policy = get_policy(policy_name)
+        started = time.monotonic()
+        deadline = (
+            started + request.time_limit if request.time_limit is not None else None
+        )
+
+        if instance.n == 0:
+            timings["schedule"] = time.monotonic() - started
+            return SolveReport(
+                schedule=Schedule(instance=instance, machines=(), algorithm="auto"),
+                algorithm="auto",
+                policy=policy_name,
+                portfolio=request.portfolio,
+                lower_bound=0.0,
+                proven_ratio=1.0,
+            )
+
+        machines: List[Machine] = []
+        decisions: List[ComponentDecision] = []
+        budget_exhausted = False
+        for component in connected_components(instance):
+            if deadline is not None and time.monotonic() >= deadline:
+                # Budget gone: fall back to the cheapest-to-compute guarantee
+                # algorithm so the solve still returns a feasible schedule.
+                budget_exhausted = True
+                sched = get_scheduler("first_fit")(component)
+                decision = ComponentDecision(
+                    component=component.name,
+                    n=component.n,
+                    algorithm="first_fit",
+                    cost=sched.total_busy_time,
+                    proven_ratio=get_scheduler("first_fit").approximation_ratio,
+                )
+            else:
+                decision, sched = _solve_component(
+                    component, request.portfolio, policy
+                )
+            decisions.append(decision)
+            for m in sched.machines:
+                machines.append(Machine(index=len(machines), jobs=m.jobs))
+        timings["schedule"] = time.monotonic() - started
+
+        schedule = Schedule(
+            instance=instance,
+            machines=tuple(machines),
+            algorithm="auto",
+            meta={
+                "components": [d.as_dict() for d in decisions],
+                "portfolio": request.portfolio,
+            },
+        )
+        if request.validate_schedule:
+            schedule.validate()
+        ratios = [d.proven_ratio for d in decisions]
+        # Component optima add up, so the worst per-component guarantee
+        # certifies the merged schedule.
+        proven = max(ratios) if all(r is not None for r in ratios) else None
+        return SolveReport(
+            schedule=schedule,
+            algorithm="auto",
+            policy=policy_name,
+            portfolio=request.portfolio,
+            lower_bound=0.0,
+            components=tuple(decisions),
+            proven_ratio=proven,
+            budget_exhausted=budget_exhausted,
+        )
+
+    # -- batch ----------------------------------------------------------------
+
+    def solve_many(
+        self,
+        requests: Sequence[SolveRequest],
+        max_workers: Optional[int] = None,
+        chunksize: int = 1,
+    ) -> List[SolveReport]:
+        """Solve a batch of requests, preserving input order.
+
+        ``max_workers`` > 1 fans the batch out across a process pool (one
+        request per task, ``chunksize`` tunable for many small instances).
+        All selectable algorithms are deterministic, so the parallel path
+        returns the same reports as the serial one, modulo wall-clock
+        timings.
+
+        Workers inherit the parent's registry via the ``fork`` start method
+        where the platform offers it; elsewhere (spawn/forkserver) workers
+        re-import the package from scratch, so algorithms and policies
+        registered at *runtime* (e.g. via the ``register_scheduler``
+        decorator in a script) are only available to the pool on fork
+        platforms — register them at import time (in a module workers also
+        import) to be portable.
+        """
+        prepared = []
+        for request in requests:
+            request.validate()
+            if request.policy is None:
+                request = replace(request, policy=self.default_policy)
+            prepared.append(request)
+        if max_workers is not None and max_workers > 1 and len(prepared) > 1:
+            mp_context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                mp_context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=mp_context
+            ) as pool:
+                return list(pool.map(_pool_worker, prepared, chunksize=chunksize))
+        return [self.solve(request) for request in prepared]
+
+
+def _pool_worker(request: SolveRequest) -> SolveReport:
+    """Top-level (picklable) worker for the process-pool batch path."""
+    return Engine().solve(request)
+
+
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def _default_engine() -> Engine:
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def solve(
+    request: SolveRequest,
+    scheduler: Optional[Callable[[Instance], Schedule]] = None,
+) -> SolveReport:
+    """Module-level convenience: solve one request with the default engine."""
+    return _default_engine().solve(request, scheduler=scheduler)
+
+
+def solve_many(
+    requests: Sequence[SolveRequest],
+    max_workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[SolveReport]:
+    """Module-level convenience: batch solve with the default engine."""
+    return _default_engine().solve_many(
+        requests, max_workers=max_workers, chunksize=chunksize
+    )

@@ -1,0 +1,139 @@
+"""Algorithm selection policies.
+
+A policy answers one question per connected component: *which registered
+algorithms apply here, and in what order of preference?*  Policies rank by
+querying the capability metadata every :class:`~busytime.algorithms.base.Scheduler`
+declares (:meth:`handles`, ``approximation_ratio``, ``selection_priority``)
+instead of hard-coding an if/elif chain, so registering a new algorithm with
+the right capabilities makes it selectable with no engine change.
+
+Two structural shortcuts live here rather than in the registry:
+
+* an empty component is served by FirstFit (nothing to do);
+* a component whose clique number is at most ``g`` fits on a single machine,
+  which costs exactly ``span(J)`` and is therefore optimal — reported as the
+  pseudo-algorithm ``"single_machine"`` that the engine materialises itself.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from ..algorithms.base import Scheduler, all_schedulers
+from ..core.instance import Instance
+
+__all__ = [
+    "SelectionPolicy",
+    "BestRatioPolicy",
+    "FirstFitPolicy",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "DEFAULT_POLICY",
+    "SINGLE_MACHINE",
+]
+
+#: Name of the structural single-machine shortcut (not a registry entry).
+SINGLE_MACHINE = "single_machine"
+
+#: Name of the default policy used when a request does not specify one.
+DEFAULT_POLICY = "best_ratio"
+
+
+class SelectionPolicy(abc.ABC):
+    """Strategy ranking the applicable algorithms for one component."""
+
+    #: registry key
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def rank(self, instance: Instance) -> List[str]:
+        """Applicable algorithm names, most preferred first (never empty)."""
+
+    def choose(self, instance: Instance) -> str:
+        """Name of the single preferred algorithm for ``instance``."""
+        return self.rank(instance)[0]
+
+
+def _structural_shortcut(instance: Instance) -> List[str]:
+    """The rankings shared by every policy, or [] when none applies."""
+    if instance.n == 0:
+        return ["first_fit"]
+    if instance.clique_number <= instance.g:
+        return [SINGLE_MACHINE]
+    return []
+
+
+class BestRatioPolicy(SelectionPolicy):
+    """Prefer the applicable algorithm with the best proven ratio.
+
+    Candidates are the registered, non-composite algorithms that carry an
+    approximation guarantee and whose declared capabilities cover the
+    component; ties on the ratio break by ``selection_priority`` (the
+    specialised algorithms of Sections 3.1/3.2 and the Appendix come before
+    the general-purpose FirstFit).  FirstFit always applies, so the ranking
+    is never empty.
+    """
+
+    name = "best_ratio"
+
+    def rank(self, instance: Instance) -> List[str]:
+        shortcut = _structural_shortcut(instance)
+        if shortcut:
+            return shortcut
+        candidates = [
+            s
+            for s in all_schedulers()
+            if s.approximation_ratio is not None
+            and not s.composite
+            and s.deterministic
+            and s.handles(instance)
+        ]
+        candidates.sort(
+            key=lambda s: (s.approximation_ratio, s.selection_priority, s.name)
+        )
+        return [s.name for s in candidates]
+
+
+class FirstFitPolicy(SelectionPolicy):
+    """Cheapest dispatch: FirstFit everywhere (after the structural shortcuts).
+
+    Useful under tight latency budgets where classifying the component
+    (properness, length ratios) costs more than it saves.
+    """
+
+    name = "first_fit"
+
+    def rank(self, instance: Instance) -> List[str]:
+        return _structural_shortcut(instance) or ["first_fit"]
+
+
+_POLICIES: Dict[str, SelectionPolicy] = {}
+
+
+def register_policy(policy: SelectionPolicy, overwrite: bool = False) -> SelectionPolicy:
+    """Add a policy to the registry (keyed by its ``name``)."""
+    if policy.name in _POLICIES and not overwrite:
+        raise KeyError(f"policy {policy.name!r} already registered")
+    _POLICIES[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str) -> SelectionPolicy:
+    """Look up a registered policy by name."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None
+
+
+def available_policies() -> List[str]:
+    """Names of all registered policies, sorted."""
+    return sorted(_POLICIES)
+
+
+register_policy(BestRatioPolicy())
+register_policy(FirstFitPolicy())

@@ -1,0 +1,148 @@
+"""Structured solve reports.
+
+A :class:`SolveReport` is the engine's response object: the schedule itself
+plus everything a consumer (CLI table, experiment harness, JSON archive)
+otherwise recomputed ad hoc — lower bounds, the per-component algorithm
+decisions, the proven-ratio certificate and wall-clock telemetry.
+
+Reports are frozen dataclasses and picklable, so the batch path can ship
+them back from worker processes.  JSON round-tripping lives in
+:mod:`busytime.io` (``solve_report_to_dict`` / ``solve_report_from_dict``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.schedule import Schedule
+
+__all__ = ["ComponentDecision", "SolveReport"]
+
+
+@dataclass(frozen=True)
+class ComponentDecision:
+    """What the engine did on one connected component.
+
+    ``proven_ratio`` is the best approximation guarantee among the candidate
+    algorithms that ran on the component: the kept schedule costs no more
+    than any candidate's, so every candidate's guarantee transfers to it.
+    ``None`` means no guarantee applies (e.g. a forced baseline algorithm).
+    """
+
+    component: str
+    n: int
+    algorithm: str
+    cost: float
+    proven_ratio: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "component": self.component,
+            "n": self.n,
+            "algorithm": self.algorithm,
+            "cost": self.cost,
+            "proven_ratio": self.proven_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """The engine's structured response to one :class:`SolveRequest`.
+
+    Attributes
+    ----------
+    schedule:
+        The feasible schedule produced for the request's instance.
+    algorithm:
+        Overall producing algorithm: a forced registry name, or ``"auto"``
+        for policy-dispatched solves.
+    policy:
+        Selection policy that made the per-component choices.
+    portfolio:
+        Whether the per-component portfolio ran.
+    lower_bound:
+        The Observation 1.1 lower bound ``max(span, len/g)`` on OPT.
+    optimum:
+        Exact optimum when requested and small enough, else ``None``.
+    components:
+        Per-component algorithm decisions (empty for forced solves, which
+        treat the instance as one unit).
+    proven_ratio:
+        Certificate: the schedule provably costs at most ``proven_ratio *
+        OPT`` (the worst per-component guarantee — component optima add up,
+        so the max transfers to the whole).  ``None`` when no guarantee
+        applies.
+    budget_exhausted:
+        True when the request's ``time_limit`` expired mid-solve and the
+        engine fell back to FirstFit for the remaining components.
+    timings:
+        Wall-clock telemetry in seconds: ``schedule`` (algorithm time),
+        ``lower_bound``, optional ``optimum``, and ``total``.
+    tags:
+        The request's free-form labels, echoed back.
+    """
+
+    schedule: Schedule
+    algorithm: str
+    policy: str
+    portfolio: bool
+    lower_bound: float
+    optimum: Optional[float] = None
+    components: Tuple[ComponentDecision, ...] = ()
+    proven_ratio: Optional[float] = None
+    budget_exhausted: bool = False
+    timings: Mapping[str, float] = field(default_factory=dict)
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def cost(self) -> float:
+        """The objective value of the produced schedule."""
+        return self.schedule.total_busy_time
+
+    @property
+    def num_machines(self) -> int:
+        return self.schedule.num_machines
+
+    @property
+    def wall_time_seconds(self) -> float:
+        """End-to-end solve time (0.0 when telemetry is absent)."""
+        return float(self.timings.get("total", 0.0))
+
+    @property
+    def ratio_vs_lb(self) -> float:
+        """Cost over the lower bound (1.0 for degenerate zero bounds)."""
+        if self.lower_bound <= 0:
+            return 1.0 if self.cost <= 0 else float("inf")
+        return self.cost / self.lower_bound
+
+    @property
+    def ratio_vs_opt(self) -> Optional[float]:
+        """Cost over the exact optimum, when the optimum was computed."""
+        if self.optimum is None or self.optimum <= 0:
+            return None
+        return self.cost / self.optimum
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dict for tables and logs (no machine assignment)."""
+        return {
+            "instance": self.schedule.instance.name,
+            "n": self.schedule.instance.n,
+            "g": self.schedule.instance.g,
+            "algorithm": self.algorithm,
+            "cost": self.cost,
+            "machines": self.num_machines,
+            "lower_bound": self.lower_bound,
+            "ratio_vs_lb": self.ratio_vs_lb,
+            "optimum": self.optimum,
+            "proven_ratio": self.proven_ratio,
+            "wall_time_s": self.wall_time_seconds,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveReport({self.algorithm}: cost={self.cost:g}, "
+            f"machines={self.num_machines}, lb={self.lower_bound:g})"
+        )

@@ -1,0 +1,131 @@
+"""Declarative solve requests.
+
+A :class:`SolveRequest` captures *everything* the engine needs to produce a
+:class:`~busytime.engine.report.SolveReport`: the instance, the objective,
+how the algorithm is picked (a forced registry name or a selection policy),
+an optional wall-clock budget and the report options.  Requests are frozen
+dataclasses — picklable by construction so they can cross process boundaries
+in :meth:`busytime.engine.Engine.solve_many` — and deliberately contain no
+callables or open resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..core.instance import Instance
+
+__all__ = ["SolveRequest", "RequestValidationError", "OBJECTIVES"]
+
+#: Objectives the engine understands.  The paper minimises total busy time;
+#: the field exists so future objectives (weighted busy time, machine count)
+#: plug into the same request shape.
+OBJECTIVES = ("busy_time",)
+
+
+class RequestValidationError(ValueError):
+    """Raised by :meth:`SolveRequest.validate` on an ill-formed request."""
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One unit of work for the :class:`~busytime.engine.Engine`.
+
+    Parameters
+    ----------
+    instance:
+        The instance to schedule.
+    objective:
+        Objective to minimise; only ``"busy_time"`` is currently supported.
+    algorithm:
+        Force a specific registered algorithm on the whole instance
+        (bypassing component dispatch), or ``None`` to let the selection
+        policy choose per connected component.
+    policy:
+        Name of the selection policy (see :mod:`busytime.engine.policy`);
+        ``None`` uses the engine's default.
+    portfolio:
+        Run every applicable portfolio algorithm per component and keep the
+        cheapest feasible schedule (can only help; all candidates are
+        feasible).  Ignored when ``algorithm`` is forced.
+    time_limit:
+        Soft wall-clock budget in seconds for *dispatched* solves.  Once
+        exceeded, remaining components fall back to the cheapest-to-compute
+        guarantee algorithm (FirstFit) and the report is flagged
+        ``budget_exhausted``.  Ignored when ``algorithm`` is forced: a single
+        running algorithm cannot be preempted mid-flight.
+    compute_optimum:
+        Also compute the exact optimum (branch and bound) when the instance
+        has at most ``max_jobs_for_optimum`` jobs.
+    max_jobs_for_optimum:
+        Size cap for the exact solver.
+    validate_schedule:
+        Re-validate the produced schedule against the instance (cheap; on by
+        default).
+    tags:
+        Free-form labels echoed into the report (experiment ids, file names).
+    """
+
+    instance: Instance
+    objective: str = "busy_time"
+    algorithm: Optional[str] = None
+    policy: Optional[str] = None
+    portfolio: bool = True
+    time_limit: Optional[float] = None
+    compute_optimum: bool = False
+    max_jobs_for_optimum: int = 16
+    validate_schedule: bool = True
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    def validate(self, check_algorithm: bool = True) -> None:
+        """Raise :class:`RequestValidationError` if the request is ill-formed.
+
+        ``check_algorithm=False`` skips the registry lookup of ``algorithm``
+        (used when the caller supplies a scheduler callable out of band, as
+        the experiment harness does).
+        """
+        if not isinstance(self.instance, Instance):
+            raise RequestValidationError(
+                f"instance must be a busytime Instance, got {type(self.instance).__name__}"
+            )
+        if self.objective not in OBJECTIVES:
+            raise RequestValidationError(
+                f"unknown objective {self.objective!r}; supported: {OBJECTIVES}"
+            )
+        if self.time_limit is not None and self.time_limit < 0:
+            raise RequestValidationError(
+                f"time_limit must be non-negative, got {self.time_limit}"
+            )
+        if self.max_jobs_for_optimum < 0:
+            raise RequestValidationError(
+                f"max_jobs_for_optimum must be non-negative, got {self.max_jobs_for_optimum}"
+            )
+        if self.algorithm is not None and check_algorithm:
+            from ..algorithms.base import get_scheduler
+
+            try:
+                get_scheduler(self.algorithm)
+            except KeyError as exc:
+                raise RequestValidationError(str(exc)) from None
+        if self.policy is not None:
+            from .policy import get_policy
+
+            try:
+                get_policy(self.policy)
+            except KeyError as exc:
+                raise RequestValidationError(str(exc)) from None
+
+    def options_dict(self) -> dict:
+        """The request's options (everything but the instance), JSON-ready."""
+        return {
+            "objective": self.objective,
+            "algorithm": self.algorithm,
+            "policy": self.policy,
+            "portfolio": self.portfolio,
+            "time_limit": self.time_limit,
+            "compute_optimum": self.compute_optimum,
+            "max_jobs_for_optimum": self.max_jobs_for_optimum,
+            "validate_schedule": self.validate_schedule,
+            "tags": dict(self.tags),
+        }

@@ -20,6 +20,33 @@ The formats are deliberately boring:
 producing algorithm; ``Traffic`` JSON stores the path length, the grooming
 factor and the lightpath endpoint pairs.  CSV files have a header row
 ``id,start,end[,weight][,tag]``.
+
+``SolveReport`` JSON (the engine's response object, see
+:mod:`busytime.engine`) wraps a schedule document with the solve metadata::
+
+    {
+      "format": "busytime-solve-report",
+      "version": 1,
+      "algorithm": "auto",            # overall producing algorithm
+      "policy": "best_ratio",         # selection policy used
+      "portfolio": true,
+      "lower_bound": 12.5,            # Observation 1.1 bound on OPT
+      "optimum": null,                # exact optimum when computed
+      "proven_ratio": 2.0,            # certificate: cost <= ratio * OPT
+      "budget_exhausted": false,
+      "components": [                 # per-component decisions
+        {"component": "...", "n": 3, "algorithm": "clique",
+         "cost": 4.0, "proven_ratio": 2.0}, ...
+      ],
+      "tags": {},                     # request labels, echoed back
+      "timings": {"schedule": 0.01, "lower_bound": 0.0, "total": 0.01},
+      "schedule": { ... }             # busytime-schedule document
+    }
+
+``timings`` is wall-clock telemetry and therefore not reproducible; pass
+``include_timings=False`` to :func:`solve_report_to_dict` to obtain the
+deterministic part only (two solves of the same request then serialise to
+byte-identical JSON).
 """
 
 from __future__ import annotations
@@ -32,6 +59,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from .core.instance import Instance
 from .core.intervals import Interval, Job
 from .core.schedule import Machine, Schedule
+from .engine.report import ComponentDecision, SolveReport
 from .optical.lightpath import Lightpath, Traffic
 from .optical.network import PathNetwork
 
@@ -44,6 +72,10 @@ __all__ = [
     "schedule_from_dict",
     "save_schedule",
     "load_schedule",
+    "solve_report_to_dict",
+    "solve_report_from_dict",
+    "save_solve_report",
+    "load_solve_report",
     "traffic_to_dict",
     "traffic_from_dict",
     "save_traffic",
@@ -149,6 +181,84 @@ def save_schedule(schedule: Schedule, path: _PathLike) -> None:
 
 def load_schedule(path: _PathLike) -> Schedule:
     return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Solve reports (busytime.engine)
+# ---------------------------------------------------------------------------
+
+
+def solve_report_to_dict(
+    report: SolveReport, include_timings: bool = True
+) -> Dict[str, object]:
+    """A JSON-serialisable dict for a :class:`~busytime.engine.SolveReport`.
+
+    ``include_timings=False`` drops the wall-clock telemetry, leaving only
+    the deterministic fields (see the module docstring's schema notes).
+    """
+    doc: Dict[str, object] = {
+        "format": "busytime-solve-report",
+        "version": 1,
+        "algorithm": report.algorithm,
+        "policy": report.policy,
+        "portfolio": report.portfolio,
+        "lower_bound": report.lower_bound,
+        "optimum": report.optimum,
+        "proven_ratio": report.proven_ratio,
+        "budget_exhausted": report.budget_exhausted,
+        "components": [d.as_dict() for d in report.components],
+        "tags": dict(report.tags),
+        "schedule": schedule_to_dict(report.schedule),
+    }
+    if include_timings:
+        doc["timings"] = dict(report.timings)
+    return doc
+
+
+def solve_report_from_dict(data: Mapping[str, object]) -> SolveReport:
+    """Rebuild a :class:`~busytime.engine.SolveReport` (re-validating its schedule)."""
+    if data.get("format") != "busytime-solve-report":
+        raise ValueError("not a busytime-solve-report document")
+    schedule = schedule_from_dict(data["schedule"])  # type: ignore[arg-type]
+    components = tuple(
+        ComponentDecision(
+            component=str(row["component"]),
+            n=int(row["n"]),
+            algorithm=str(row["algorithm"]),
+            cost=float(row["cost"]),
+            proven_ratio=(
+                None if row.get("proven_ratio") is None else float(row["proven_ratio"])
+            ),
+        )
+        for row in data.get("components", ())  # type: ignore[union-attr]
+    )
+    optimum = data.get("optimum")
+    proven = data.get("proven_ratio")
+    return SolveReport(
+        schedule=schedule,
+        algorithm=str(data.get("algorithm", "")),
+        policy=str(data.get("policy", "")),
+        portfolio=bool(data.get("portfolio", False)),
+        lower_bound=float(data.get("lower_bound", 0.0)),
+        optimum=None if optimum is None else float(optimum),
+        components=components,
+        proven_ratio=None if proven is None else float(proven),
+        budget_exhausted=bool(data.get("budget_exhausted", False)),
+        timings=dict(data.get("timings", {})),  # type: ignore[arg-type]
+        tags=dict(data.get("tags", {})),  # type: ignore[arg-type]
+    )
+
+
+def save_solve_report(
+    report: SolveReport, path: _PathLike, include_timings: bool = True
+) -> None:
+    Path(path).write_text(
+        json.dumps(solve_report_to_dict(report, include_timings=include_timings), indent=2)
+    )
+
+
+def load_solve_report(path: _PathLike) -> SolveReport:
+    return solve_report_from_dict(json.loads(Path(path).read_text()))
 
 
 # ---------------------------------------------------------------------------

@@ -5,7 +5,13 @@ import json
 import pytest
 
 from busytime.cli import build_parser, main
-from busytime.io import load_instance, load_schedule, save_instance, save_traffic
+from busytime.io import (
+    load_instance,
+    load_schedule,
+    load_solve_report,
+    save_instance,
+    save_traffic,
+)
 from busytime.generators import uniform_random_instance, uniform_traffic
 
 
@@ -33,7 +39,7 @@ class TestParser:
 
 
 class TestGenerate:
-    @pytest.mark.parametrize("family", ["uniform", "proper", "clique", "bounded", "fig4"])
+    @pytest.mark.parametrize("family", ["uniform", "proper", "clique", "bounded"])
     def test_generates_loadable_instance(self, tmp_path, capsys, family):
         out = tmp_path / f"{family}.json"
         rc = main(
@@ -43,6 +49,24 @@ class TestGenerate:
         inst = load_instance(out)
         assert inst.n >= 1
         assert "wrote" in capsys.readouterr().out
+
+    def test_generate_defaults_without_n_and_seed(self, tmp_path):
+        out = tmp_path / "default.json"
+        assert main(["generate", "--family", "uniform", "--g", "2", "--output", str(out)]) == 0
+        assert load_instance(out).n == 50
+
+    def test_fig4_determined_by_g(self, tmp_path, capsys):
+        out = tmp_path / "fig4.json"
+        rc = main(["generate", "--family", "fig4", "--g", "3", "--output", str(out)])
+        assert rc == 0
+        inst = load_instance(out)
+        assert inst.n == 3 * 4  # g * (g + 1) jobs, no randomness
+
+    @pytest.mark.parametrize("extra", [["--n", "15"], ["--seed", "2"]])
+    def test_fig4_rejects_inapplicable_arguments(self, tmp_path, extra):
+        out = tmp_path / "fig4.json"
+        with pytest.raises(SystemExit, match="fig4"):
+            main(["generate", "--family", "fig4", "--g", "3", "--output", str(out)] + extra)
 
 
 class TestSchedule:
@@ -70,6 +94,51 @@ class TestSchedule:
     def test_unknown_algorithm_errors(self, instance_file):
         with pytest.raises(KeyError):
             main(["schedule", str(instance_file), "--algorithm", "nope"])
+
+
+class TestSolve:
+    @pytest.fixture
+    def batch_dir(self, tmp_path):
+        batch = tmp_path / "batch"
+        batch.mkdir()
+        for seed in range(3):
+            save_instance(
+                uniform_random_instance(10, g=2, seed=seed), batch / f"inst{seed}.json"
+            )
+        return batch
+
+    def test_solve_batch_directory(self, batch_dir, capsys):
+        rc = main(["solve", "--batch", str(batch_dir)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "solved 3 instances" in text
+        assert "inst0.json" in text and "inst2.json" in text
+
+    def test_solve_batch_writes_reports(self, batch_dir, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        rc = main(
+            ["solve", "--batch", str(batch_dir), "--exact", "--output-dir", str(out_dir)]
+        )
+        assert rc == 0
+        reports = sorted(out_dir.glob("*.report.json"))
+        assert len(reports) == 3
+        report = load_solve_report(reports[0])
+        assert report.cost >= report.lower_bound - 1e-9
+        assert report.optimum is not None
+
+    def test_solve_explicit_files_and_workers(self, batch_dir, capsys):
+        files = sorted(str(p) for p in batch_dir.glob("*.json"))
+        rc = main(["solve", *files, "--workers", "2", "--algorithm", "first_fit"])
+        assert rc == 0
+        assert "first_fit" in capsys.readouterr().out
+
+    def test_solve_requires_input(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])
+
+    def test_solve_rejects_non_directory_batch(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["solve", "--batch", str(tmp_path / "missing")])
 
 
 class TestCompare:
