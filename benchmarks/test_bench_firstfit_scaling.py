@@ -1,0 +1,128 @@
+"""E16 — perf trajectory: sweep-line FirstFit vs the seed clip-and-rescan.
+
+Theorem 2.1's FirstFit is the package's hot path: every "does job J fit on
+machine M_i" query used to re-clip the machine's whole job list and re-sort
+its endpoint events (``O(n * m * g log g)`` overall), which capped the
+instance sizes the suite could reach.  The sweep-line machine state
+(:class:`busytime.core.events.SweepProfile`) answers the same query from an
+incrementally maintained load profile.
+
+This module regenerates the comparison:
+
+* ``_seed_first_fit`` below is a faithful copy of the seed implementation's
+  feasibility check, kept here so the baseline survives future changes to
+  the library;
+* both implementations must produce *identical* schedules (same machine
+  count, same cost) — the sweep line is an optimisation, not a behaviour
+  change — and the sweep-line schedule is additionally validated by the
+  independent ``verify_schedule`` oracle;
+* the measured speedup at the head-to-head size must clear 5x (it is
+  ~50-150x in practice; ``scripts/bench_trajectory.py`` records the full
+  trajectory up to n=20000 in ``BENCH_firstfit.json``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import pytest
+
+from busytime.algorithms.first_fit import first_fit, first_fit_order
+from busytime.core.instance import Instance
+from busytime.core.intervals import Interval, Job, max_point_load
+from busytime.core.schedule import verify_schedule
+from busytime.generators import uniform_random_instance
+
+HEAD_TO_HEAD = dict(n=5000, g=10, horizon=1000.0, seed=7)
+LARGE = dict(n=20000, g=10, horizon=1000.0, seed=7)
+REQUIRED_SPEEDUP = 5.0
+
+
+def _seed_fits(machine_jobs: List[Job], job: Job, g: int) -> bool:
+    """The seed's per-query clip-and-rescan feasibility check (baseline)."""
+    clipped: List[Interval] = []
+    for other in machine_jobs:
+        inter = other.interval.intersection(job.interval)
+        if inter is not None:
+            clipped.append(inter)
+    if len(clipped) < g:
+        return True
+    return max_point_load(clipped) <= g - 1
+
+
+def _seed_first_fit(instance: Instance) -> List[List[Job]]:
+    """The seed FirstFit loop over the clip-and-rescan check."""
+    machines: List[List[Job]] = []
+    for job in first_fit_order(instance.jobs):
+        target: Optional[int] = None
+        for idx, mjobs in enumerate(machines):
+            if _seed_fits(mjobs, job, instance.g):
+                target = idx
+                break
+        if target is None:
+            machines.append([job])
+        else:
+            machines[target].append(job)
+    return machines
+
+
+def test_firstfit_speedup_over_seed(benchmark, attach_rows):
+    inst = uniform_random_instance(**HEAD_TO_HEAD)
+
+    t0 = time.perf_counter()
+    baseline_machines = _seed_first_fit(inst)
+    baseline_seconds = time.perf_counter() - t0
+
+    schedule = benchmark(lambda: first_fit(inst))
+    sweep_seconds = benchmark.stats.stats.mean
+
+    # Identical behaviour: same machine count, same partition cost.
+    verify_schedule(schedule)  # independent slow-path oracle
+    assert schedule.num_machines == len(baseline_machines)
+    from busytime.core.intervals import span
+
+    baseline_cost = sum(span(mjobs) for mjobs in baseline_machines)
+    assert schedule.total_busy_time == pytest.approx(baseline_cost)
+
+    speedup = baseline_seconds / sweep_seconds
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"sweep-line FirstFit only {speedup:.1f}x faster than the seed "
+        f"clip-and-rescan baseline (required {REQUIRED_SPEEDUP}x)"
+    )
+    attach_rows(
+        benchmark,
+        [
+            {
+                **{k: HEAD_TO_HEAD[k] for k in ("n", "g", "seed")},
+                "baseline_clip_rescan_seconds": round(baseline_seconds, 4),
+                "sweep_profile_seconds": round(sweep_seconds, 4),
+                "speedup": round(speedup, 1),
+                "machines": schedule.num_machines,
+                "total_busy_time": round(schedule.total_busy_time, 3),
+            }
+        ],
+        experiment="E16-firstfit-scaling",
+        required_speedup=REQUIRED_SPEEDUP,
+        validated_by_verify_schedule=True,
+    )
+
+
+def test_firstfit_20k_jobs(benchmark, attach_rows):
+    """n=20000 was out of reach for the seed (~90 s); now sub-second."""
+    inst = uniform_random_instance(**LARGE)
+    schedule = benchmark(lambda: first_fit(inst))
+    verify_schedule(schedule)
+    attach_rows(
+        benchmark,
+        [
+            {
+                **{k: LARGE[k] for k in ("n", "g", "seed")},
+                "sweep_profile_seconds": round(benchmark.stats.stats.mean, 4),
+                "machines": schedule.num_machines,
+                "total_busy_time": round(schedule.total_busy_time, 3),
+            }
+        ],
+        experiment="E16-firstfit-scaling",
+        validated_by_verify_schedule=True,
+    )

@@ -24,7 +24,7 @@ import random
 from typing import List, Optional
 
 from ..core.instance import Instance
-from ..core.intervals import Job, span
+from ..core.intervals import Job
 from ..core.schedule import Schedule, ScheduleBuilder
 from ..exact.special_cases import minimize_machine_count
 from .base import FunctionScheduler, register_scheduler
@@ -64,8 +64,7 @@ def best_fit(instance: Instance) -> Schedule:
         for idx in range(builder.num_machines):
             if not builder.fits(idx, job):
                 continue
-            current_jobs = list(builder.jobs_on(idx))
-            increase = span(current_jobs + [job]) - span(current_jobs)
+            increase = builder.marginal_busy_increase(idx, job)
             if increase < best_increase:
                 best_increase = increase
                 best_idx = idx

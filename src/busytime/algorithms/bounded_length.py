@@ -41,6 +41,13 @@ Because every segment is solved at least as well as FirstFit would, the
 overall cost is at most ``2 * (1 + eps_seg) * OPT`` on segments solved
 exactly and at most ``2 * 4 * OPT`` in the worst case of the fallback —
 experiment E6 measures where real instances fall (they sit well under 2).
+
+Both per-segment sub-solvers (FirstFit and the branch and bound) answer
+their feasibility queries from incrementally maintained sweep-line machine
+profiles (:class:`~busytime.core.events.SweepProfile`), and the candidate
+costs compared below are read off the same maintained state; the final
+assembled schedule is still validated by the independent slow-path oracle
+``verify_schedule``.
 """
 
 from __future__ import annotations

@@ -13,11 +13,16 @@ Guarantees proved in the paper:
   Fig. 4 construction), so
 * **Theorem 2.5** — the approximation ratio of FirstFit is between 3 and 4.
 
-The implementation keeps, per machine, the list of assigned jobs and answers
-the "does job J fit on machine M_i" query by clipping the machine's jobs to
-J's interval and measuring the peak overlap; total complexity is
-``O(n * m * g log g)`` with ``m`` the number of opened machines, which is the
-straightforward bound the paper's pseudo-code implies.
+The implementation answers the "does job J fit on machine M_i" query from
+each machine's incrementally maintained sweep-line load profile
+(:class:`~busytime.core.events.SweepProfile`): a fit test costs
+``O(log k + w)`` — ``k`` breakpoints on the machine, ``w`` of them inside
+J's window — and an assignment updates the profile in ``O(k)`` worst case,
+for ``O(n * (m * (log k + w) + k))`` overall with ``m`` the number of
+opened machines.  This replaces the seed's clip-and-rescan check (re-deriving the
+peak overlap from the machine's whole job list per query, ``O(n * m * g
+log g)`` overall), which capped benchmarkable instance sizes; see
+``benchmarks/test_bench_firstfit_scaling.py`` for the measured trajectory.
 """
 
 from __future__ import annotations

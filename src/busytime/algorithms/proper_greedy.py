@@ -13,14 +13,14 @@ For instances where no job interval is properly contained in another —
 stronger inequality ``ALG(J) <= OPT(J) + span(J)``, which our experiment E5
 verifies directly (it is tighter whenever ``span(J) < OPT(J)``).
 
-The feasibility test "adding the job forms a (g+1)-clique" reduces, for a
-proper instance scanned in start order, to checking whether the ``g``-th most
-recently added job on the current machine is still active at the new job's
-start time — all jobs on the machine that are active then form a clique with
-the new job because their completion times are not smaller (properness).
-The implementation uses that O(1) test but falls back to the general overlap
-counter, so it remains correct (albeit without the ratio guarantee) when
-handed a non-proper instance.
+The feasibility test "adding the job forms a (g+1)-clique" is answered by
+the currently filled machine's maintained sweep-line profile
+(:class:`~busytime.core.events.SweepProfile`): the peak load inside the new
+job's window must be at most ``g - 1``.  For a proper instance scanned in
+start order that query degenerates to a single bisection at the job's start
+(properness means no earlier job ends before one that started later), and
+it stays correct — albeit without the ratio guarantee — when handed a
+non-proper instance.
 """
 
 from __future__ import annotations

@@ -7,20 +7,41 @@ number, the machine-count profile ``M_t``, the load profile ``N_t`` and the
 piecewise-constant integrals used by the analysis all share one correct,
 well-tested implementation.
 
+Two layers are provided, mirroring the two ways the paper's quantities are
+consumed:
+
+* the **batch helpers** (:func:`sweep_events`, :func:`load_profile`,
+  :func:`integrate_step_function`) re-derive a profile from scratch — the
+  right tool for one-shot analysis such as the Theorem 3.1 integral
+  ``OPT = ∫ M_t dt`` check;
+* the **incremental machine state** (:class:`SweepProfile`) maintains the
+  load profile ``N_t`` of one machine's job set *across assignments*, so
+  the greedy algorithms (FirstFit of Theorem 2.1, NextFit of Theorem 3.1)
+  and the branch-and-bound search answer "does job ``J`` still fit under
+  the parallelism bound ``g``" from the maintained structure in
+  ``O(log k + w)`` time (``k`` breakpoints on the machine, ``w`` of them
+  inside ``J``'s window) instead of re-clipping and re-sorting the
+  machine's whole job list per query.
+
 Closed-interval semantics are used throughout: at a coordinate where one job
 ends and another starts, both are considered active (start events are
 processed before end events), matching the conflict model of the paper.
+:func:`busytime.core.intervals.max_point_load` remains the independent
+slow-path oracle; :func:`busytime.core.schedule.verify_schedule` cross-checks
+every profile-derived answer against it.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
-from .intervals import Interval, Job
+from .intervals import Interval, Job, _as_interval
 
 __all__ = [
     "Event",
+    "SweepProfile",
     "sweep_events",
     "load_profile",
     "integrate_step_function",
@@ -98,3 +119,257 @@ def integrate_step_function(
         mid = (lo + hi) / 2.0
         total += (hi - lo) * value_at(mid)
     return total
+
+
+class SweepProfile:
+    """Incrementally maintained load profile of a set of closed intervals.
+
+    This is the sweep-line *machine state* behind the hot feasibility
+    queries: one instance per machine records how many of the machine's jobs
+    are active at every instant, as a step function over the sorted distinct
+    endpoint coordinates seen so far (*breakpoints*).
+
+    Because closed intervals that merely touch at an endpoint do conflict
+    (the paper's parallelism constraint counts both as active at the shared
+    instant), the profile stores **two** numbers per breakpoint ``t_i``:
+
+    ``point[i]``
+        the load *at* the point ``t_i`` (closed semantics — a job ``[a, t_i]``
+        and a job ``[t_i, b]`` both count), and
+    ``seg[i]``
+        the load on the open segment ``(t_i, t_{i+1})``.
+
+    Every stored interval has both endpoints among the breakpoints, so a job
+    covering any part of an open segment covers all of it; hence
+    ``seg[i] <= min(point[i], point[i+1])`` and the maximum load over any
+    closed query window is attained at a breakpoint or at the window's left
+    edge.  That observation makes :meth:`max_load_in` — the core of the
+    "does job J fit on machine M_i without a (g+1)-clique" test — a pair of
+    bisections plus a slice maximum.
+
+    Maintained aggregates:
+
+    * :attr:`count` — number of stored intervals;
+    * :attr:`measure` — ``span`` of the stored intervals (Definition 1.2),
+      i.e. the machine's busy time, updated as segments gain/lose coverage.
+
+    :meth:`add` is ``O(k)`` worst case (two sorted insertions plus counter
+    updates over the window) and :meth:`remove` supports the backtracking
+    branch-and-bound search; removal never deletes breakpoints, which keeps
+    the arrays append-mostly and is harmless (stale breakpoints carry the
+    coverage of their segment).
+
+    The brute-force counterpart of every query lives in
+    :mod:`busytime.core.intervals` (``max_point_load``, ``span``,
+    ``point_load``) and is used by ``verify_schedule`` and the property
+    tests to cross-check this structure.
+    """
+
+    __slots__ = ("_times", "_point", "_seg", "_count", "_measure")
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._point: List[int] = []
+        self._seg: List[int] = []
+        self._count: int = 0
+        self._measure: float = 0.0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_intervals(cls, items: Iterable) -> "SweepProfile":
+        """Batch-build the profile of a set of intervals/jobs in ``O(k log k)``.
+
+        Equivalent to ``add``-ing every interval one by one, but computes the
+        ``point``/``seg`` arrays directly by rank counting over the sorted
+        endpoint lists.
+        """
+        ivs = [_as_interval(it) for it in items]
+        prof = cls()
+        if not ivs:
+            return prof
+        starts = sorted(iv.start for iv in ivs)
+        ends = sorted(iv.end for iv in ivs)
+        times = sorted({*starts, *ends})
+        point = [bisect_right(starts, t) - bisect_left(ends, t) for t in times]
+        seg = [bisect_right(starts, t) - bisect_right(ends, t) for t in times]
+        seg[-1] = 0  # nothing extends past the last breakpoint
+        measure = sum(
+            hi - lo for lo, hi, s in zip(times, times[1:], seg) if s > 0
+        )
+        prof._times = times
+        prof._point = point
+        prof._seg = seg
+        prof._count = len(ivs)
+        prof._measure = measure
+        return prof
+
+    def copy(self) -> "SweepProfile":
+        """An independent snapshot of the current state (O(k) array copies)."""
+        prof = SweepProfile()
+        prof._times = self._times[:]
+        prof._point = self._point[:]
+        prof._seg = self._seg[:]
+        prof._count = self._count
+        prof._measure = self._measure
+        return prof
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of intervals currently stored."""
+        return self._count
+
+    @property
+    def measure(self) -> float:
+        """``span`` of the stored intervals — the machine's busy time."""
+        return self._measure
+
+    @property
+    def breakpoints(self) -> Tuple[float, ...]:
+        """The sorted breakpoint coordinates (includes stale ones after remove)."""
+        return tuple(self._times)
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    # -- mutation -------------------------------------------------------------
+
+    def _ensure_breakpoint(self, t: float) -> int:
+        """Make ``t`` a breakpoint (splitting the segment it lands in)."""
+        times = self._times
+        i = bisect_left(times, t)
+        if i < len(times) and times[i] == t:
+            return i
+        # A new breakpoint strictly inside an existing segment inherits that
+        # segment's coverage for both its point load and the right half of
+        # the split; at either end of the profile nothing covers it.
+        cover = self._seg[i - 1] if 0 < i < len(times) else 0
+        times.insert(i, t)
+        self._point.insert(i, cover)
+        self._seg.insert(i, cover)
+        return i
+
+    def add(self, start: float, end: float) -> None:
+        """Insert the closed interval ``[start, end]`` into the profile."""
+        if end < start:
+            raise ValueError(f"interval end ({end}) precedes start ({start})")
+        lo = self._ensure_breakpoint(start)
+        hi = self._ensure_breakpoint(end)  # inserting end never shifts lo
+        point, seg, times = self._point, self._seg, self._times
+        for k in range(lo, hi + 1):
+            point[k] += 1
+        gained = 0.0
+        for k in range(lo, hi):
+            if seg[k] == 0:
+                gained += times[k + 1] - times[k]
+            seg[k] += 1
+        self._measure += gained
+        self._count += 1
+
+    def remove(self, start: float, end: float) -> None:
+        """Remove a previously :meth:`add`-ed interval (for backtracking).
+
+        Breakpoints are kept (possibly at zero coverage); only the counters
+        and the maintained measure shrink.
+        """
+        times = self._times
+        lo = bisect_left(times, start)
+        hi = bisect_left(times, end)
+        if (
+            lo >= len(times)
+            or hi >= len(times)
+            or times[lo] != start
+            or times[hi] != end
+        ):
+            raise KeyError(f"interval [{start}, {end}] was never added")
+        point, seg = self._point, self._seg
+        for k in range(lo, hi + 1):
+            point[k] -= 1
+        lost = 0.0
+        for k in range(lo, hi):
+            seg[k] -= 1
+            if seg[k] == 0:
+                lost += times[k + 1] - times[k]
+        self._measure -= lost
+        self._count -= 1
+
+    # -- queries --------------------------------------------------------------
+
+    def load_at(self, t: float) -> int:
+        """Number of stored intervals active at instant ``t`` (closed)."""
+        times = self._times
+        i = bisect_left(times, t)
+        if i < len(times) and times[i] == t:
+            return self._point[i]
+        if 0 < i < len(times):
+            return self._seg[i - 1]
+        return 0
+
+    def max_load(self) -> int:
+        """Peak load over all time — the clique number of the stored set."""
+        return max(self._point, default=0)
+
+    def max_load_in(self, start: float, end: float) -> int:
+        """Maximum load over the closed window ``[start, end]``.
+
+        The load function only increases at breakpoints, so the maximum is
+        ``max(load_at(start), max(point[i] for start <= t_i <= end))``.
+        """
+        times = self._times
+        lo = bisect_left(times, start)
+        best = 0
+        if not (lo < len(times) and times[lo] == start) and 0 < lo < len(times):
+            best = self._seg[lo - 1]  # window starts inside a segment
+        hi = bisect_right(times, end) - 1
+        if hi >= lo:
+            window_max = max(self._point[lo : hi + 1])
+            if window_max > best:
+                best = window_max
+        return best
+
+    def covered_measure_in(self, start: float, end: float) -> float:
+        """Measure of ``[start, end]`` covered by at least one stored interval.
+
+        The marginal busy-time growth of adding ``[start, end]`` to the
+        machine is ``(end - start) - covered_measure_in(start, end)`` —
+        the query behind BestFit-style placement policies.
+        """
+        times, seg = self._times, self._seg
+        n = len(times) - 1
+        if n < 1 or end <= start:
+            return 0.0
+        k = bisect_right(times, start) - 1
+        if k < 0:
+            k = 0
+        total = 0.0
+        while k < n and times[k] < end:
+            if seg[k] > 0:
+                lo = times[k] if times[k] > start else start
+                hi = times[k + 1] if times[k + 1] < end else end
+                if hi > lo:
+                    total += hi - lo
+            k += 1
+        return total
+
+    def fits(self, start: float, end: float, g: int) -> bool:
+        """True when adding ``[start, end]`` keeps the peak load at most ``g``.
+
+        This is the FirstFit/NextFit feasibility predicate: only instants
+        inside the new job's window can become overloaded, so the test is
+        ``max_load_in(start, end) <= g - 1``, with an O(1) fast path when
+        fewer than ``g`` intervals are stored at all.
+        """
+        if self._count < g:
+            return True
+        return self.max_load_in(start, end) < g
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SweepProfile(count={self._count}, measure={self._measure:g}, "
+            f"breakpoints={len(self._times)})"
+        )

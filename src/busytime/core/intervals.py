@@ -19,6 +19,13 @@ is exercised heavily by the property-based tests.
 
 This module contains only plain, immutable value objects and pure functions;
 all algorithmic content lives in :mod:`busytime.algorithms`.
+
+The point-load helpers here (:func:`point_load`, :func:`max_point_load`,
+:func:`span`) recompute their answer from scratch on every call.  That is
+deliberate: they serve as the independent slow-path *oracle* against which
+the incrementally maintained :class:`busytime.core.events.SweepProfile`
+machine state — the hot-path answer to the same questions — is
+cross-checked by ``verify_schedule`` and the property-based tests.
 """
 
 from __future__ import annotations

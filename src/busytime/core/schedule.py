@@ -14,6 +14,16 @@ interval graph of the machine's jobs is at most ``g``.
 The :class:`ScheduleBuilder` is the mutable companion used by the algorithms
 while they assign jobs; :meth:`ScheduleBuilder.freeze` yields the immutable
 :class:`Schedule` handed back to callers.
+
+Hot-path queries — ``fits``, ``can_accommodate``, ``busy_time``,
+``peak_parallelism``, ``machines_active_at`` — are answered from an
+incrementally maintained :class:`~busytime.core.events.SweepProfile` per
+machine rather than by re-deriving the load profile from the job list on
+every call.  :func:`verify_schedule` deliberately does *not* use the
+profiles: it recomputes feasibility and busy time from the raw job lists
+with the slow-path primitives of :mod:`busytime.core.intervals` and asserts
+the profile-backed answers agree, so every validated schedule cross-checks
+the fast path against the oracle.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from .events import SweepProfile
 from .instance import Instance
 from .intervals import Interval, Job, max_point_load, span, union_intervals
 
@@ -29,12 +40,23 @@ __all__ = [
     "Schedule",
     "ScheduleBuilder",
     "InfeasibleScheduleError",
+    "ProfileOracleMismatchError",
     "verify_schedule",
 ]
 
 
 class InfeasibleScheduleError(ValueError):
     """Raised when a schedule violates the parallelism or coverage rules."""
+
+
+class ProfileOracleMismatchError(RuntimeError):
+    """Raised when a sweep-profile answer disagrees with the slow-path oracle.
+
+    This signals an *internal* inconsistency of the fast-path machine state,
+    not an infeasible schedule — deliberately a :class:`RuntimeError` so it
+    is never swallowed by callers that branch on
+    :meth:`Schedule.is_feasible`.
+    """
 
 
 @dataclass(frozen=True)
@@ -62,9 +84,23 @@ class Machine:
         return Interval(min(j.start for j in self.jobs), max(j.end for j in self.jobs))
 
     @property
+    def profile(self) -> SweepProfile:
+        """The machine's sweep-line load profile, built once and cached.
+
+        ``Machine`` is immutable, so the profile is derived lazily from the
+        job tuple on first access and reused by every subsequent query
+        (``busy_time``, ``peak_parallelism``, ``can_accommodate``, ...).
+        """
+        prof = self.__dict__.get("_profile")
+        if prof is None:
+            prof = SweepProfile.from_intervals(self.jobs)
+            object.__setattr__(self, "_profile", prof)
+        return prof
+
+    @property
     def busy_time(self) -> float:
         """``busy_i``: the total busy time of this machine (span of its jobs)."""
-        return span(self.jobs)
+        return self.profile.measure
 
     @property
     def load(self) -> int:
@@ -74,10 +110,10 @@ class Machine:
     @property
     def peak_parallelism(self) -> int:
         """Maximum number of this machine's jobs active at any instant."""
-        return max_point_load(self.jobs)
+        return self.profile.max_load()
 
     def active_job_count(self, t: float) -> int:
-        return sum(1 for j in self.jobs if j.active_at(t))
+        return self.profile.load_at(t)
 
     def is_feasible(self, g: int) -> bool:
         """True when the machine never runs more than ``g`` jobs at once."""
@@ -87,19 +123,10 @@ class Machine:
         """True when adding ``job`` keeps the machine feasible for ``g``.
 
         Only instants inside ``job``'s interval can become overloaded, so the
-        check counts, among the machine's current jobs, the peak number
-        active somewhere inside ``job`` and requires it to be at most
-        ``g - 1``.
+        check asks the maintained profile for the peak load inside ``job``'s
+        window and requires it to be at most ``g - 1``.
         """
-        overlapping = [j for j in self.jobs if j.overlaps(job)]
-        if len(overlapping) < g:
-            return True
-        clipped: List[Interval] = []
-        for j in overlapping:
-            inter = j.interval.intersection(job.interval)
-            if inter is not None:
-                clipped.append(inter)
-        return max_point_load(clipped) <= g - 1
+        return self.profile.fits(job.start, job.end, g)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"M{self.index}({len(self.jobs)} jobs, busy={self.busy_time:g})"
@@ -169,6 +196,15 @@ class Schedule:
         """``M_t``: number of machines with at least one active job at ``t``."""
         return sum(1 for m in self.machines if m.active_job_count(t) > 0)
 
+    @property
+    def peak_parallelism(self) -> int:
+        """Largest per-machine parallelism anywhere in the schedule.
+
+        Feasibility (Theorem 2.1's capacity constraint) is exactly
+        ``peak_parallelism <= g``; answered from the per-machine profiles.
+        """
+        return max((m.peak_parallelism for m in self.machines), default=0)
+
     # -- feasibility ---------------------------------------------------------
 
     def is_feasible(self) -> bool:
@@ -207,7 +243,16 @@ class Schedule:
 
 
 def verify_schedule(schedule: Schedule) -> None:
-    """Validate a schedule against its instance (module-level helper)."""
+    """Validate a schedule against its instance (module-level helper).
+
+    This is the deliberate *slow path*: it recomputes feasibility with
+    :func:`~busytime.core.intervals.max_point_load` and busy time with
+    :func:`~busytime.core.intervals.span` directly from the raw job lists,
+    independently of the :class:`~busytime.core.events.SweepProfile` fast
+    path — and then asserts the profile-backed answers agree, so every
+    validated schedule cross-checks the sweep-line machine state against
+    the brute-force oracle.
+    """
     instance = schedule.instance
     expected_ids = set(instance.job_ids)
     seen: Dict[int, int] = {}
@@ -226,27 +271,43 @@ def verify_schedule(schedule: Schedule) -> None:
     if missing:
         raise InfeasibleScheduleError(f"jobs never scheduled: {sorted(missing)}")
     for m in schedule.machines:
-        peak = m.peak_parallelism
+        peak = max_point_load(m.jobs)
         if peak > instance.g:
             raise InfeasibleScheduleError(
                 f"machine {m.index} runs {peak} jobs simultaneously "
                 f"but g = {instance.g}"
+            )
+        # Cross-check the sweep-profile fast path against the oracle.
+        if m.peak_parallelism != peak:
+            raise ProfileOracleMismatchError(
+                f"machine {m.index}: profile peak {m.peak_parallelism} "
+                f"disagrees with oracle peak {peak}"
+            )
+        oracle_busy = span(m.jobs)
+        if abs(m.busy_time - oracle_busy) > 1e-9 * max(1.0, abs(oracle_busy)):
+            raise ProfileOracleMismatchError(
+                f"machine {m.index}: profile busy time {m.busy_time!r} "
+                f"disagrees with oracle span {oracle_busy!r}"
             )
 
 
 class ScheduleBuilder:
     """Mutable helper the algorithms use to build schedules incrementally.
 
-    The builder maintains, per machine, the list of assigned jobs, and offers
-    the feasibility query the greedy algorithms need (``fits``).  Machines are
-    indexed from 0 in order of opening, matching the paper's ``M_1, M_2, ...``
-    numbering shifted by one.
+    The builder maintains, per machine, the list of assigned jobs *and* an
+    incrementally updated :class:`~busytime.core.events.SweepProfile`, so the
+    feasibility query the greedy algorithms need (``fits``) is answered from
+    the maintained machine state in ``O(log k + w)`` instead of re-clipping
+    the machine's whole job list per query.  Machines are indexed from 0 in
+    order of opening, matching the paper's ``M_1, M_2, ...`` numbering
+    shifted by one.
     """
 
     def __init__(self, instance: Instance, algorithm: str = "") -> None:
         self.instance = instance
         self.algorithm = algorithm
         self._machines: List[List[Job]] = []
+        self._profiles: List[SweepProfile] = []
         self._assigned: Dict[int, int] = {}
         self.meta: Dict[str, object] = {}
 
@@ -259,15 +320,35 @@ class ScheduleBuilder:
     def jobs_on(self, machine_index: int) -> Sequence[Job]:
         return tuple(self._machines[machine_index])
 
+    def profile_of(self, machine_index: int) -> SweepProfile:
+        """The maintained sweep profile of one machine (read-only use)."""
+        return self._profiles[machine_index]
+
+    def machine_busy_time(self, machine_index: int) -> float:
+        """Current busy time (span) of one machine, from its profile."""
+        return self._profiles[machine_index].measure
+
+    @property
+    def total_busy_time(self) -> float:
+        """Objective value of the partial schedule built so far."""
+        return sum(p.measure for p in self._profiles)
+
+    def marginal_busy_increase(self, machine_index: int, job: Job) -> float:
+        """Busy-time growth if ``job`` were assigned to the machine.
+
+        The part of the job's window the machine is not already busy in,
+        read off the maintained profile — the query behind BestFit-style
+        placement policies.
+        """
+        return job.length - self._profiles[machine_index].covered_measure_in(
+            job.start, job.end
+        )
+
     def fits(self, machine_index: int, job: Job) -> bool:
         """True when adding ``job`` to the machine keeps it feasible."""
-        current = self._machines[machine_index]
-        g = self.instance.g
-        overlapping = [j.interval.intersection(job.interval) for j in current]
-        overlapping = [iv for iv in overlapping if iv is not None]
-        if len(overlapping) < g:
-            return True
-        return max_point_load(overlapping) <= g - 1
+        return self._profiles[machine_index].fits(
+            job.start, job.end, self.instance.g
+        )
 
     def first_fitting_machine(self, job: Job) -> Optional[int]:
         """Lowest-index machine that can accommodate ``job``, or None."""
@@ -281,6 +362,7 @@ class ScheduleBuilder:
     def open_machine(self) -> int:
         """Open a new, empty machine; returns its index."""
         self._machines.append([])
+        self._profiles.append(SweepProfile())
         return len(self._machines) - 1
 
     def assign(self, machine_index: int, job: Job) -> None:
@@ -292,6 +374,7 @@ class ScheduleBuilder:
         if not 0 <= machine_index < len(self._machines):
             raise IndexError(f"no machine with index {machine_index}")
         self._machines[machine_index].append(job)
+        self._profiles[machine_index].add(job.start, job.end)
         self._assigned[job.id] = machine_index
 
     def assign_first_fit(self, job: Job) -> int:
@@ -312,19 +395,27 @@ class ScheduleBuilder:
     # -- output ----------------------------------------------------------------
 
     def freeze(self, validate: bool = True) -> Schedule:
-        """Produce the immutable :class:`Schedule` (optionally validating it)."""
-        machines = tuple(
-            Machine(index=i, jobs=tuple(jobs))
-            for i, jobs in enumerate(self._machines)
-            if jobs
-        )
-        # Re-index densely in case empty machines were opened and never used.
-        machines = tuple(
-            Machine(index=i, jobs=m.jobs) for i, m in enumerate(machines)
-        )
+        """Produce the immutable :class:`Schedule` (optionally validating it).
+
+        The incrementally maintained profiles are handed to the frozen
+        machines (re-indexed densely in case empty machines were opened and
+        never used), so the validation cross-check exercises the *same*
+        machine state that answered the ``fits`` queries during
+        construction, not a freshly rebuilt one.
+        """
+        machines: List[Machine] = []
+        for jobs, profile in zip(self._machines, self._profiles):
+            if not jobs:
+                continue
+            m = Machine(index=len(machines), jobs=tuple(jobs))
+            # Snapshot so later builder mutations cannot alias the frozen
+            # machine's state; the arrays are still the incrementally built
+            # ones, so validation cross-checks the real hot path.
+            object.__setattr__(m, "_profile", profile.copy())
+            machines.append(m)
         sched = Schedule(
             instance=self.instance,
-            machines=machines,
+            machines=tuple(machines),
             algorithm=self.algorithm,
             meta=dict(self.meta),
         )

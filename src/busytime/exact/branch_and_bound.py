@@ -23,6 +23,13 @@ partial assignment:
 An optional initial upper bound (e.g. a FirstFit schedule's cost) makes the
 search considerably faster; callers that have one should pass it.
 
+Per-machine state is an incrementally maintained
+:class:`~busytime.core.events.SweepProfile`: pushing/popping a job during the
+depth-first search updates the machine's load profile, busy time (span) and
+assigned length in ``O(log k + w)``, so the feasibility test and both terms
+of the lower bound are read off the maintained state instead of re-clipping
+and re-sorting the machine's job list at every node.
+
 Practical limit: roughly 18–22 jobs depending on structure and ``g``.
 """
 
@@ -32,8 +39,9 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.bounds import combined_bound
+from ..core.events import SweepProfile
 from ..core.instance import Instance, connected_components
-from ..core.intervals import Interval, Job, max_point_load, span, total_length
+from ..core.intervals import Job, span
 from ..core.schedule import Machine, Schedule
 
 __all__ = ["branch_and_bound_optimum", "BranchAndBoundStats"]
@@ -67,40 +75,59 @@ class _Searcher:
         )
         self.best_assignment: Optional[List[int]] = None
         self.stats = BranchAndBoundStats()
-        # machine state stacks
-        self.machine_jobs: List[List[Job]] = []
+        # machine state stacks: one sweep profile + assigned-length counter
+        # per opened machine, updated incrementally on push/pop.
+        self.profiles: List[SweepProfile] = []
+        self.machine_len: List[float] = []
         self.assignment: List[int] = [-1] * self.n
-        self.total_len = total_length(self.jobs)
+        # suffix_len[i] = total length of jobs[i:], precomputed for bounding
+        self.suffix_len: List[float] = [0.0] * (self.n + 1)
+        for i in range(self.n - 1, -1, -1):
+            self.suffix_len[i] = self.suffix_len[i + 1] + self.jobs[i].length
 
     # -- bounding -------------------------------------------------------------
 
+    # The maintained measures can carry ~1e-15 relative float drift after
+    # push/pop cycles (removal subtracts segment lengths at a possibly finer
+    # breakpoint granularity than addition credited them).  Incumbents are
+    # therefore confirmed by an exact span recompute, and the prune test
+    # keeps this much slack so drift can never cut the optimal branch.
+    _DRIFT_GUARD = 1e-9
+
     def _committed_cost(self) -> float:
-        return sum(span(mjobs) for mjobs in self.machine_jobs if mjobs)
+        return sum(p.measure for p in self.profiles)
+
+    def _exact_cost(self) -> float:
+        """Exact cost of the complete assignment (span per machine block)."""
+        blocks: List[List[Job]] = [[] for _ in self.profiles]
+        for pos, m_idx in enumerate(self.assignment):
+            blocks[m_idx].append(self.jobs[pos])
+        return sum(span(b) for b in blocks if b)
 
     def _lower_bound(self, next_index: int) -> float:
         committed = self._committed_cost()
-        remaining_len = sum(j.length for j in self.jobs[next_index:])
+        remaining_len = self.suffix_len[next_index]
         # Free capacity: opened machines can absorb more job length without
-        # growing their span, up to g * span - assigned length each.
-        free_capacity = 0.0
-        for mjobs in self.machine_jobs:
-            if mjobs:
-                free_capacity += self.g * span(mjobs) - total_length(mjobs)
+        # growing their span, up to g * span - assigned length each; both
+        # terms are maintained incrementally by the push/pop operations.
+        free_capacity = self.g * committed - sum(self.machine_len)
         extra = max(0.0, (remaining_len - free_capacity) / self.g)
         return max(committed + extra, self.global_lb)
 
     # -- feasibility ----------------------------------------------------------
 
     def _fits(self, machine_index: int, job: Job) -> bool:
-        current = self.machine_jobs[machine_index]
-        clipped: List[Interval] = []
-        for other in current:
-            inter = other.interval.intersection(job.interval)
-            if inter is not None:
-                clipped.append(inter)
-        if len(clipped) < self.g:
-            return True
-        return max_point_load(clipped) <= self.g - 1
+        return self.profiles[machine_index].fits(job.start, job.end, self.g)
+
+    # -- machine state --------------------------------------------------------
+
+    def _push(self, machine_index: int, job: Job) -> None:
+        self.profiles[machine_index].add(job.start, job.end)
+        self.machine_len[machine_index] += job.length
+
+    def _pop(self, machine_index: int, job: Job) -> None:
+        self.profiles[machine_index].remove(job.start, job.end)
+        self.machine_len[machine_index] -= job.length
 
     # -- search ---------------------------------------------------------------
 
@@ -108,12 +135,16 @@ class _Searcher:
         self.stats.nodes_explored += 1
         if index == self.n:
             cost = self._committed_cost()
-            if cost < self.best_cost:
-                self.best_cost = cost
-                self.best_assignment = list(self.assignment)
-                self.stats.incumbent_updates += 1
+            guard = self._DRIFT_GUARD * max(1.0, abs(cost))
+            if cost < self.best_cost + guard:
+                exact = self._exact_cost()
+                if exact < self.best_cost:
+                    self.best_cost = exact
+                    self.best_assignment = list(self.assignment)
+                    self.stats.incumbent_updates += 1
             return
-        if self._lower_bound(index) >= self.best_cost:
+        bound = self._lower_bound(index)
+        if bound - self._DRIFT_GUARD * max(1.0, abs(bound)) >= self.best_cost:
             self.stats.nodes_pruned += 1
             return
 
@@ -121,19 +152,22 @@ class _Searcher:
 
         # Try existing machines (in opening order; identical-content machines
         # could be skipped but detecting them costs more than it saves here).
-        for m_idx in range(len(self.machine_jobs)):
+        for m_idx in range(len(self.profiles)):
             if self._fits(m_idx, job):
-                self.machine_jobs[m_idx].append(job)
+                self._push(m_idx, job)
                 self.assignment[index] = m_idx
                 self.search(index + 1)
-                self.machine_jobs[m_idx].pop()
+                self._pop(m_idx, job)
                 self.assignment[index] = -1
 
         # Try a fresh machine (single representative of all unopened machines).
-        self.machine_jobs.append([job])
-        self.assignment[index] = len(self.machine_jobs) - 1
+        self.profiles.append(SweepProfile())
+        self.machine_len.append(0.0)
+        self._push(len(self.profiles) - 1, job)
+        self.assignment[index] = len(self.profiles) - 1
         self.search(index + 1)
-        self.machine_jobs.pop()
+        self.profiles.pop()
+        self.machine_len.pop()
         self.assignment[index] = -1
 
 

@@ -30,6 +30,16 @@ Lower bounds generalise directly: the demand-weighted parallelism bound
 ``sum_j p_j s_j / g`` and the span bound over the *mandatory parts*
 ``[d_j - p_j, r_j + p_j]`` (the portion of the window every feasible start
 covers), both provided by :func:`flexible_lower_bound`.
+
+Guarantees, for orientation:
+
+* the cited follow-up [15] proves a **5-approximation** for this model via
+  exactly this fix-then-pack structure; our anchoring heuristic differs in
+  the fixing rule, so the implementation inherits feasibility and the lower
+  bounds but makes no ratio claim of its own (experiment E14 measures it);
+* the rigid special case ``s_j = 1``, ``r_j + p_j = d_j`` degenerates to
+  the paper's model, where the packing phase *is* longest-first FirstFit
+  and Theorem 2.1's factor 4 applies.
 """
 
 from __future__ import annotations

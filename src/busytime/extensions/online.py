@@ -15,6 +15,21 @@ never revised.  Note that the offline FirstFit of Section 2 is *not* an
 online algorithm — it sorts by length, which requires knowing the whole
 input — so the honest online baselines are arrival-order FirstFit / BestFit /
 NextFit.
+
+Guarantees and reference points:
+
+* **Theorem 2.1** still upper-bounds the *offline* comparator: the measured
+  competitive gap of every online scheduler here is reported against the
+  offline FirstFit cost and the Observation 1.1 lower bound;
+* arrival-order NextFit on proper instances coincides with the Section 3.1
+  greedy (jobs arrive in start order, which is the greedy's processing
+  order), inheriting its 2-approximation there;
+* no online algorithm can be better than arrival-order FirstFit on *every*
+  instance family — the replay harness exists to measure, not to prove.
+
+All feasibility decisions go through :class:`busytime.core.schedule.
+ScheduleBuilder` and are therefore answered by the incrementally maintained
+sweep-line machine profiles (:class:`busytime.core.events.SweepProfile`).
 """
 
 from __future__ import annotations
@@ -23,7 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..core.instance import Instance
-from ..core.intervals import Job, span
+from ..core.intervals import Job
 from ..core.schedule import Schedule, ScheduleBuilder
 
 __all__ = [
@@ -97,8 +112,7 @@ def online_best_fit(instance: Instance) -> Schedule:
         for idx in range(builder.num_machines):
             if not builder.fits(idx, job):
                 continue
-            current = list(builder.jobs_on(idx))
-            increase = span(current + [job]) - span(current)
+            increase = builder.marginal_busy_increase(idx, job)
             if increase < best_increase:
                 best_increase = increase
                 best_idx = idx

@@ -8,9 +8,21 @@ Gabow's reduction [11]; a bipartite b-matching is a textbook maximum-flow
 problem, which is how we solve it here (integral capacities, so the max flow
 is integral and decomposes into the desired matching).
 
+Correctness rests on two textbook facts:
+
+* **integrality** — the flow network has integral capacities, so a maximum
+  flow is integral and decomposes into a matching meeting the degree bounds
+  exactly (this is the reduction the paper attributes to Gabow [11]);
+* **optimality** — max-flow value equals the maximum b-matching size, so
+  Step 2(e)'s "every independent set matched" test is exact: if the solver
+  matches fewer than all sets, no assignment of threads to the guessed
+  machines exists and the caller must fall back.
+
 The module is written against plain adjacency data so it can be reused
 outside the scheduling context (it is a generic substrate); a thin wrapper
-over :mod:`networkx`'s preflow-push solver does the heavy lifting.
+over :mod:`networkx`'s preflow-push solver does the heavy lifting, with
+``O(V^2 sqrt(E))`` worst-case complexity — negligible next to the segment
+enumeration it serves.
 """
 
 from __future__ import annotations

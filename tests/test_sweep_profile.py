@@ -1,0 +1,200 @@
+"""Cross-checks of the sweep-line machine state against the slow-path oracle.
+
+The :class:`~busytime.core.events.SweepProfile` answers the hot-path
+questions — "does job J fit under the parallelism bound g", "what is this
+machine's busy time", "what is the load at instant t" — from incrementally
+maintained state.  Every answer has a brute-force counterpart in
+:mod:`busytime.core.intervals` (``max_point_load``, ``span``,
+``point_load``); these tests assert the two always agree, on adversarially
+shaped hypothesis inputs and on the randomized instance families of
+:mod:`busytime.generators.random_instances`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from busytime.core.events import SweepProfile
+from busytime.core.intervals import (
+    Interval,
+    Job,
+    max_point_load,
+    point_load,
+    span,
+)
+from busytime.core.schedule import (
+    ProfileOracleMismatchError,
+    ScheduleBuilder,
+    verify_schedule,
+)
+from busytime.generators.random_instances import (
+    bursty_instance,
+    poisson_arrivals_instance,
+    uniform_random_instance,
+)
+
+
+def oracle_fits(machine_jobs: Sequence[Job], job: Job, g: int) -> bool:
+    """The seed's clip-and-rescan feasibility check, kept as the oracle."""
+    clipped: List[Interval] = []
+    for other in machine_jobs:
+        inter = other.interval.intersection(job.interval)
+        if inter is not None:
+            clipped.append(inter)
+    if len(clipped) < g:
+        return True
+    return max_point_load(clipped) <= g - 1
+
+
+# Endpoints drawn from a small grid so touching/coincident endpoints (the
+# closed-interval corner cases) appear constantly; zero-length intervals
+# are legal and exercised.
+coords = st.integers(min_value=0, max_value=12).map(float)
+interval_sets = st.lists(
+    st.tuples(coords, coords).map(lambda p: Interval(min(p), max(p))),
+    min_size=0,
+    max_size=25,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(interval_sets)
+def test_profile_matches_oracle_on_interval_sets(ivs):
+    prof = SweepProfile()
+    for iv in ivs:
+        prof.add(iv.start, iv.end)
+    batch = SweepProfile.from_intervals(ivs)
+
+    assert prof.count == batch.count == len(ivs)
+    assert prof.max_load() == batch.max_load() == max_point_load(ivs)
+    assert prof.measure == pytest.approx(span(ivs))
+    assert batch.measure == pytest.approx(span(ivs))
+    # Point loads agree with the oracle at endpoints, midpoints and outside.
+    probes = {iv.start for iv in ivs} | {iv.end for iv in ivs}
+    probes |= {(iv.start + iv.end) / 2 for iv in ivs} | {-1.0, 13.0}
+    for t in probes:
+        assert prof.load_at(t) == point_load(ivs, t), f"load_at({t})"
+        assert batch.load_at(t) == point_load(ivs, t)
+
+
+@settings(max_examples=200, deadline=None)
+@given(interval_sets, st.tuples(coords, coords).map(lambda p: (min(p), max(p))))
+def test_max_load_in_matches_oracle_window(ivs, window):
+    lo, hi = window
+    prof = SweepProfile.from_intervals(ivs)
+    # Oracle: clip every interval to the closed window and take the peak.
+    clipped = [
+        inter
+        for iv in ivs
+        if (inter := iv.intersection(Interval(lo, hi))) is not None
+    ]
+    assert prof.max_load_in(lo, hi) == max_point_load(clipped)
+    for g in (1, 2, 3, 5):
+        assert prof.fits(lo, hi, g) == (max_point_load(clipped) <= g - 1)
+    # Covered measure in the window == span of the clipped intervals, the
+    # quantity behind BestFit's marginal-growth query.
+    assert prof.covered_measure_in(lo, hi) == pytest.approx(span(clipped))
+
+
+@settings(max_examples=150, deadline=None)
+@given(interval_sets, st.randoms(use_true_random=False))
+def test_add_remove_round_trip(ivs, rnd):
+    """Removing a subset leaves exactly the profile of the remainder."""
+    prof = SweepProfile()
+    for iv in ivs:
+        prof.add(iv.start, iv.end)
+    keep, drop = [], []
+    for iv in ivs:
+        (keep if rnd.random() < 0.5 else drop).append(iv)
+    for iv in drop:
+        prof.remove(iv.start, iv.end)
+    assert prof.count == len(keep)
+    assert prof.max_load() == max_point_load(keep)
+    assert prof.measure == pytest.approx(span(keep), abs=1e-9)
+    for t in {iv.start for iv in ivs} | {iv.end for iv in ivs}:
+        assert prof.load_at(t) == point_load(keep, t)
+
+
+def test_remove_unknown_interval_raises():
+    prof = SweepProfile()
+    prof.add(0.0, 2.0)
+    with pytest.raises(KeyError):
+        prof.remove(0.5, 1.5)
+
+
+@pytest.mark.parametrize(
+    "maker,kwargs",
+    [
+        (uniform_random_instance, dict(horizon=60.0)),
+        (poisson_arrivals_instance, dict()),
+        (bursty_instance, dict()),
+    ],
+    ids=["uniform", "poisson", "bursty"],
+)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_builder_fits_matches_oracle_on_random_instances(maker, kwargs, seed):
+    """Replay FirstFit and check *every* fits decision against the oracle."""
+    inst = maker(n=120, g=3, seed=seed, **kwargs)
+    builder = ScheduleBuilder(inst, algorithm="oracle-replay")
+    order = sorted(inst.jobs, key=lambda j: (-j.length, j.start, j.id))
+    for job in order:
+        for idx in range(builder.num_machines):
+            assert builder.fits(idx, job) == oracle_fits(
+                builder.jobs_on(idx), job, inst.g
+            ), f"fits({idx}, J{job.id}) diverges from oracle"
+        builder.assign_first_fit(job)
+    # Maintained busy time vs the from-scratch span, machine by machine.
+    for idx in range(builder.num_machines):
+        assert builder.machine_busy_time(idx) == pytest.approx(
+            span(builder.jobs_on(idx))
+        )
+    assert builder.total_busy_time == pytest.approx(
+        sum(span(builder.jobs_on(i)) for i in range(builder.num_machines))
+    )
+    # The frozen schedule passes the independent slow-path oracle, which
+    # itself re-verifies profile peak and busy time per machine.
+    schedule = builder.freeze()
+    verify_schedule(schedule)
+
+
+def test_profile_oracle_mismatch_raises_runtime_error():
+    """A corrupted fast path must surface as an internal error, not as
+    'schedule infeasible' (which ``is_feasible`` would silently swallow)."""
+    from busytime.algorithms.first_fit import first_fit
+
+    inst = uniform_random_instance(n=10, g=3, horizon=20.0, seed=3)
+    schedule = first_fit(inst)
+    machine = schedule.machines[0]
+    corrupted = SweepProfile.from_intervals(machine.jobs)
+    corrupted._point = [p + 1 for p in corrupted._point]
+    object.__setattr__(machine, "_profile", corrupted)
+    with pytest.raises(ProfileOracleMismatchError):
+        verify_schedule(schedule)
+    # ...and it must NOT be absorbed by the feasibility predicate.
+    with pytest.raises(ProfileOracleMismatchError):
+        schedule.is_feasible()
+
+
+def test_machine_profile_queries_match_schedule_oracle():
+    inst = uniform_random_instance(n=80, g=4, horizon=40.0, seed=11)
+    from busytime.algorithms.first_fit import first_fit
+
+    schedule = first_fit(inst)
+    for m in schedule.machines:
+        assert m.peak_parallelism == max_point_load(m.jobs)
+        assert m.busy_time == pytest.approx(span(m.jobs))
+        for t in (0.0, 10.0, 25.0, 39.5):
+            assert m.active_job_count(t) == point_load(m.jobs, t)
+    ts = sorted({j.start for j in inst.jobs})[:20]
+    for t in ts:
+        oracle_mt = sum(
+            1 for m in schedule.machines if point_load(m.jobs, t) > 0
+        )
+        assert schedule.machines_active_at(t) == oracle_mt
+    assert schedule.peak_parallelism == max(
+        max_point_load(m.jobs) for m in schedule.machines
+    )
