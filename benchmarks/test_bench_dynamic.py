@@ -1,0 +1,144 @@
+"""E17 — dynamic workloads: churn traces under the three standard policies.
+
+The paper's motivating systems (lightpath provisioning, cloud hosts) see
+jobs *depart* as well as arrive.  This module regenerates the churn
+benchmark behind the dynamic-workload subsystem
+(:mod:`busytime.extensions.dynamic`):
+
+* over a seeded corpus of dynamic traces drawn from the random families,
+  periodic rolling-horizon re-optimization (via the solve engine, with the
+  adopt-only-if-better guard) must report realized cost **at most** the
+  pure-online never-migrate policy's, trace by trace — re-optimization pays
+  for the machinery it adds;
+* the migration-budget policy sits in between: its moves are individually
+  improving, but a myopic gain can interact with *future* arrivals, so it is
+  only held to a small stability tolerance over never-migrate;
+* a 10,000-event trace (5000 arrivals + 5000 departures) must replay under
+  each policy with the ``verify_schedule`` oracle cross-check cadence
+  enabled, in seconds — the PR 2 sweep-line machine state is what keeps the
+  mutation path (assign/unassign/migrate) cheap.
+
+Every replay cross-checks the incrementally maintained machine profiles
+against the slow-path oracle (at the check cadence, at every replan and at
+the end of the trace); a drifting fast path raises
+``ProfileOracleMismatchError`` and fails the benchmark.
+
+The module is marked ``slow`` and skipped by default so tier-1 stays fast;
+run it with ``pytest benchmarks/test_bench_dynamic.py --run-slow``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from busytime.extensions.dynamic import (
+    MigrationBudget,
+    NeverMigrate,
+    RollingHorizon,
+    Simulator,
+    simulate,
+)
+from busytime.generators import (
+    bursty_dynamic_trace,
+    poisson_dynamic_trace,
+    uniform_dynamic_trace,
+)
+
+pytestmark = pytest.mark.slow
+
+#: Seeded corpus: (family label, maker, seeds).  Churn 0.35 and the default
+#: replan period (an eighth of the horizon) — the regime where departures
+#: leave enough slack for replanning to consolidate machines.
+CHURN = 0.35
+CORPUS = [
+    ("uniform", uniform_dynamic_trace, (0, 1, 2)),
+    ("poisson", poisson_dynamic_trace, (0, 1, 2, 3)),
+    ("bursty", bursty_dynamic_trace, (0, 1, 2, 3)),
+]
+
+LARGE_TRACE = dict(n=5000, g=8, early_departure_fraction=0.3, seed=7)
+LARGE_BUDGET_SECONDS = 30.0
+
+
+def _corpus_traces():
+    for family, maker, seeds in CORPUS:
+        for seed in seeds:
+            yield family, seed, maker(
+                150, 3, early_departure_fraction=CHURN, seed=seed
+            )
+
+
+def test_rolling_horizon_beats_never_migrate(benchmark, attach_rows):
+    """Replanning reports cost <= pure online, trace by trace, oracle-checked."""
+    rows = []
+    for family, seed, trace in _corpus_traces():
+        never, rolling, budget = simulate(trace, oracle_check_every=64)
+        assert rolling.realized_cost <= never.realized_cost + 1e-9, (
+            f"{family} seed={seed}: rolling horizon {rolling.realized_cost} "
+            f"worse than never-migrate {never.realized_cost}"
+        )
+        # Budgeted moves are individually improving but myopic: a gain taken
+        # now can cost more against future arrivals, so the bounded policy is
+        # held to a 2% stability tolerance rather than strict dominance.
+        assert budget.realized_cost <= never.realized_cost * 1.02 + 1e-9, (
+            f"{family} seed={seed}: migration budget {budget.realized_cost} "
+            f"far worse than never-migrate {never.realized_cost}"
+        )
+        # Every policy respects the Observation 1.1 bound on what was run.
+        for report in (never, rolling, budget):
+            assert report.realized_cost >= report.lower_bound - 1e-9
+        rows.append(
+            {
+                "family": family,
+                "seed": seed,
+                "never_migrate": round(never.realized_cost, 2),
+                "rolling_horizon": round(rolling.realized_cost, 2),
+                "migration_budget": round(budget.realized_cost, 2),
+                "migrations": rolling.migrations,
+                "gap_vs_offline": round(rolling.gap_vs_offline, 3),
+            }
+        )
+
+    # Time one representative replay (the first corpus trace, full panel).
+    _, _, trace = next(_corpus_traces())
+    benchmark(lambda: simulate(trace, oracle_check_every=64, compare_offline=False))
+    attach_rows(benchmark, rows, churn=CHURN)
+
+
+@pytest.mark.parametrize(
+    "policy_maker",
+    [
+        lambda period: NeverMigrate(),
+        lambda period: RollingHorizon(period),
+        lambda period: MigrationBudget(period, budget=8),
+    ],
+    ids=["never_migrate", "rolling_horizon", "migration_budget"],
+)
+def test_ten_thousand_event_trace_replays_in_seconds(policy_maker):
+    """10k-event churn trace, oracle cross-checks on, per-policy time budget."""
+    trace = uniform_dynamic_trace(horizon=2000.0, **LARGE_TRACE)
+    assert trace.num_events == 10_000
+    lo, hi = trace.horizon
+    started = time.perf_counter()
+    report = Simulator(
+        trace,
+        policy_maker((hi - lo) / 8.0),
+        oracle_check_every=256,
+        compare_offline=False,
+    ).run()
+    elapsed = time.perf_counter() - started
+    assert report.oracle_checks >= trace.num_events // 256
+    assert report.realized_cost >= report.lower_bound - 1e-9
+    assert elapsed < LARGE_BUDGET_SECONDS, (
+        f"{report.policy}: 10k-event replay took {elapsed:.1f}s "
+        f"(budget {LARGE_BUDGET_SECONDS}s)"
+    )
+
+
+def test_rolling_horizon_beats_never_migrate_at_scale():
+    """The corpus inequality also holds on the 10k-event trace."""
+    trace = uniform_dynamic_trace(horizon=2000.0, **LARGE_TRACE)
+    never, rolling, _ = simulate(trace, oracle_check_every=256, compare_offline=False)
+    assert rolling.realized_cost <= never.realized_cost + 1e-9

@@ -1,0 +1,37 @@
+"""Repo-level pytest configuration.
+
+Registers the ``slow`` marker and deselects slow-marked tests by default so
+tier-1 (``PYTHONPATH=src python -m pytest -x -q``) stays fast; the large
+benchmark modules opt in with ``--run-slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (large scaling benchmarks)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running scaling benchmark; skipped unless --run-slow is given",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list
+) -> None:
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark; pass --run-slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -22,6 +22,11 @@ and renders the returned :class:`~busytime.engine.SolveReport`.
 ``groom``
     generate or load path-network traffic, assign wavelengths and report the
     regenerator / ADM / wavelength counts.
+``simulate``
+    replay a dynamic arrive/depart trace (generated from any of the dynamic
+    trace families, or derived from an instance JSON) under the three
+    standard churn policies — never-migrate, rolling-horizon, migration
+    budget — and print the head-to-head report table.
 ``info``
     print the structural profile of an instance (class, clique number,
     bounds) and which algorithm the engine's policy would choose.
@@ -45,7 +50,11 @@ from .core.bounds import best_lower_bound, parallelism_bound, span_bound
 from .core.instance import Instance
 from .engine import Engine, SolveRequest, available_policies
 from .exact import exact_optimal_cost
+from .extensions.dynamic import simulate as run_simulation
+from .extensions.dynamic import standard_policies
 from .generators import (
+    DYNAMIC_TRACE_FAMILIES,
+    trace_from_instance,
     bounded_length_instance,
     bursty_instance,
     clique_instance,
@@ -279,6 +288,61 @@ def _cmd_groom(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.instance:
+        instance = _load_instance(args.instance, args.g)
+        trace = trace_from_instance(
+            instance, early_departure_fraction=args.churn, seed=args.seed
+        )
+    else:
+        maker = DYNAMIC_TRACE_FAMILIES[args.family]
+        trace = maker(args.n, args.g if args.g is not None else 3, args.seed, args.churn)
+    algorithm = None if args.algorithm == "auto" else args.algorithm
+    if algorithm is not None:
+        get_scheduler(algorithm)  # unknown names raise KeyError, as elsewhere
+    policies = standard_policies(
+        trace, period=args.period, budget=args.budget, algorithm=algorithm
+    )
+    reports = run_simulation(
+        trace,
+        policies=policies,
+        oracle_check_every=args.oracle_check_every or None,
+    )
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "policy": report.policy,
+                "realized_cost": round(report.realized_cost, 3),
+                "migrations": report.migrations,
+                "replans": report.replans,
+                "machines": report.machines_opened,
+                "offline_cost": (
+                    round(report.offline_cost, 3)
+                    if report.offline_cost is not None
+                    else None
+                ),
+                "gap_vs_offline": (
+                    round(report.gap_vs_offline, 3)
+                    if report.gap_vs_offline is not None
+                    else None
+                ),
+                "oracle_checks": report.oracle_checks,
+            }
+        )
+    title = (
+        f"dynamic replay of {trace.name or 'trace'} "
+        f"({trace.num_events} events, {trace.num_jobs} jobs, g={trace.g})"
+    )
+    print(format_table(rows, title=title))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps([r.as_dict() for r in reports], indent=2) + "\n"
+        )
+        print(f"simulation reports written to {args.output}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance, args.g)
     profile = profile_instance(instance)
@@ -409,6 +473,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_groom.add_argument("--algorithm", default=None)
     p_groom.add_argument("--output", default=None)
     p_groom.set_defaults(func=_cmd_groom)
+
+    p_sim = sub.add_parser(
+        "simulate", help="replay a dynamic arrive/depart trace under churn policies"
+    )
+    p_sim.add_argument(
+        "--instance", default=None,
+        help="derive the trace from this instance JSON instead of a family",
+    )
+    p_sim.add_argument(
+        "--family", choices=sorted(DYNAMIC_TRACE_FAMILIES), default="uniform",
+        help="dynamic trace family (ignored with --instance)",
+    )
+    p_sim.add_argument(
+        "--n", type=int, default=200,
+        help="number of jobs, i.e. half the event count (ignored with --instance)",
+    )
+    p_sim.add_argument("--g", type=int, default=None)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--churn", type=float, default=0.25,
+        help="fraction of jobs that depart early (early cancellations)",
+    )
+    p_sim.add_argument(
+        "--period", type=float, default=None,
+        help="replan period for the rolling-horizon policies "
+        "(default: an eighth of the trace horizon)",
+    )
+    p_sim.add_argument(
+        "--budget", type=int, default=4,
+        help="migrations per replan for the migration-budget policy",
+    )
+    p_sim.add_argument(
+        "--algorithm", default="first_fit",
+        help="registered algorithm the replanner solves with "
+        "('auto' for policy dispatch)",
+    )
+    p_sim.add_argument(
+        "--oracle-check-every", type=int, default=256,
+        help="verify_schedule cross-check cadence in events (0 disables the "
+        "periodic checks; replan and end-of-trace checks always run)",
+    )
+    p_sim.add_argument("--output", default=None, help="write the report JSONs here")
+    p_sim.set_defaults(func=_cmd_simulate)
 
     p_info = sub.add_parser("info", help="structural profile of an instance")
     p_info.add_argument("instance")

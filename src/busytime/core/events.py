@@ -35,13 +35,18 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .intervals import Interval, Job, _as_interval
 
 __all__ = [
     "Event",
     "SweepProfile",
+    "TraceEvent",
+    "DynamicTrace",
+    "TraceValidationError",
+    "ARRIVE",
+    "DEPART",
     "sweep_events",
     "load_profile",
     "integrate_step_function",
@@ -119,6 +124,171 @@ def integrate_step_function(
         mid = (lo + hi) / 2.0
         total += (hi - lo) * value_at(mid)
     return total
+
+
+#: Trace event kinds.  Arrivals order before departures at equal times,
+#: matching the closed-interval convention of :class:`Event` (a job arriving
+#: exactly when another departs overlaps it at that instant).
+ARRIVE = 0
+DEPART = 1
+
+
+class TraceValidationError(ValueError):
+    """Raised by :meth:`DynamicTrace.validate` on an ill-formed trace."""
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One lifecycle event of a dynamic workload: a job arriving or departing.
+
+    Events order by ``(time, kind, job.id)`` with :data:`ARRIVE` before
+    :data:`DEPART`, so simultaneous arrival/departure keeps the closed-interval
+    conflict semantics: the departing job is still live when the arrival is
+    placed — and simultaneous same-kind events follow job ids, matching the
+    online replay's ``(start, id)`` arrival tie-break.  ``sorted`` on events
+    therefore yields exactly the order :meth:`DynamicTrace.validate` demands.
+
+    ``job`` carries the *full* interval revealed at arrival.  A departure at
+    ``time < job.end`` is an early cancellation: the machine stops being busy
+    with the job from ``time`` on, so the job's *effective* interval — the
+    part that actually occupied a machine — is ``[job.start, time]``.
+    """
+
+    time: float
+    kind: int  # ARRIVE or DEPART
+    job: Job
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.kind, self.job.id)
+
+    def __lt__(self, other: "TraceEvent") -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+    @property
+    def is_arrival(self) -> bool:
+        return self.kind == ARRIVE
+
+
+@dataclass(frozen=True)
+class DynamicTrace:
+    """An ordered arrive/depart event sequence plus the parallelism bound.
+
+    The dynamic counterpart of :class:`~busytime.core.instance.Instance`:
+    where an instance is a static job set, a trace is the job set's
+    *lifecycle* — each job arrives once (revealing its interval) and departs
+    once (at its natural completion or earlier, if cancelled).  Replayed by
+    :class:`busytime.extensions.dynamic.Simulator`; generated by
+    :mod:`busytime.generators.dynamic_traces`.
+    """
+
+    events: Tuple[TraceEvent, ...]
+    g: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_jobs(self) -> int:
+        return sum(1 for e in self.events if e.is_arrival)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> Tuple[float, float]:
+        """Earliest and latest event time (``(0, 0)`` when empty)."""
+        if not self.events:
+            return (0.0, 0.0)
+        return (self.events[0].time, self.events[-1].time)
+
+    def departure_times(self) -> Dict[int, float]:
+        """Job id -> departure time."""
+        return {e.job.id: e.time for e in self.events if not e.is_arrival}
+
+    def effective_jobs(self) -> Tuple[Job, ...]:
+        """Each job truncated to the part that actually occupied a machine.
+
+        A job departing at ``d < end`` effectively ran ``[start, d]``; a job
+        departing on time ran its full interval.  The induced static
+        instance (:meth:`effective_instance`) is the hindsight comparator
+        the simulator reports its cost gap against.
+        """
+        departs = self.departure_times()
+        out: List[Job] = []
+        for e in self.events:
+            if not e.is_arrival:
+                continue
+            job = e.job
+            d = departs.get(job.id, job.end)
+            if d < job.end:
+                job = Job(id=job.id, interval=Interval(job.start, d), tag=job.tag)
+            out.append(job)
+        return tuple(out)
+
+    def effective_instance(self, name: str = ""):
+        """The static instance induced by :meth:`effective_jobs` (same ``g``)."""
+        from .instance import Instance
+
+        return Instance(
+            jobs=self.effective_jobs(),
+            g=self.g,
+            name=name or (self.name and f"{self.name}#effective") or "effective",
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`TraceValidationError` unless the trace is well formed.
+
+        Well formed means: events sorted in ``(time, kind, job id)`` order,
+        every job arrives exactly once and departs exactly once, arrival at
+        the job's start time, and departure inside ``[start, end]``.
+        """
+        arrived: Dict[int, TraceEvent] = {}
+        departed: Dict[int, TraceEvent] = {}
+        prev: Optional[TraceEvent] = None
+        for e in self.events:
+            if prev is not None and e.sort_key < prev.sort_key:
+                raise TraceValidationError(
+                    f"events out of order at t={e.time} (job {e.job.id})"
+                )
+            prev = e
+            if e.is_arrival:
+                if e.job.id in arrived:
+                    raise TraceValidationError(f"job {e.job.id} arrives twice")
+                if e.time != e.job.start:
+                    raise TraceValidationError(
+                        f"job {e.job.id} arrives at {e.time} but starts at {e.job.start}"
+                    )
+                arrived[e.job.id] = e
+            else:
+                if e.job.id not in arrived:
+                    raise TraceValidationError(
+                        f"job {e.job.id} departs before arriving"
+                    )
+                if e.job.id in departed:
+                    raise TraceValidationError(f"job {e.job.id} departs twice")
+                if not (e.job.start <= e.time <= e.job.end):
+                    raise TraceValidationError(
+                        f"job {e.job.id} departs at {e.time}, outside "
+                        f"[{e.job.start}, {e.job.end}]"
+                    )
+                departed[e.job.id] = e
+        missing = set(arrived) - set(departed)
+        if missing:
+            raise TraceValidationError(
+                f"jobs never depart: {sorted(missing)}"
+            )
 
 
 class SweepProfile:

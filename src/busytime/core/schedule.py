@@ -128,6 +128,28 @@ class Machine:
         """
         return self.profile.fits(job.start, job.end, g)
 
+    def without_job(self, job_id: int) -> "Machine":
+        """A copy of this machine with one job removed.
+
+        The removal is routed through
+        :meth:`~busytime.core.events.SweepProfile.remove` on a snapshot of
+        the cached profile (when one exists), so the derived machine keeps
+        answering its hot-path queries from incrementally maintained state
+        rather than a rebuild — the same first-class ``unassign`` path the
+        mutable :class:`ScheduleBuilder` uses.
+        """
+        remaining = tuple(j for j in self.jobs if j.id != job_id)
+        if len(remaining) == len(self.jobs):
+            raise KeyError(f"machine {self.index} does not process job {job_id}")
+        removed = next(j for j in self.jobs if j.id == job_id)
+        machine = Machine(index=self.index, jobs=remaining)
+        cached = self.__dict__.get("_profile")
+        if cached is not None:
+            profile = cached.copy()
+            profile.remove(removed.start, removed.end)
+            object.__setattr__(machine, "_profile", profile)
+        return machine
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"M{self.index}({len(self.jobs)} jobs, busy={self.busy_time:g})"
 
@@ -344,6 +366,35 @@ class ScheduleBuilder:
             job.start, job.end
         )
 
+    def marginal_busy_release(self, job: Job) -> float:
+        """Busy-time the current machine would shed if ``job`` left it.
+
+        The part of ``job``'s window covered by no other job on its machine,
+        measured by a remove/re-add round trip on the maintained profile
+        (both operations are exact counter updates, so the round trip leaves
+        the profile bit-identical).  This is the query behind
+        migration-ranking policies in the dynamic simulator.
+        """
+        machine_index = self.machine_of(job.id)
+        profile = self._profiles[machine_index]
+        before = profile.measure
+        profile.remove(job.start, job.end)
+        released = before - profile.measure
+        profile.add(job.start, job.end)
+        return released
+
+    def machine_of(self, job_id: int) -> int:
+        """Index of the machine currently processing ``job_id``."""
+        try:
+            return self._assigned[job_id]
+        except KeyError:
+            raise KeyError(f"job {job_id} is not assigned") from None
+
+    @property
+    def assigned_job_ids(self) -> Tuple[int, ...]:
+        """Ids of all currently assigned jobs (arbitrary but stable order)."""
+        return tuple(self._assigned)
+
     def fits(self, machine_index: int, job: Job) -> bool:
         """True when adding ``job`` to the machine keeps it feasible."""
         return self._profiles[machine_index].fits(
@@ -392,6 +443,28 @@ class ScheduleBuilder:
             self.assign(idx, job)
         return idx
 
+    def unassign(self, job: Job) -> int:
+        """Remove ``job`` from its machine; returns the machine index.
+
+        The exact inverse of :meth:`assign`: the job leaves the machine's
+        job list and its interval is removed from the machine's maintained
+        :class:`~busytime.core.events.SweepProfile` (stale breakpoints are
+        kept at zero coverage, which is harmless — see
+        :meth:`SweepProfile.remove`).  This is the mutation path behind job
+        departures and migrations in the dynamic-workload simulator
+        (:mod:`busytime.extensions.dynamic`); ``verify_schedule`` on a
+        subsequent :meth:`freeze_partial` stays the slow-path oracle for it.
+        """
+        machine_index = self.machine_of(job.id)
+        jobs = self._machines[machine_index]
+        for pos, stored in enumerate(jobs):
+            if stored.id == job.id:
+                removed = jobs.pop(pos)
+                break
+        self._profiles[machine_index].remove(removed.start, removed.end)
+        del self._assigned[job.id]
+        return machine_index
+
     # -- output ----------------------------------------------------------------
 
     def freeze(self, validate: bool = True) -> Schedule:
@@ -403,6 +476,27 @@ class ScheduleBuilder:
         machine state that answered the ``fits`` queries during
         construction, not a freshly rebuilt one.
         """
+        return self._freeze_against(self.instance, validate)
+
+    def freeze_partial(self, validate: bool = True, name: str = "") -> Schedule:
+        """Freeze the schedule of the *currently assigned* jobs only.
+
+        After departures (:meth:`unassign`) the builder's live job set is a
+        subset of the instance; this freezes against the induced
+        sub-instance so ``verify_schedule`` — which insists every instance
+        job is scheduled exactly once — can keep playing oracle after every
+        mutation.  Used by the dynamic simulator's cross-check cadence.
+        """
+        live = Instance(
+            jobs=tuple(
+                job for machine in self._machines for job in machine
+            ),
+            g=self.instance.g,
+            name=name or (self.instance.name and f"{self.instance.name}#live") or "live",
+        )
+        return self._freeze_against(live, validate)
+
+    def _freeze_against(self, instance: Instance, validate: bool) -> Schedule:
         machines: List[Machine] = []
         for jobs, profile in zip(self._machines, self._profiles):
             if not jobs:
@@ -414,7 +508,7 @@ class ScheduleBuilder:
             object.__setattr__(m, "_profile", profile.copy())
             machines.append(m)
         sched = Schedule(
-            instance=self.instance,
+            instance=instance,
             machines=tuple(machines),
             algorithm=self.algorithm,
             meta=dict(self.meta),

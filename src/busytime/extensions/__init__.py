@@ -8,6 +8,9 @@ setting its applications imply:
   work [15]), solved by the two-phase anchor-then-pack heuristic.
 * :mod:`busytime.extensions.online` — arrival-order online schedulers and a
   replay harness for measuring the price of irrevocable decisions.
+* :mod:`busytime.extensions.dynamic` — dynamic workloads with churn: job
+  departures, rolling-horizon re-optimization through the solve engine and
+  migration-budget policies, replayed over arrive/depart event traces.
 * ring-topology grooming (the direction of [9]) lives with the rest of the
   optical application in :mod:`busytime.optical.ring`.
 """
@@ -20,6 +23,16 @@ from .flexible import (
     fix_start_times,
     flexible_first_fit,
     flexible_lower_bound,
+)
+from .dynamic import (
+    MigrationBudget,
+    NeverMigrate,
+    RollingHorizon,
+    SimulationPolicy,
+    SimulationReport,
+    Simulator,
+    simulate,
+    standard_policies,
 )
 from .online import (
     ONLINE_ALGORITHMS,
@@ -44,4 +57,12 @@ __all__ = [
     "online_next_fit",
     "replay_online",
     "ONLINE_ALGORITHMS",
+    "SimulationPolicy",
+    "NeverMigrate",
+    "RollingHorizon",
+    "MigrationBudget",
+    "SimulationReport",
+    "Simulator",
+    "simulate",
+    "standard_policies",
 ]

@@ -43,12 +43,45 @@ from ..core.schedule import Schedule, ScheduleBuilder
 
 __all__ = [
     "OnlineResult",
+    "first_fit_placement",
+    "best_fit_placement",
     "online_first_fit",
     "online_best_fit",
     "online_next_fit",
     "replay_online",
     "ONLINE_ALGORITHMS",
 ]
+
+
+def first_fit_placement(builder: ScheduleBuilder, job: Job) -> Optional[int]:
+    """FirstFit arrival rule: lowest-indexed machine that still fits.
+
+    Shared by :func:`online_first_fit` and the dynamic simulator's policies
+    (:mod:`busytime.extensions.dynamic`), so online replay and trace replay
+    place arrivals identically.
+    """
+    return builder.first_fitting_machine(job)
+
+
+def best_fit_placement(builder: ScheduleBuilder, job: Job) -> Optional[int]:
+    """BestFit arrival rule: the feasible machine whose busy time grows least.
+
+    A new machine is opened (``None``) only when no existing machine can
+    absorb the job more cheaply than its own length — the same opening rule
+    as the offline BestFit baseline.  Shared with the dynamic simulator.
+    """
+    best_idx: Optional[int] = None
+    best_increase = float("inf")
+    for idx in range(builder.num_machines):
+        if not builder.fits(idx, job):
+            continue
+        increase = builder.marginal_busy_increase(idx, job)
+        if increase < best_increase:
+            best_increase = increase
+            best_idx = idx
+    if best_idx is None or best_increase >= job.length:
+        return None
+    return best_idx
 
 
 @dataclass(frozen=True)
@@ -60,7 +93,17 @@ class OnlineResult:
 
 
 def _arrival_order(instance: Instance) -> List[Job]:
-    return sorted(instance.jobs, key=lambda j: (j.start, j.end, j.id))
+    """Arrival sequence: by start time, ties broken by job id only.
+
+    Simultaneous arrivals must not be ordered by any other job attribute —
+    ranking ties by end time would let the replay peek at interval shape to
+    decide who "arrives first", which no online system can do.  The
+    ``(start, id)`` key is a total order, so repeated replays of the same
+    instance see the identical sequence and produce the identical decision
+    trace (the dynamic simulator's trace replay relies on the same
+    convention).
+    """
+    return sorted(instance.jobs, key=lambda j: (j.start, j.id))
 
 
 def replay_online(
@@ -91,36 +134,12 @@ def replay_online(
 
 def online_first_fit(instance: Instance) -> Schedule:
     """Arrival-order FirstFit: lowest-indexed machine that still fits."""
-
-    def policy(builder: ScheduleBuilder, job: Job) -> Optional[int]:
-        return builder.first_fitting_machine(job)
-
-    return replay_online(instance, policy, "online_first_fit").schedule
+    return replay_online(instance, first_fit_placement, "online_first_fit").schedule
 
 
 def online_best_fit(instance: Instance) -> Schedule:
-    """Arrival-order BestFit: the feasible machine whose busy time grows least.
-
-    A new machine is opened only when no existing machine can absorb the job
-    more cheaply than its own length (the same opening rule as the offline
-    BestFit baseline).
-    """
-
-    def policy(builder: ScheduleBuilder, job: Job) -> Optional[int]:
-        best_idx: Optional[int] = None
-        best_increase = float("inf")
-        for idx in range(builder.num_machines):
-            if not builder.fits(idx, job):
-                continue
-            increase = builder.marginal_busy_increase(idx, job)
-            if increase < best_increase:
-                best_increase = increase
-                best_idx = idx
-        if best_idx is None or best_increase >= job.length:
-            return None
-        return best_idx
-
-    return replay_online(instance, policy, "online_best_fit").schedule
+    """Arrival-order BestFit: see :func:`best_fit_placement`."""
+    return replay_online(instance, best_fit_placement, "online_best_fit").schedule
 
 
 def online_next_fit(instance: Instance) -> Schedule:

@@ -1,5 +1,15 @@
 """Instance and traffic generators for experiments, examples and tests."""
 
+from .dynamic_traces import (
+    DYNAMIC_TRACE_FAMILIES,
+    adversarial_dynamic_trace,
+    bursty_dynamic_trace,
+    optical_dynamic_trace,
+    poisson_dynamic_trace,
+    proper_dynamic_trace,
+    trace_from_instance,
+    uniform_dynamic_trace,
+)
 from .adversarial import (
     fig4_reference_schedule,
     firstfit_lower_bound_instance,
@@ -40,4 +50,12 @@ __all__ = [
     "uniform_traffic",
     "hotspot_traffic",
     "local_traffic",
+    "trace_from_instance",
+    "uniform_dynamic_trace",
+    "poisson_dynamic_trace",
+    "bursty_dynamic_trace",
+    "proper_dynamic_trace",
+    "adversarial_dynamic_trace",
+    "optical_dynamic_trace",
+    "DYNAMIC_TRACE_FAMILIES",
 ]

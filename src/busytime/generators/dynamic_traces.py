@@ -1,0 +1,215 @@
+"""Dynamic-workload traces: arrive/depart event sequences over instances.
+
+The paper's motivating systems (lightpath provisioning, cloud hosts) have
+churn: jobs depart as well as arrive.  This module turns the package's
+static instance families — random (:mod:`.random_instances`), structured
+(:mod:`.structured`), adversarial (:mod:`.adversarial`) and optical
+(:mod:`.optical_traffic` via the Section 4.2 reduction) — into
+:class:`~busytime.core.events.DynamicTrace` objects for the simulator in
+:mod:`busytime.extensions.dynamic`.
+
+Every job arrives at its start time revealing its full interval; a seeded
+fraction of jobs *cancels early*, departing at a uniform point inside the
+tail of their interval, the rest depart at their natural completion.  All
+generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.events import ARRIVE, DEPART, DynamicTrace, TraceEvent
+from ..core.instance import Instance
+from .adversarial import firstfit_lower_bound_instance
+from .optical_traffic import hotspot_traffic, local_traffic, uniform_traffic
+from .random_instances import (
+    bursty_instance,
+    poisson_arrivals_instance,
+    uniform_random_instance,
+)
+from .structured import proper_instance
+
+__all__ = [
+    "trace_from_instance",
+    "uniform_dynamic_trace",
+    "poisson_dynamic_trace",
+    "bursty_dynamic_trace",
+    "proper_dynamic_trace",
+    "adversarial_dynamic_trace",
+    "optical_dynamic_trace",
+    "DYNAMIC_TRACE_FAMILIES",
+]
+
+
+def trace_from_instance(
+    instance: Instance,
+    early_departure_fraction: float = 0.25,
+    min_hold_fraction: float = 0.25,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> DynamicTrace:
+    """The lifecycle trace of a static instance, with seeded early cancellations.
+
+    Each job arrives at its start time.  With probability
+    ``early_departure_fraction`` a job cancels early: its departure time is
+    drawn uniformly from the last ``1 - min_hold_fraction`` of its interval
+    (so a cancelled job still holds its machine for at least
+    ``min_hold_fraction`` of its length).  All other jobs depart at their
+    natural completion.  The result is sorted in ``(time, kind, job id)``
+    order with arrivals before departures at equal times (closed-interval
+    semantics) and passes :meth:`DynamicTrace.validate`.
+    """
+    if not 0.0 <= early_departure_fraction <= 1.0:
+        raise ValueError("early_departure_fraction must lie in [0, 1]")
+    if not 0.0 <= min_hold_fraction <= 1.0:
+        raise ValueError("min_hold_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    events: List[TraceEvent] = []
+    for job in instance.jobs:
+        events.append(TraceEvent(time=job.start, kind=ARRIVE, job=job))
+        depart = job.end
+        if job.length > 0 and rng.random() < early_departure_fraction:
+            hold = rng.uniform(min_hold_fraction, 1.0)
+            depart = job.start + hold * job.length
+        events.append(TraceEvent(time=float(depart), kind=DEPART, job=job))
+    events.sort()  # TraceEvent orders by (time, kind, job id)
+    trace = DynamicTrace(
+        events=tuple(events),
+        g=instance.g,
+        name=name or f"trace({instance.name or 'instance'},churn={early_departure_fraction:g},seed={seed})",
+    )
+    trace.validate()
+    return trace
+
+
+def uniform_dynamic_trace(
+    n: int,
+    g: int,
+    horizon: float = 100.0,
+    early_departure_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> DynamicTrace:
+    """Trace over :func:`uniform_random_instance` (2n events)."""
+    inst = uniform_random_instance(n, g, horizon=horizon, seed=seed)
+    return trace_from_instance(
+        inst, early_departure_fraction=early_departure_fraction, seed=seed
+    )
+
+
+def poisson_dynamic_trace(
+    n: int,
+    g: int,
+    arrival_rate: float = 1.0,
+    mean_duration: float = 5.0,
+    early_departure_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> DynamicTrace:
+    """Trace over :func:`poisson_arrivals_instance` — the queueing-style churn
+    workload closest to lightpath/VM request streams."""
+    inst = poisson_arrivals_instance(
+        n, g, arrival_rate=arrival_rate, mean_duration=mean_duration, seed=seed
+    )
+    return trace_from_instance(
+        inst, early_departure_fraction=early_departure_fraction, seed=seed
+    )
+
+
+def bursty_dynamic_trace(
+    n: int,
+    g: int,
+    early_departure_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> DynamicTrace:
+    """Trace over :func:`bursty_instance`; stresses replanning under load spikes."""
+    inst = bursty_instance(n, g, seed=seed)
+    return trace_from_instance(
+        inst, early_departure_fraction=early_departure_fraction, seed=seed
+    )
+
+
+def proper_dynamic_trace(
+    n: int,
+    g: int,
+    early_departure_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> DynamicTrace:
+    """Trace over :func:`~busytime.generators.structured.proper_instance`."""
+    inst = proper_instance(n, g, seed=seed)
+    return trace_from_instance(
+        inst, early_departure_fraction=early_departure_fraction, seed=seed
+    )
+
+
+def adversarial_dynamic_trace(
+    g: int,
+    early_departure_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> DynamicTrace:
+    """Trace over the Fig. 4 FirstFit lower-bound family (``g*(g+1)`` jobs).
+
+    The static construction punishes greedy arrival-order placement, so it is
+    the natural adversary for the never-migrate policy; replanning gets to
+    undo the trap.
+    """
+    inst = firstfit_lower_bound_instance(max(g, 2))
+    return trace_from_instance(
+        inst, early_departure_fraction=early_departure_fraction, seed=seed
+    )
+
+
+def optical_dynamic_trace(
+    nodes: int,
+    lightpaths: int,
+    g: int,
+    family: str = "uniform",
+    early_departure_fraction: float = 0.25,
+    seed: Optional[int] = None,
+) -> DynamicTrace:
+    """Trace over a path-network traffic family via the Section 4.2 reduction.
+
+    Lightpath requests become busy-time jobs (:func:`busytime.optical.
+    traffic_to_instance`); early departures model torn-down connections.
+    """
+    makers = {
+        "uniform": uniform_traffic,
+        "hotspot": hotspot_traffic,
+        "local": local_traffic,
+    }
+    from ..optical import traffic_to_instance
+
+    traffic = makers[family](nodes, lightpaths, g, seed=seed)
+    inst = traffic_to_instance(traffic)
+    return trace_from_instance(
+        inst,
+        early_departure_fraction=early_departure_fraction,
+        seed=seed,
+        name=f"trace(optical-{family}(nodes={nodes},paths={lightpaths},g={g}),seed={seed})",
+    )
+
+
+#: CLI-facing registry: family name -> ``maker(n, g, seed, churn)`` closure.
+#: ``n`` is the number of *jobs* (the trace has 2n events); the adversarial
+#: family sizes itself from ``g`` and the optical family derives a path
+#: network from ``n``.
+DYNAMIC_TRACE_FAMILIES: Dict[str, object] = {
+    "uniform": lambda n, g, seed, churn: uniform_dynamic_trace(
+        n, g, early_departure_fraction=churn, seed=seed
+    ),
+    "poisson": lambda n, g, seed, churn: poisson_dynamic_trace(
+        n, g, early_departure_fraction=churn, seed=seed
+    ),
+    "bursty": lambda n, g, seed, churn: bursty_dynamic_trace(
+        n, g, early_departure_fraction=churn, seed=seed
+    ),
+    "proper": lambda n, g, seed, churn: proper_dynamic_trace(
+        n, g, early_departure_fraction=churn, seed=seed
+    ),
+    "adversarial": lambda n, g, seed, churn: adversarial_dynamic_trace(
+        g, early_departure_fraction=churn, seed=seed
+    ),
+    "optical": lambda n, g, seed, churn: optical_dynamic_trace(
+        max(8, n // 5), n, g, early_departure_fraction=churn, seed=seed
+    ),
+}

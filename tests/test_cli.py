@@ -192,3 +192,42 @@ class TestInfoAndAlgorithms:
         assert main(["algorithms"]) == 0
         text = capsys.readouterr().out
         assert "first_fit" in text and "Section 2" in text
+
+
+class TestSimulate:
+    def test_simulate_surfaces_all_three_policy_reports(self, capsys):
+        rc = main(
+            ["simulate", "--family", "poisson", "--n", "60", "--g", "3",
+             "--seed", "2", "--churn", "0.3"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        for policy in ("never_migrate", "rolling_horizon", "migration_budget"):
+            assert policy in text
+        assert "realized_cost" in text and "gap_vs_offline" in text
+
+    def test_simulate_writes_report_json(self, tmp_path, capsys):
+        out = tmp_path / "reports.json"
+        rc = main(
+            ["simulate", "--family", "uniform", "--n", "40", "--seed", "1",
+             "--output", str(out)]
+        )
+        assert rc == 0
+        reports = json.loads(out.read_text())
+        assert [r["policy"] for r in reports] == [
+            "never_migrate", "rolling_horizon", "migration_budget",
+        ]
+        assert all(r["realized_cost"] >= 0 for r in reports)
+        assert all(r["oracle_checks"] >= 1 for r in reports)
+
+    def test_simulate_from_instance_file(self, instance_file, capsys):
+        rc = main(
+            ["simulate", "--instance", str(instance_file), "--churn", "0.5",
+             "--algorithm", "auto"]
+        )
+        assert rc == 0
+        assert "dynamic replay" in capsys.readouterr().out
+
+    def test_simulate_unknown_algorithm_errors(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "--n", "10", "--algorithm", "nope"])

@@ -5,6 +5,7 @@ import pytest
 from busytime.algorithms import first_fit, proper_greedy
 from busytime.core.bounds import best_lower_bound
 from busytime.core.instance import Instance
+from busytime.core.intervals import Interval, Job
 from busytime.extensions import (
     ONLINE_ALGORITHMS,
     online_best_fit,
@@ -44,6 +45,56 @@ class TestReplayHarness:
         replay_online(inst, spy, "spy")
         starts = [inst.job_by_id(i).start for i in seen]
         assert starts == sorted(starts)
+
+    def test_simultaneous_arrivals_break_ties_by_job_id(self):
+        # Three jobs start together; arrival order must follow job ids, not
+        # interval shape (ordering by end time would peek at the future).
+        inst = Instance.from_intervals(
+            [Job(id=5, interval=Interval(0, 9)),
+             Job(id=1, interval=Interval(0, 2)),
+             Job(id=3, interval=Interval(0, 30))],
+            g=2,
+        )
+        seen = []
+
+        def spy(builder, job):
+            seen.append(job.id)
+            return builder.first_fitting_machine(job)
+
+        replay_online(inst, spy, "spy")
+        assert seen == [1, 3, 5]
+
+    def test_decision_trace_is_deterministic_across_replays(self):
+        # Heavy endpoint collisions: snapping starts to an integer grid
+        # forces simultaneous arrivals, the case the (start, id) tie-break
+        # exists for.  The recorded decision trace — not just the cost —
+        # must be identical run over run.
+        base = uniform_random_instance(60, g=3, horizon=12.0, seed=8)
+        inst = Instance.from_intervals(
+            [
+                Job(id=j.id, interval=Interval(float(int(j.start)),
+                                               float(int(j.start)) + j.length))
+                for j in base.jobs
+            ],
+            g=3,
+        )
+
+        def run():
+            return replay_online(
+                inst, lambda b, j: b.first_fitting_machine(j), "probe"
+            ).decisions
+
+        first = run()
+        for _ in range(3):
+            assert run() == first
+
+    @pytest.mark.parametrize("name", sorted(ONLINE_ALGORITHMS))
+    def test_assignments_are_deterministic_across_replays(self, name):
+        inst = uniform_random_instance(50, g=3, horizon=10.0, seed=4)
+        alg = ONLINE_ALGORITHMS[name]
+        first = alg(inst).assignment()
+        for _ in range(3):
+            assert alg(inst).assignment() == first
 
 
 class TestOnlineAlgorithms:

@@ -126,6 +126,128 @@ def test_remove_unknown_interval_raises():
         prof.remove(0.5, 1.5)
 
 
+# -- fuzzed mutation sequences (the dynamic-workload invariants) --------------
+#
+# The dynamic simulator drives SweepProfile through arbitrary interleavings
+# of add (arrivals, migrations in) and remove (departures, migrations out).
+# After *any* op sequence the profile must be semantically identical to one
+# rebuilt from scratch over the surviving interval multiset.
+
+# Each op is (interval, removal-schedule): `when` in [0, 1) interleaves the
+# interval's removal among the later insertions; None keeps it forever.
+op_sequences = st.lists(
+    st.tuples(
+        st.tuples(coords, coords).map(lambda p: Interval(min(p), max(p))),
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=0.999)),
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def _assert_profiles_agree(prof: SweepProfile, survivors: List[Interval]) -> None:
+    """``prof`` must answer every query like a rebuild over ``survivors``."""
+    rebuilt = SweepProfile.from_intervals(survivors)
+    assert prof.count == rebuilt.count == len(survivors)
+    assert prof.max_load() == rebuilt.max_load() == max_point_load(survivors)
+    assert prof.measure == pytest.approx(span(survivors), abs=1e-9)
+    probes = {iv.start for iv in survivors} | {iv.end for iv in survivors}
+    probes |= {(iv.start + iv.end) / 2 for iv in survivors} | {-1.0, 6.5, 13.0}
+    for t in probes:
+        assert prof.load_at(t) == point_load(survivors, t), f"load_at({t})"
+    for lo, hi in ((0.0, 12.0), (2.0, 7.0), (6.0, 6.0)):
+        assert prof.max_load_in(lo, hi) == rebuilt.max_load_in(lo, hi)
+        assert prof.covered_measure_in(lo, hi) == pytest.approx(
+            rebuilt.covered_measure_in(lo, hi), abs=1e-9
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(op_sequences)
+def test_interleaved_add_remove_equals_rebuild_of_survivors(ops):
+    """Fuzzed add/remove interleavings leave exactly the survivors' profile.
+
+    Removals are interleaved *between* later insertions (not batched at the
+    end), the access pattern of trace replay: arrive, arrive, depart,
+    arrive, ...
+    """
+    prof = SweepProfile()
+    pending: List[tuple] = []  # (position, interval) scheduled removals
+    survivors: List[Interval] = []
+    for step, (iv, when) in enumerate(ops):
+        for pos, doomed in [p for p in pending if p[0] <= step]:
+            prof.remove(doomed.start, doomed.end)
+            pending.remove((pos, doomed))
+        prof.add(iv.start, iv.end)
+        if when is None:
+            survivors.append(iv)
+        else:
+            # Schedule the removal before one of the remaining insertions.
+            remaining = len(ops) - step - 1
+            pending.append((step + 1 + int(when * (remaining + 1)), iv))
+    for _, doomed in pending:
+        prof.remove(doomed.start, doomed.end)
+    _assert_profiles_agree(prof, survivors)
+
+
+@settings(max_examples=100, deadline=None)
+@given(interval_sets, st.randoms(use_true_random=False))
+def test_builder_unassign_is_exact_inverse_of_assign(ivs, rnd):
+    """assign . unassign == identity on the builder's whole machine state."""
+    from busytime.core.instance import Instance
+
+    jobs = [Job(id=i, interval=iv) for i, iv in enumerate(ivs)]
+    inst = Instance(jobs=tuple(jobs), g=2, name="fuzz")
+    builder = ScheduleBuilder(inst, algorithm="fuzz")
+    for job in jobs:
+        builder.assign_first_fit(job)
+    snapshot = [
+        (tuple(builder.jobs_on(i)), builder.profile_of(i).copy())
+        for i in range(builder.num_machines)
+    ]
+    # Unassign a random subset, then re-assign each job to its old machine
+    # (reverse order, so interleaved states are exercised too).
+    removed = [(builder.machine_of(j.id), j) for j in jobs if rnd.random() < 0.5]
+    for _, job in removed:
+        builder.unassign(job)
+    for idx, job in reversed(removed):
+        builder.assign(idx, job)
+    for i, (jobs_before, profile_before) in enumerate(snapshot):
+        assert set(j.id for j in builder.jobs_on(i)) == set(
+            j.id for j in jobs_before
+        )
+        after = builder.profile_of(i)
+        assert after.count == profile_before.count
+        assert after.measure == pytest.approx(profile_before.measure, abs=1e-9)
+        assert after.max_load() == profile_before.max_load()
+        for t in {j.start for j in jobs_before} | {j.end for j in jobs_before}:
+            assert after.load_at(t) == profile_before.load_at(t)
+    # The whole mutated state still passes the independent slow-path oracle.
+    verify_schedule(builder.freeze())
+
+
+@settings(max_examples=100, deadline=None)
+@given(interval_sets, st.randoms(use_true_random=False))
+def test_builder_survivors_match_rebuild_after_unassign(ivs, rnd):
+    """After departures, every machine equals a from-scratch rebuild of its
+    surviving jobs — the invariant ``freeze_partial`` validation rests on."""
+    from busytime.core.instance import Instance
+
+    jobs = [Job(id=i, interval=iv) for i, iv in enumerate(ivs)]
+    inst = Instance(jobs=tuple(jobs), g=3, name="fuzz")
+    builder = ScheduleBuilder(inst, algorithm="fuzz")
+    for job in jobs:
+        builder.assign_first_fit(job)
+    for job in jobs:
+        if rnd.random() < 0.5:
+            builder.unassign(job)
+    for i in range(builder.num_machines):
+        _assert_profiles_agree(
+            builder.profile_of(i), [j.interval for j in builder.jobs_on(i)]
+        )
+    verify_schedule(builder.freeze_partial())
+
+
 @pytest.mark.parametrize(
     "maker,kwargs",
     [
