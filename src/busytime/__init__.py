@@ -26,7 +26,12 @@ The package provides:
 * the solve-session engine (:mod:`busytime.engine`): one request/response
   API — ``SolveRequest -> Engine -> SolveReport`` — shared by the CLI, the
   experiment harness and the examples, with per-component algorithm
-  selection, portfolio execution, batch fan-out and structured reports.
+  selection, portfolio execution, batch fan-out and structured reports;
+* the service layer (:mod:`busytime.service`): solve-as-a-service on top
+  of the engine — canonical request fingerprints (invariant under job
+  relabeling and time translation), a content-addressed result cache,
+  in-flight dedupe, micro-batching, and a stdlib HTTP frontend behind
+  ``busytime serve`` / ``busytime submit``.
 
 Quick start::
 

@@ -83,17 +83,24 @@ class SegmentSolution:
 
 
 def segment_jobs(instance: Instance, d: float) -> Dict[int, List[Job]]:
-    """Step 1: assign each job to segment ``r`` with ``s_j in [d*(r-1), d*r)``.
+    """Step 1: assign each job to segment ``r`` with ``s_j - t_0 in [d*(r-1), d*r)``.
 
-    Segments are indexed from 1 as in the paper.  ``d`` must be positive and
-    at least the maximum job length for the Lemma 3.3 argument to apply; the
-    function itself only requires ``d > 0``.
+    Segments are indexed from 1 as in the paper.  The grid is anchored at
+    ``t_0``, the earliest start in the instance: the Lemma 3.3 argument
+    holds for *any* grid origin, and anchoring at the instance's own left
+    edge makes the segmentation — and therefore the produced schedule —
+    invariant under global time translation (the service layer's
+    canonicalization relies on every algorithm being translation
+    equivariant).  ``d`` must be positive and at least the maximum job
+    length for the Lemma 3.3 argument to apply; the function itself only
+    requires ``d > 0``.
     """
     if d <= 0:
         raise ValueError(f"segment width d must be positive, got {d}")
+    origin = min((j.start for j in instance.jobs), default=0.0)
     segments: Dict[int, List[Job]] = {}
     for job in instance.jobs:
-        r = int(math.floor(job.start / d)) + 1
+        r = int(math.floor((job.start - origin) / d)) + 1
         segments.setdefault(r, []).append(job)
     return segments
 

@@ -30,9 +30,18 @@ and renders the returned :class:`~busytime.engine.SolveReport`.
 ``info``
     print the structural profile of an instance (class, clique number,
     bounds) and which algorithm the engine's policy would choose.
+``serve``
+    run the solve-as-a-service HTTP frontend (:mod:`busytime.service`):
+    canonicalization, result cache, in-flight dedupe and micro-batching in
+    front of the engine, on a stdlib-only JSON API.
+``submit``
+    post one instance to a running ``busytime serve`` endpoint and print
+    (or save) the returned solve report.
 
 Every command accepts ``--seed`` where randomness is involved, so runs are
-reproducible.
+reproducible.  User-facing failures — a missing file, an unknown algorithm
+name, malformed JSON — exit non-zero with a one-line ``busytime: error:``
+message rather than a traceback.
 """
 
 from __future__ import annotations
@@ -70,10 +79,28 @@ from .graphs.properties import profile_instance
 from .optical import groom as groom_traffic
 from .optical import traffic_to_instance
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CliError"]
 
 _DEFAULT_N = 50
 _DEFAULT_SEED = 0
+
+
+class CliError(Exception):
+    """A user-facing CLI failure: printed as one line, exit code 2.
+
+    Raised at the points where *user input* is interpreted (algorithm
+    names, service replies), so that ``main`` never has to classify bare
+    ``KeyError``/``RuntimeError`` — internal bugs of those types keep their
+    tracebacks.
+    """
+
+
+def _resolve_scheduler(name: str):
+    """`get_scheduler` with the unknown-name KeyError mapped to CliError."""
+    try:
+        return get_scheduler(name)
+    except KeyError as exc:
+        raise CliError(exc.args[0]) from None
 
 _GENERATORS: Dict[str, Callable[..., Instance]] = {
     "uniform": lambda n, g, seed: uniform_random_instance(n, g, seed=seed),
@@ -107,7 +134,7 @@ def _request_for(instance: Instance, algorithm: str, **options) -> SolveRequest:
     if algorithm == "auto":
         forced = None
     else:
-        get_scheduler(algorithm)  # unknown names raise KeyError, as historically
+        _resolve_scheduler(algorithm)  # unknown names are a one-line CliError
         forced = algorithm
     return SolveRequest(instance=instance, algorithm=forced, **options)
 
@@ -257,7 +284,7 @@ def _cmd_groom(args: argparse.Namespace) -> int:
         traffic = maker(args.nodes, args.lightpaths, args.g, seed=args.seed)
     algorithm = None
     if args.algorithm:
-        algorithm = get_scheduler(args.algorithm)
+        algorithm = _resolve_scheduler(args.algorithm)
     assignment = groom_traffic(traffic, algorithm=algorithm)
     assignment.validate()
     lb = best_lower_bound(traffic_to_instance(traffic))
@@ -299,7 +326,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         trace = maker(args.n, args.g if args.g is not None else 3, args.seed, args.churn)
     algorithm = None if args.algorithm == "auto" else args.algorithm
     if algorithm is not None:
-        get_scheduler(algorithm)  # unknown names raise KeyError, as elsewhere
+        _resolve_scheduler(algorithm)  # unknown names are a one-line CliError
     policies = standard_policies(
         trace, period=args.period, budget=args.budget, algorithm=algorithm
     )
@@ -362,6 +389,80 @@ def _cmd_info(args: argparse.Namespace) -> int:
         {"property": "dispatcher choice", "value": select_algorithm(instance)},
     ]
     print(format_table(rows, title=f"profile of {instance.name or args.instance}"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
+    # serving until interrupted; exercised end-to-end by the CI smoke step.
+    from .service import AdmissionLimits, ResultStore, SolveService, make_server
+
+    service = SolveService(
+        store=ResultStore(capacity=args.cache_capacity, directory=args.store_dir),
+        limits=AdmissionLimits(
+            max_jobs=args.max_jobs,
+            max_time_limit=args.max_time_limit,
+            max_forced_jobs=args.max_forced_jobs,
+        ),
+        batch_size=args.batch_size,
+        batch_window=args.batch_window,
+        max_workers=args.workers,
+    )
+    server = make_server(
+        service,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        wait_timeout=args.wait_timeout,
+    )
+    host, port = server.server_address[:2]
+    print(f"busytime service listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import submit_instance
+
+    instance = _load_instance(args.instance, args.g)
+    options: Dict[str, object] = {}
+    if args.algorithm != "auto":
+        _resolve_scheduler(args.algorithm)  # unknown names fail here, not serverside
+        options["algorithm"] = args.algorithm
+    if args.policy:
+        options["policy"] = args.policy
+    if args.no_portfolio:
+        options["portfolio"] = False
+    if args.time_limit is not None:
+        options["time_limit"] = args.time_limit
+    try:
+        reply = submit_instance(
+            args.url,
+            bio.instance_to_dict(instance),
+            options=options,
+            wait=not args.no_wait,
+            timeout=args.timeout,
+        )
+    except RuntimeError as exc:
+        raise CliError(str(exc)) from None  # the service's refusal, one line
+    if reply.get("status") != "done":
+        print(
+            f"job {reply.get('job_id')}: {reply.get('status')}"
+            + (f" ({reply['error']})" if reply.get("error") else "")
+        )
+        return 0 if reply.get("status") in ("queued", "running") else 1
+    report = bio.solve_report_from_dict(reply["report"])
+    row = _report_row(report.algorithm, report)
+    row["cached"] = reply.get("cached", False)
+    print(format_table([row], title=f"served solve of {instance.name or args.instance}"))
+    if args.output:
+        Path(args.output).write_text(json.dumps(reply["report"], indent=2))
+        print(f"report written to {args.output}")
     return 0
 
 
@@ -525,13 +626,127 @@ def build_parser() -> argparse.ArgumentParser:
     p_alg = sub.add_parser("algorithms", help="list registered algorithms")
     p_alg.set_defaults(func=_cmd_algorithms)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the solve-as-a-service HTTP frontend"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    p_serve.add_argument(
+        "--cache-capacity", type=int, default=256,
+        help="in-memory result-cache entries (LRU)",
+    )
+    p_serve.add_argument(
+        "--store-dir", default=None,
+        help="persist cached reports as JSON under this directory",
+    )
+    p_serve.add_argument(
+        "--batch-size", type=int, default=8,
+        help="max requests gathered into one engine batch",
+    )
+    p_serve.add_argument(
+        "--batch-window", type=float, default=0.01,
+        help="seconds to wait while gathering a batch",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for batched solves (default: in-thread)",
+    )
+    p_serve.add_argument(
+        "--max-jobs", type=int, default=20000,
+        help="admission limit: largest accepted instance",
+    )
+    p_serve.add_argument(
+        "--max-time-limit", type=float, default=60.0,
+        help="admission limit: per-request time budget cap (seconds)",
+    )
+    p_serve.add_argument(
+        "--max-forced-jobs", type=int, default=5000,
+        help="admission limit: largest instance accepted with a forced "
+        "--algorithm (such solves cannot be preempted by the time budget)",
+    )
+    p_serve.add_argument(
+        "--wait-timeout", type=float, default=300.0,
+        help="server-side cap on how long a 'wait: true' solve may block "
+        "before answering 504 (seconds)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="post one instance to a running busytime service"
+    )
+    p_submit.add_argument("instance", help="instance JSON (or CSV job list with --g)")
+    p_submit.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="service base URL"
+    )
+    p_submit.add_argument("--algorithm", default="auto")
+    p_submit.add_argument(
+        "--policy", default=None, choices=available_policies(),
+        help="selection policy for dispatched (auto) solves",
+    )
+    p_submit.add_argument(
+        "--no-portfolio", action="store_true",
+        help="run only the selected algorithm per component",
+    )
+    p_submit.add_argument("--g", type=int, default=None)
+    p_submit.add_argument(
+        "--time-limit", type=float, default=None,
+        help="soft per-request budget in seconds",
+    )
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of waiting for the report",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=300.0, help="client-side wait timeout"
+    )
+    p_submit.add_argument(
+        "--output", default=None, help="write the solve-report JSON here"
+    )
+    p_submit.set_defaults(func=_cmd_submit)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `busytime info ... | head`); the
+        # truncation is deliberate, not an error worth reporting.  Point
+        # the broken stdout at devnull (the Python-docs recipe) so the
+        # interpreter's exit-time flush cannot fail again and turn the
+        # clean exit into status 120 plus "Exception ignored" noise.
+        import os
+
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+            os.close(devnull)
+        except Exception:  # noqa: BLE001 - e.g. stdout without a real fd
+            pass
+        return 0
+    except (CliError, OSError, ValueError) as exc:
+        from .core.schedule import InfeasibleScheduleError
+
+        if isinstance(exc, InfeasibleScheduleError):
+            # The oracle rejecting a schedule is an internal correctness
+            # bug (it subclasses ValueError for callers that branch on
+            # feasibility) — keep the traceback, don't dress it as input.
+            raise
+        # User-facing failures (missing file, unknown algorithm name,
+        # malformed JSON, a rejecting server) get a one-line message and a
+        # non-zero exit instead of a traceback.  Internal errors — including
+        # KeyError/RuntimeError bugs and ProfileOracleMismatchError — keep
+        # their tracebacks; user-input call sites raise CliError instead.
+        print(f"busytime: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

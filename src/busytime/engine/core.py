@@ -275,6 +275,9 @@ class Engine:
 
         ``max_workers`` > 1 fans the batch out across a process pool (one
         request per task, ``chunksize`` tunable for many small instances).
+        Callers that batch repeatedly submit :func:`_pool_worker` tasks to
+        their own long-lived pool instead (the service layer's
+        ``_solve_batch`` does), amortising pool startup across batches.
         All selectable algorithms are deterministic, so the parallel path
         returns the same reports as the serial one, modulo wall-clock
         timings.
@@ -291,6 +294,9 @@ class Engine:
         for request in requests:
             request.validate()
             if request.policy is None:
+                # Resolve the engine's default into the request itself: the
+                # pool workers rebuild their own engines, so the policy must
+                # travel with the (picklable) request, never via engine state.
                 request = replace(request, policy=self.default_policy)
             prepared.append(request)
         if max_workers is not None and max_workers > 1 and len(prepared) > 1:
@@ -304,9 +310,21 @@ class Engine:
         return [self.solve(request) for request in prepared]
 
 
+_WORKER_ENGINE: Optional[Engine] = None
+
+
 def _pool_worker(request: SolveRequest) -> SolveReport:
-    """Top-level (picklable) worker for the process-pool batch path."""
-    return Engine().solve(request)
+    """Top-level (picklable) worker for the process-pool batch path.
+
+    One engine is built per worker process and reused across tasks, instead
+    of constructing (and re-validating) a fresh one per request.  The
+    engine's own default policy is irrelevant here: ``solve_many`` resolves
+    the parent's default into every shipped request before submission.
+    """
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = Engine()
+    return _WORKER_ENGINE.solve(request)
 
 
 _DEFAULT_ENGINE: Optional[Engine] = None

@@ -86,6 +86,37 @@ __all__ = [
 
 _PathLike = Union[str, Path]
 
+#: Format name -> document versions this reader understands.  Writers stamp
+#: the current (last) version; readers reject anything else up front, so an
+#: on-disk archive written by a future format revision fails loudly instead
+#: of being half-parsed (the service result store relies on this).
+_SUPPORTED_VERSIONS: Dict[str, tuple] = {
+    "busytime-instance": (1,),
+    "busytime-schedule": (1,),
+    "busytime-solve-report": (1,),
+    "busytime-traffic": (1,),
+}
+
+
+def _check_header(data: Mapping[str, object], fmt: str) -> None:
+    """Validate the ``format``/``version`` header of a busytime document."""
+    if not isinstance(data, Mapping):
+        # Valid JSON but not an object (a list, a number): still a format
+        # error, not an AttributeError out of `.get` below.
+        raise ValueError(
+            f"not a {fmt} document: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    if data.get("format") != fmt:
+        raise ValueError(f"not a {fmt} document")
+    supported = _SUPPORTED_VERSIONS[fmt]
+    version = data.get("version", 1)
+    if version not in supported:
+        raise ValueError(
+            f"unsupported {fmt} version {version!r}; this reader understands "
+            f"version(s) {', '.join(str(v) for v in supported)}"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Instances
@@ -114,8 +145,7 @@ def instance_to_dict(instance: Instance) -> Dict[str, object]:
 
 def instance_from_dict(data: Mapping[str, object]) -> Instance:
     """Rebuild an :class:`Instance` from :func:`instance_to_dict` output."""
-    if data.get("format") != "busytime-instance":
-        raise ValueError("not a busytime-instance document")
+    _check_header(data, "busytime-instance")
     jobs = tuple(
         Job(
             id=int(row["id"]),
@@ -158,8 +188,7 @@ def schedule_to_dict(schedule: Schedule) -> Dict[str, object]:
 
 def schedule_from_dict(data: Mapping[str, object]) -> Schedule:
     """Rebuild (and re-validate) a :class:`Schedule`."""
-    if data.get("format") != "busytime-schedule":
-        raise ValueError("not a busytime-schedule document")
+    _check_header(data, "busytime-schedule")
     instance = instance_from_dict(data["instance"])  # type: ignore[arg-type]
     by_id = {j.id: j for j in instance.jobs}
     machines = []
@@ -217,8 +246,7 @@ def solve_report_to_dict(
 
 def solve_report_from_dict(data: Mapping[str, object]) -> SolveReport:
     """Rebuild a :class:`~busytime.engine.SolveReport` (re-validating its schedule)."""
-    if data.get("format") != "busytime-solve-report":
-        raise ValueError("not a busytime-solve-report document")
+    _check_header(data, "busytime-solve-report")
     schedule = schedule_from_dict(data["schedule"])  # type: ignore[arg-type]
     components = tuple(
         ComponentDecision(
@@ -278,8 +306,7 @@ def traffic_to_dict(traffic: Traffic) -> Dict[str, object]:
 
 
 def traffic_from_dict(data: Mapping[str, object]) -> Traffic:
-    if data.get("format") != "busytime-traffic":
-        raise ValueError("not a busytime-traffic document")
+    _check_header(data, "busytime-traffic")
     network = PathNetwork(int(data["num_nodes"]))
     lightpaths = tuple(
         Lightpath(id=int(row["id"]), a=int(row["a"]), b=int(row["b"]))

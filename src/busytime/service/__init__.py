@@ -1,0 +1,66 @@
+"""Solve-as-a-service: canonicalization, result cache, batching frontend.
+
+The package turns the solve engine (:mod:`busytime.engine`) into a
+traffic-serving subsystem, in four layers:
+
+* :mod:`~busytime.service.canonical` — a deterministic canonical form and
+  content fingerprint for ``(instance, options)``, invariant under job
+  relabeling and global time translation, plus the de-canonicalization step
+  that maps cached schedules back onto the caller's own job ids;
+* :mod:`~busytime.service.store` — :class:`ResultStore`, a
+  content-addressed cache (in-memory LRU over an optional on-disk JSON
+  tier) with hit/miss/eviction stats;
+* :mod:`~busytime.service.service` — :class:`SolveService`, the
+  thread-safe submit/poll/result facade that dedupes in-flight identical
+  requests, micro-batches queued work (optionally across a persistent
+  process pool, one future per request) and enforces admission limits;
+* :mod:`~busytime.service.frontend` — the stdlib-only JSON-over-HTTP API
+  (``POST /solve``, ``GET /jobs/<id>``, ``GET /stats``,
+  ``GET /algorithms``) behind ``busytime serve`` / ``busytime submit``.
+
+Typical in-process use::
+
+    from busytime import Instance, SolveRequest
+    from busytime.service import SolveService
+
+    with SolveService() as service:
+        report = service.solve(SolveRequest(instance=instance))
+
+Equivalent requests — same job set up to relabeling and a global time
+shift, same options — are answered from the cache; `GET /stats` (or
+:meth:`SolveService.stats`) reports the hit rate.
+"""
+
+from .canonical import (
+    CanonicalForm,
+    canonical_request,
+    canonicalize,
+    decanonicalize_report,
+    request_fingerprint,
+)
+from .frontend import make_server, serve, submit_instance
+from .service import (
+    AdmissionError,
+    AdmissionLimits,
+    JobFailedError,
+    ServiceClosedError,
+    SolveService,
+)
+from .store import ResultStore
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_request",
+    "request_fingerprint",
+    "decanonicalize_report",
+    "ResultStore",
+    "AdmissionError",
+    "AdmissionLimits",
+    "JobFailedError",
+    "ServiceClosedError",
+    "SolveService",
+    "make_server",
+    "serve",
+    "submit_instance",
+]

@@ -1,0 +1,238 @@
+"""Canonical forms and content fingerprints for solve requests.
+
+Two requests that describe *the same mathematical problem* should hit the
+same cache line.  The busy-time objective is invariant under two request
+symmetries that real traffic exercises constantly:
+
+* **job relabeling** — job ids are names, not data; permuting them (or the
+  order of the job list) permutes the schedule's machine contents but not
+  its cost;
+* **global time translation** — shifting every interval by the same delta
+  shifts every machine's busy interval by that delta and leaves every
+  length, span, overlap and load unchanged (the paper's quantities ``len``
+  and ``span`` are translation invariant by definition).
+
+:func:`canonicalize` quotients both symmetries out: jobs are translated so
+the earliest start sits at 0, sorted by ``(start, end, weight, tag)`` and
+relabeled ``0..n-1`` (ties broken by original id, so the map back is
+deterministic).  :func:`request_fingerprint` then hashes the canonical
+rows together with the solve options — everything in
+:meth:`~busytime.engine.request.SolveRequest.options_dict` *except* the
+free-form ``tags``, which label a request without changing its answer.
+
+The arithmetic is exact: canonicalization subtracts the instance's own
+minimum start, so equal fingerprints mean bit-equal canonical coordinates.
+(Callers constructing shifted variants in floating point should shift by
+values exact in binary — integers, dyadic rationals — or the *inputs*
+already differ before canonicalization sees them.)
+
+:func:`decanonicalize_report` is the inverse step the result store needs:
+it maps a report solved on the canonical instance back onto the caller's
+original instance — original job objects, original ids, original time
+axis.  The mapping is checked exactly (bijection onto the original job
+set, bit-equal translated intervals), which makes the rebuilt schedule
+feasible *by construction* given that the canonical schedule was validated
+when it was produced (fresh solves validate; disk loads re-validate in
+``schedule_from_dict``).  ``validate=True`` additionally reruns the full
+slow-path oracle on the rebuilt schedule; the canonicalization tests do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.instance import Instance
+from ..core.intervals import Interval, Job
+from ..core.schedule import Machine, Schedule
+from ..engine.report import SolveReport
+from ..engine.request import SolveRequest
+
+__all__ = [
+    "CanonicalForm",
+    "canonicalize",
+    "canonical_request",
+    "request_fingerprint",
+    "decanonicalize_report",
+]
+
+#: Version tag baked into every fingerprint so a change to the canonical
+#: document shape can never collide with fingerprints minted before it.
+CANONICAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical quotient of an instance plus the data to undo it.
+
+    Attributes
+    ----------
+    g:
+        The parallelism parameter (not touched by canonicalization).
+    rows:
+        One ``(start, end, weight, tag)`` tuple per canonical job ``k``,
+        already translated (earliest start at 0) and sorted.
+    id_map:
+        ``id_map[k]`` is the *original* id of canonical job ``k``.
+    offset:
+        The translation that was subtracted: original time = canonical
+        time + ``offset``.
+    name:
+        The original instance name (names are labels, not data, so the
+        canonical instance drops them).
+    """
+
+    g: int
+    rows: Tuple[Tuple[float, float, float, str], ...]
+    id_map: Tuple[int, ...]
+    offset: float
+    name: str
+
+    @property
+    def instance(self) -> Instance:
+        """The canonical :class:`Instance`, built lazily and cached.
+
+        Cache *hits* never need the canonical instance — only the rows (for
+        the fingerprint) and the id map (to translate the answer back) — so
+        the object construction cost is deferred to actual solves.
+        """
+        built = self.__dict__.get("_instance")
+        if built is None:
+            built = Instance(
+                jobs=tuple(
+                    Job(
+                        id=k,
+                        interval=Interval(start, end),
+                        weight=weight,
+                        tag=tag,
+                    )
+                    for k, (start, end, weight, tag) in enumerate(self.rows)
+                ),
+                g=self.g,
+                name="",
+            )
+            object.__setattr__(self, "_instance", built)
+        return built
+
+
+def canonicalize(instance: Instance) -> CanonicalForm:
+    """The canonical form of an instance (relabeling/translation quotient)."""
+    if not instance.jobs:
+        return CanonicalForm(g=instance.g, rows=(), id_map=(), offset=0.0, name=instance.name)
+    offset = min(j.start for j in instance.jobs)
+    # Sort by the canonical coordinates; ties (identical jobs up to id) break
+    # by original id so the id_map is deterministic.  Identical jobs are
+    # interchangeable in any schedule, so which one lands where is immaterial.
+    keyed = sorted(
+        (j.start - offset, j.end - offset, j.weight, j.tag, j.id) for j in instance.jobs
+    )
+    return CanonicalForm(
+        g=instance.g,
+        rows=tuple(row[:4] for row in keyed),
+        id_map=tuple(row[4] for row in keyed),
+        offset=offset,
+        name=instance.name,
+    )
+
+
+def canonical_request(
+    request: SolveRequest, form: Optional[CanonicalForm] = None
+) -> Tuple[SolveRequest, CanonicalForm]:
+    """The request rewritten onto the canonical instance, plus the form.
+
+    ``tags`` are stripped from the canonical request (they are echo-only
+    labels); the caller re-attaches its own tags on de-canonicalization.
+    ``form`` may carry a precomputed :func:`canonicalize` result.
+    """
+    if form is None:
+        form = canonicalize(request.instance)
+    return replace(request, instance=form.instance, tags={}), form
+
+
+def request_fingerprint(
+    request: SolveRequest, form: Optional[CanonicalForm] = None
+) -> str:
+    """Content fingerprint of a solve request (hex SHA-256).
+
+    Equal fingerprints <=> equal canonical instances *and* equal solve
+    options (minus tags).  Relabeled and globally time-shifted variants of
+    the same instance therefore hash identically.  ``form`` may carry a
+    precomputed :func:`canonicalize` result to avoid re-deriving it.
+
+    Floats serialise through ``repr`` (shortest round-trip form), so
+    bit-equal coordinates produce byte-equal hash inputs.
+    """
+    if form is None:
+        form = canonicalize(request.instance)
+    options = request.options_dict()
+    options.pop("tags", None)
+    doc = {
+        "format": "busytime-canonical-request",
+        "version": CANONICAL_VERSION,
+        "g": form.g,
+        "jobs": [list(row) for row in form.rows],
+        "options": options,
+    }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def decanonicalize_report(
+    report: SolveReport,
+    form: CanonicalForm,
+    original: Instance,
+    tags: Optional[Mapping[str, object]] = None,
+    validate: bool = False,
+) -> SolveReport:
+    """Map a report solved on the canonical instance back onto the original.
+
+    Every canonical job ``k`` is replaced by the original job with id
+    ``form.id_map[k]``.  The mapping is verified exactly — it must be a
+    bijection onto the original job set and every original interval must be
+    the canonical one translated by ``form.offset`` (bit-equal, as produced
+    by :func:`canonicalize`) — so a form paired with the wrong instance
+    raises instead of fabricating a schedule.  Under those checks the
+    rebuilt schedule is feasible by construction whenever the canonical one
+    was; ``validate=True`` reruns the full slow-path oracle anyway.
+
+    Costs, bounds and certificates are translation/relabeling invariant and
+    carry over unchanged.
+    """
+    by_id = {j.id: j for j in original.jobs}
+    seen = 0
+    machines = []
+    for m in report.schedule.machines:
+        jobs = []
+        for canonical_job in m.jobs:
+            original_job = by_id[form.id_map[canonical_job.id]]
+            if (
+                original_job.start - form.offset != canonical_job.start
+                or original_job.end - form.offset != canonical_job.end
+            ):
+                raise ValueError(
+                    f"canonical form does not match instance "
+                    f"{original.name or '(unnamed)'}: job {original_job.id} "
+                    f"is not job {canonical_job.id} translated by {form.offset}"
+                )
+            jobs.append(original_job)
+        seen += len(jobs)
+        machines.append(Machine(index=m.index, jobs=tuple(jobs)))
+    if seen != original.n:
+        raise ValueError(
+            f"canonical schedule covers {seen} jobs, instance has {original.n}"
+        )
+    schedule = Schedule(
+        instance=original,
+        machines=tuple(machines),
+        algorithm=report.schedule.algorithm,
+        meta=dict(report.schedule.meta),
+    )
+    if validate:
+        schedule.validate()
+    return replace(
+        report,
+        schedule=schedule,
+        tags=dict(tags) if tags is not None else dict(report.tags),
+    )

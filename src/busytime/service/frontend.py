@@ -1,0 +1,339 @@
+"""Stdlib-only HTTP frontend for :class:`~busytime.service.SolveService`.
+
+A deliberately small JSON API over ``http.server`` (no framework, nothing
+to install):
+
+``POST /solve``
+    body ``{"instance": <busytime-instance doc>, "options": {...},
+    "wait": bool}``.  Options are the :class:`~busytime.engine.SolveRequest`
+    knobs (``algorithm``, ``policy``, ``portfolio``, ``time_limit``,
+    ``compute_optimum``, ``tags``).  Returns ``{"job_id", "status", ...}``;
+    with ``"wait": true`` the response blocks on the solve and embeds the
+    full ``busytime-solve-report`` document.
+``GET /jobs/<id>``
+    status snapshot of one submission, plus the report once done.
+``GET /stats``
+    service + result-store counters (hit rate, batches, dedupes, ...).
+``GET /algorithms``
+    the registered-algorithm capability table.
+
+Every handler thread shares the one service (``ThreadingHTTPServer``), so
+concurrent clients exercise exactly the dedupe/batch path the service
+implements.  :func:`make_server` binds (port 0 picks a free port) without
+serving, so tests and the CLI can control the loop; :func:`serve` is the
+blocking convenience the ``busytime serve`` command uses.
+
+The module also carries the matching client helper (:func:`submit_instance`,
+on ``urllib``) so ``busytime submit`` needs no extra dependency either.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+
+from .. import io as bio
+from ..algorithms import algorithm_table
+from ..engine import RequestValidationError, SolveRequest
+from .service import AdmissionError, JobFailedError, ServiceClosedError, SolveService
+
+__all__ = ["make_server", "serve", "submit_instance"]
+
+#: SolveRequest options settable over the wire (tags is handled separately),
+#: with the JSON types each accepts — checked before the request is built so
+#: a mistyped value is a 400, not a crashed handler thread.
+_REQUEST_OPTIONS = {
+    "algorithm": (str, type(None)),
+    "policy": (str, type(None)),
+    "portfolio": (bool,),
+    "time_limit": (int, float, type(None)),
+    "compute_optimum": (bool,),
+    "max_jobs_for_optimum": (int,),
+}
+
+
+def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
+    """Build a :class:`SolveRequest` from a ``POST /solve`` body."""
+    if not isinstance(doc, Mapping) or "instance" not in doc:
+        raise ValueError('body must be a JSON object with an "instance" field')
+    instance = bio.instance_from_dict(doc["instance"])
+    options = doc.get("options") or {}
+    if not isinstance(options, Mapping):
+        raise ValueError('"options" must be a JSON object')
+    unknown = set(options) - set(_REQUEST_OPTIONS) - {"tags"}
+    if unknown:
+        raise ValueError(
+            f"unknown options: {sorted(unknown)}; supported: "
+            f"{sorted(_REQUEST_OPTIONS) + ['tags']}"
+        )
+    kwargs = {}
+    for key, allowed in _REQUEST_OPTIONS.items():
+        if key not in options:
+            continue
+        value = options[key]
+        # bool is an int subclass: reject true where a number is wanted.
+        if not isinstance(value, allowed) or (
+            isinstance(value, bool) and bool not in allowed
+        ):
+            names = "/".join("null" if t is type(None) else t.__name__ for t in allowed)
+            raise ValueError(
+                f'option "{key}" must be {names}, got {type(value).__name__}'
+            )
+        kwargs[key] = value
+    tags = options.get("tags") or {}
+    if not isinstance(tags, Mapping):
+        raise ValueError('"tags" must be a JSON object')
+    return SolveRequest(instance=instance, tags=dict(tags), **kwargs)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the shared :class:`SolveService`."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+    # Socket timeout (socketserver applies it in setup()): a client that
+    # advertises a Content-Length and then under-sends would otherwise pin
+    # this handler thread in rfile.read forever.
+    timeout = 60.0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Advertise what we are about to do (set on refusals whose
+            # request body was never drained — see do_POST).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _job_payload(self, job_id: str, include_report: bool) -> Dict[str, object]:
+        service = self.server.service
+        payload: Dict[str, object] = service.poll(job_id)
+        if include_report and payload["status"] == "done":
+            report = service.result(job_id)
+            payload["report"] = bio.solve_report_to_dict(report)
+        return payload
+
+    # -- endpoints ------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") != "/solve":
+            # The body (if any) is never drained on this path, so the
+            # keep-alive connection must close with the refusal — stale
+            # body bytes would otherwise parse as the next request line.
+            self.close_connection = True
+            self._send_error_json(404, f"no such endpoint: POST {self.path}")
+            return
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            # No Content-Length to bound or drain by; refuse and close.
+            self.close_connection = True
+            self._send_error_json(
+                411, "chunked request bodies are not supported; send Content-Length"
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length < 0:
+                # A negative length would turn read(length) into
+                # read-until-EOF — an unbounded buffer behind the body cap.
+                raise ValueError
+        except ValueError:
+            # The body can't be drained without a trustworthy length, so the
+            # keep-alive connection must die with the refusal — otherwise the
+            # unread bytes masquerade as the connection's next request line.
+            self.close_connection = True
+            self._send_error_json(400, "invalid Content-Length header")
+            return
+        if length > self.server.max_body_bytes:
+            # Refuse before reading: the admission limits must hold at the
+            # socket too, or one oversized body buys an unbounded allocation.
+            # The undrained body also forces the connection closed (above).
+            self.close_connection = True
+            self._send_error_json(
+                413,
+                f"request body of {length} bytes is above the service "
+                f"limit of {self.server.max_body_bytes}",
+            )
+            return
+        try:
+            doc = json.loads(self.rfile.read(length).decode("utf-8"))
+            request = _request_from_document(doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        service = self.server.service
+        try:
+            job_id = service.submit(request)
+        except AdmissionError as exc:
+            self._send_error_json(413, str(exc))
+            return
+        except ServiceClosedError as exc:
+            # The service is shutting down under us ("caller owns the loop"
+            # servers can close it first): a clean 503, not a dead thread.
+            self.close_connection = True
+            self._send_error_json(503, str(exc))
+            return
+        except (RequestValidationError, TypeError, ValueError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        report = None
+        if doc.get("wait"):
+            try:
+                report = service.result(job_id, timeout=self.server.wait_timeout)
+            except TimeoutError:
+                self._send_error_json(
+                    504, f"{job_id} still running after {self.server.wait_timeout}s"
+                )
+                return
+            except JobFailedError:
+                pass  # the job payload below carries status=failed + the error
+        try:
+            payload = self._job_payload(job_id, include_report=report is None)
+        except KeyError:
+            # A very long wait can outlive the finished-job retention
+            # window; the report (captured above) still reaches the caller.
+            payload = {"job_id": job_id, "status": "done" if report else "expired"}
+        if report is not None:
+            payload["report"] = bio.solve_report_to_dict(report)
+        self._send_json(200, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/") or "/"
+        if path == "/stats":
+            self._send_json(200, self.server.service.stats())
+        elif path == "/algorithms":
+            self._send_json(
+                200,
+                {
+                    "algorithms": [
+                        {
+                            "name": info.name,
+                            "paper_section": info.paper_section,
+                            "approximation_ratio": info.approximation_ratio,
+                            "instance_classes": list(info.instance_classes),
+                            "portfolio_member": info.portfolio_member,
+                        }
+                        for info in algorithm_table()
+                    ]
+                },
+            )
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            try:
+                self._send_json(200, self._job_payload(job_id, include_report=True))
+            except KeyError:
+                self._send_error_json(404, f"unknown job id: {job_id}")
+        else:
+            self._send_error_json(404, f"no such endpoint: GET {self.path}")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the shared service."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SolveService,
+        verbose: bool = False,
+        wait_timeout: Optional[float] = 300.0,
+        max_body_bytes: int = 32 * 1024 * 1024,
+    ):
+        super().__init__(address, _ServiceHandler)
+        self.service = service
+        self.verbose = verbose
+        self.wait_timeout = wait_timeout
+        self.max_body_bytes = max_body_bytes
+
+
+def make_server(
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    max_body_bytes: int = 32 * 1024 * 1024,
+    wait_timeout: Optional[float] = 300.0,
+) -> ServiceServer:
+    """Bind the JSON API (``port=0`` picks a free port) without serving.
+
+    The caller owns the loop: ``server.serve_forever()`` to serve,
+    ``server.shutdown(); server.server_close()`` to stop.  The bound port is
+    ``server.server_address[1]``.  ``wait_timeout`` caps how long a
+    ``"wait": true`` solve may block before a 504.
+    """
+    return ServiceServer(
+        (host, port),
+        service,
+        verbose=verbose,
+        max_body_bytes=max_body_bytes,
+        wait_timeout=wait_timeout,
+    )
+
+
+def serve(  # pragma: no cover - blocking loop; the CI smoke drives it
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> None:
+    """Blocking convenience: serve until interrupted, then close cleanly."""
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Client helper (used by `busytime submit`)
+# ---------------------------------------------------------------------------
+
+
+def submit_instance(
+    url: str,
+    instance_doc: Mapping[str, object],
+    options: Optional[Mapping[str, object]] = None,
+    wait: bool = True,
+    timeout: float = 300.0,
+) -> Dict[str, object]:
+    """POST one instance document to a running service and return the reply.
+
+    ``url`` is the service base url (``http://host:port``); the reply is the
+    parsed ``POST /solve`` payload (job id, status, and the report document
+    when ``wait`` is true).  Raises ``RuntimeError`` with the server's
+    message on a non-200 answer.
+    """
+    body = json.dumps(
+        {"instance": dict(instance_doc), "options": dict(options or {}), "wait": wait}
+    ).encode("utf-8")
+    request = urllib.request.Request(
+        url.rstrip("/") + "/solve",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return json.loads(reply.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+        except Exception:  # noqa: BLE001 - surface the original HTTP error
+            message = str(exc)
+        raise RuntimeError(f"service rejected the request: {message}") from None

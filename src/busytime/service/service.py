@@ -1,0 +1,602 @@
+"""`SolveService`: submit/poll/result semantics over the engine.
+
+The service is the traffic-facing wrapper around
+:class:`~busytime.engine.Engine`.  One submission travels through four
+stages:
+
+1. **admission** — requests above the configured size/time limits are
+   rejected up front (:class:`AdmissionError`), before any work is queued;
+2. **canonicalization** — the request is rewritten onto its canonical
+   instance and fingerprinted (:mod:`busytime.service.canonical`), so
+   relabeled / time-shifted duplicates of earlier traffic are recognised;
+3. **cache & dedupe** — a fingerprint already in the
+   :class:`~busytime.service.store.ResultStore` completes immediately
+   (de-canonicalized back onto the caller's own job ids); a fingerprint
+   currently *in flight* attaches to the existing solve instead of queueing
+   a second one;
+4. **micro-batching** — a background worker drains the queue in small
+   batches (up to ``batch_size`` requests gathered within ``batch_window``
+   seconds) and solves them, optionally fanning each batch out over a
+   persistent process pool (``max_workers``) as one future per request so
+   a poisoned request fails alone.
+
+The service is thread-safe: HTTP handler threads (see
+:mod:`busytime.service.frontend`) submit and poll concurrently with the
+batch worker.  The internal lock guards only bookkeeping — cache lookups,
+de-canonicalization and the solves themselves run outside it, so one slow
+request never serializes the others.  Failures stay contained: a solve (or
+cache-write) error fails the affected jobs with a recorded message rather
+than wedging their fingerprint, ``close()`` fails whatever never ran, and
+finished jobs are pruned past ``max_finished_jobs`` so a long-running
+server does not accumulate every report it ever produced.
+
+For deterministic tests the worker can be left unstarted
+(``start_worker=False``) and driven manually with :meth:`process_once`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from queue import Empty, Queue
+from typing import Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from ..core.instance import Instance
+from ..engine import Engine, SolveReport, SolveRequest
+from .canonical import (
+    CanonicalForm,
+    canonical_request,
+    canonicalize,
+    decanonicalize_report,
+    request_fingerprint,
+)
+from .store import ResultStore
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionLimits",
+    "JobFailedError",
+    "ServiceClosedError",
+    "SolveService",
+]
+
+
+class AdmissionError(ValueError):
+    """Raised at submit time when a request exceeds the admission limits."""
+
+
+class JobFailedError(RuntimeError):
+    """Raised by :meth:`SolveService.result` when the solve itself failed."""
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when submitting to a service that has been closed."""
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Per-request admission limits enforced at submit time.
+
+    ``max_jobs`` caps the instance size; ``max_time_limit`` caps (and, for
+    dispatched solves that did not set one, supplies) the per-request soft
+    time budget, so no single request can hold a batch slot indefinitely.
+    Forced-algorithm solves cannot be preempted by a time budget at all
+    (see :class:`~busytime.engine.request.SolveRequest`), so they get the
+    tighter ``max_forced_jobs`` size cap instead — otherwise one huge
+    forced solve head-of-line blocks the batch worker with no recourse.
+    Any limit may be ``None`` to disable that check.
+    """
+
+    max_jobs: Optional[int] = 20_000
+    max_time_limit: Optional[float] = 60.0
+    max_forced_jobs: Optional[int] = 5_000
+
+    def admit(self, request: SolveRequest) -> SolveRequest:
+        """Validate ``request`` and return it with limits applied.
+
+        Raises :class:`AdmissionError` on violation.  Dispatched requests
+        without a ``time_limit`` get ``max_time_limit`` as their budget.
+        """
+        if self.max_jobs is not None and request.instance.n > self.max_jobs:
+            raise AdmissionError(
+                f"instance has {request.instance.n} jobs, above the service "
+                f"limit of {self.max_jobs}"
+            )
+        if (
+            request.algorithm is not None
+            and self.max_forced_jobs is not None
+            and request.instance.n > self.max_forced_jobs
+        ):
+            raise AdmissionError(
+                f"forced-algorithm solves cannot be preempted by a time "
+                f"budget, so they are capped at {self.max_forced_jobs} jobs; "
+                f"this instance has {request.instance.n} (drop the explicit "
+                f"algorithm to use policy dispatch)"
+            )
+        if self.max_time_limit is not None:
+            if request.time_limit is not None and request.time_limit > self.max_time_limit:
+                raise AdmissionError(
+                    f"time_limit {request.time_limit}s is above the service "
+                    f"limit of {self.max_time_limit}s"
+                )
+            if request.time_limit is None and request.algorithm is None:
+                request = replace(request, time_limit=self.max_time_limit)
+        return request
+
+
+#: Job lifecycle states reported by :meth:`SolveService.poll`.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class _Job:
+    """One caller-visible submission (several may share one flight)."""
+
+    job_id: str
+    fingerprint: str
+    form: CanonicalForm
+    original: Instance
+    tags: Dict[str, object]
+    status: str = QUEUED
+    cached: bool = False
+    deduped: bool = False
+    report: Optional[SolveReport] = None
+    error: Optional[str] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+@dataclass
+class _Flight:
+    """One in-flight canonical solve, shared by all jobs with its fingerprint."""
+
+    request: SolveRequest
+    job_ids: List[str] = field(default_factory=list)
+
+
+class SolveService:
+    """Thread-safe solve-as-a-service facade (submit / poll / result).
+
+    Parameters
+    ----------
+    engine:
+        The solve engine; a default one is built when omitted.
+    store:
+        Result cache; a memory-only :class:`ResultStore` when omitted.
+    limits:
+        Admission limits (see :class:`AdmissionLimits`).
+    batch_size / batch_window:
+        Micro-batching knobs: the worker gathers up to ``batch_size``
+        distinct queued fingerprints within ``batch_window`` seconds and
+        solves them as one batch.
+    max_workers:
+        Fan gathered batches out across a persistent process pool of this
+        size (``None``/1 solves serially in the worker thread — right for
+        small instances where pool shipping would dominate).
+    max_finished_jobs:
+        Finished (done/failed) jobs older than the newest this many are
+        pruned from the poll table; their ids then answer ``KeyError``.
+        Waiters that already hold the job keep their reference — pruning
+        only bounds the table a long-running server retains.
+    start_worker:
+        Start the background batch worker (default).  Pass ``False`` to
+        drive the queue manually with :meth:`process_once` (tests do).
+    """
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        store: Optional[ResultStore] = None,
+        limits: Optional[AdmissionLimits] = None,
+        batch_size: int = 8,
+        batch_window: float = 0.01,
+        max_workers: Optional[int] = None,
+        max_finished_jobs: int = 4096,
+        start_worker: bool = True,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_finished_jobs < 1:
+            raise ValueError(f"max_finished_jobs must be >= 1, got {max_finished_jobs}")
+        self.engine = engine if engine is not None else Engine()
+        # `is not None`, not truthiness: an empty ResultStore has len() == 0
+        # and would otherwise be silently swapped for a memory-only one.
+        self.store = store if store is not None else ResultStore()
+        self.limits = limits if limits is not None else AdmissionLimits()
+        self.batch_size = batch_size
+        self.batch_window = batch_window
+        self.max_workers = max_workers
+        self.max_finished_jobs = max_finished_jobs
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, _Job] = {}
+        self._finished: Deque[str] = deque()
+        self._inflight: Dict[str, _Flight] = {}
+        self._queue: "Queue[str]" = Queue()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._deduped = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+        self._store_put_failures = 0
+        self._executor = None  # lazily-built persistent process pool
+        self._worker: Optional[threading.Thread] = None
+        if start_worker:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="busytime-service-worker", daemon=True
+            )
+            self._worker.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: SolveRequest) -> str:
+        """Queue (or instantly answer) one request; returns the job id."""
+        request.validate()
+        try:
+            request = self.limits.admit(request)
+        except AdmissionError:
+            with self._lock:
+                self._rejected += 1
+            raise
+        if request.policy is None:
+            # Resolve the engine's default into the request before
+            # fingerprinting (as solve_many does before pooling): two
+            # services with different default policies sharing one store
+            # must not serve each other's policy=None answers.
+            request = replace(request, policy=self.engine.default_policy)
+        form = canonicalize(request.instance)
+        fingerprint = request_fingerprint(request, form)
+        job = _Job(
+            job_id=f"job-{next(self._ids):06d}",
+            fingerprint=fingerprint,
+            form=form,
+            original=request.instance,
+            tags=dict(request.tags),
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            self._submitted += 1
+            self._jobs[job.job_id] = job
+            if self._attach_if_inflight(job):
+                return job.job_id
+
+        # Cache lookup outside the lock: the disk tier re-validates the
+        # stored schedule, which must not serialize other submitters.
+        cached = self.store.get(fingerprint)
+        if cached is not None:
+            job.cached = True
+            self._finish_job(job, cached)
+            return job.job_id
+
+        # Build the canonical request before taking the lock: it constructs
+        # the O(n) canonical Instance, which must not serialize everyone
+        # (wasted only in the rare race where the job attaches below).
+        canonical = canonical_request(request, form)[0]
+        with self._lock:
+            # close() may have run while we were looking at the store; a
+            # flight queued now would never be drained, so refuse instead.
+            if self._closed:
+                self._jobs.pop(job.job_id, None)
+                raise ServiceClosedError("service is closed")
+            # An identical request may have gone in flight while we were
+            # looking at the store; join it rather than queueing a twin.
+            if self._attach_if_inflight(job):
+                return job.job_id
+            # ... or have *completed* in that window: the memory tier is
+            # populated before a flight retires, so a cheap peek here stops
+            # a just-solved fingerprint from being re-solved from scratch.
+            cached = self.store.peek(fingerprint)
+            if cached is None:
+                self._inflight[fingerprint] = _Flight(
+                    request=canonical, job_ids=[job.job_id]
+                )
+                self._queue.put(fingerprint)
+        if cached is not None:
+            job.cached = True
+            self._finish_job(job, cached)
+        return job.job_id
+
+    def _attach_if_inflight(self, job: _Job) -> bool:
+        """Attach ``job`` to an existing flight (lock held); True on success."""
+        flight = self._inflight.get(job.fingerprint)
+        if flight is None:
+            return False
+        job.deduped = True
+        self._deduped += 1
+        flight.job_ids.append(job.job_id)
+        return True
+
+    def solve(self, request: SolveRequest, timeout: Optional[float] = None) -> SolveReport:
+        """Synchronous convenience: submit and wait for the report."""
+        return self.result(self.submit(request), timeout=timeout)
+
+    # -- polling ---------------------------------------------------------------
+
+    def poll(self, job_id: str) -> Dict[str, object]:
+        """Status snapshot of one job.
+
+        Raises ``KeyError`` for ids that are unknown — or finished so long
+        ago that the retention window (``max_finished_jobs``) pruned them.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            return {
+                "job_id": job.job_id,
+                "status": job.status,
+                "fingerprint": job.fingerprint,
+                "cached": job.cached,
+                "deduped": job.deduped,
+                "error": job.error,
+            }
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> SolveReport:
+        """Block until the job finishes and return its report.
+
+        Raises ``KeyError`` for unknown (or pruned) ids,
+        :class:`JobFailedError` when the solve failed, and ``TimeoutError``
+        when ``timeout`` elapses.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"{job_id} did not finish within {timeout}s")
+        if job.status == FAILED:
+            raise JobFailedError(f"{job_id} failed: {job.error}")
+        assert job.report is not None
+        return job.report
+
+    # -- the batch worker ------------------------------------------------------
+
+    def process_once(self, block: bool = True, timeout: float = 0.1) -> int:
+        """Drain one micro-batch from the queue and solve it.
+
+        Returns the number of fingerprints solved (0 when the queue stayed
+        empty).  This is the unit of work the background worker loops on;
+        tests call it directly for deterministic batching.
+        """
+        try:
+            first = self._queue.get(block=block, timeout=timeout if block else None)
+        except Empty:
+            return 0
+        batch = [first]
+        deadline = time.monotonic() + self.batch_window
+        while len(batch) < self.batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    batch.append(self._queue.get(timeout=remaining))
+                else:
+                    batch.append(self._queue.get_nowait())
+            except Empty:
+                break
+
+        with self._lock:
+            # close() may have failed these flights already; skip the stale
+            # queue entries instead of re-solving for nobody.
+            flights = [
+                (fp, self._inflight[fp]) for fp in batch if fp in self._inflight
+            ]
+            if not flights:
+                return len(batch)
+            for _, flight in flights:
+                for job_id in flight.job_ids:
+                    self._jobs[job_id].status = RUNNING
+            self._batches += 1
+            self._batched_requests += len(flights)
+            self._largest_batch = max(self._largest_batch, len(flights))
+
+        results = self._solve_batch(flights)
+
+        for fp, report, error in results:
+            if report is not None and not report.budget_exhausted:
+                # A budget-exhausted report is the *degraded* answer for
+                # this moment's load (FirstFit fallback past the time
+                # limit); the waiting jobs get it, but caching it would
+                # serve the degraded schedule to every future equivalent
+                # request even after load subsides.
+                try:
+                    self.store.put(fp, report)
+                except Exception:  # noqa: BLE001 - caching is best-effort
+                    # A full disk or unwritable store directory must not
+                    # wedge the request: the report is in hand, serve it.
+                    with self._lock:
+                        self._store_put_failures += 1
+            with self._lock:
+                flight = self._inflight.pop(fp, None)
+                jobs = (
+                    [self._jobs[job_id] for job_id in flight.job_ids]
+                    if flight is not None
+                    else []
+                )
+            for job in jobs:
+                if report is not None:
+                    self._finish_job(job, report)
+                else:
+                    self._fail_job(job, error or "solve failed")
+        return len(batch)
+
+    def _finish_job(self, job: _Job, canonical_report: SolveReport) -> None:
+        """Resolve one job from a canonical report (call without the lock:
+        the O(n) de-canonicalization must not serialize other threads)."""
+        try:
+            report = decanonicalize_report(
+                canonical_report, job.form, job.original, tags=job.tags
+            )
+        except Exception as exc:  # noqa: BLE001 - a mapping failure is a real answer
+            self._fail_job(job, f"de-canonicalization failed: {exc}")
+            return
+        with self._lock:
+            if job.done.is_set():
+                return
+            job.report = report
+            job.status = DONE
+            self._completed += 1
+            self._prune_finished(job.job_id)
+        job.done.set()
+
+    def _fail_job(self, job: _Job, error: str) -> None:
+        with self._lock:
+            if job.done.is_set():
+                return
+            job.status = FAILED
+            job.error = error
+            self._failed += 1
+            self._prune_finished(job.job_id)
+        job.done.set()
+
+    def _prune_finished(self, job_id: str) -> None:
+        """Record a finished job and trim the table (lock held).
+
+        Waiters holding the job object are unaffected; only the id lookup
+        table is bounded, so a long-running server does not retain every
+        report it ever served.
+        """
+        self._finished.append(job_id)
+        while len(self._finished) > self.max_finished_jobs:
+            self._jobs.pop(self._finished.popleft(), None)
+
+    def _solve_batch(
+        self, flights: List[Tuple[str, _Flight]]
+    ) -> List[Tuple[str, Optional[SolveReport], Optional[str]]]:
+        """Solve one gathered batch, isolating failures per request.
+
+        Multi-request batches go through the persistent process pool as one
+        future per request, so one poisoned request costs only its own
+        entry — its batch-mates' completed results are kept, not re-solved.
+        A broken pool (killed worker child) is discarded so the next batch
+        rebuilds it, and the affected requests retry serially in-thread.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        from ..engine.core import _pool_worker
+
+        executor = self._batch_executor(len(flights))
+        futures = None
+        if executor is not None:
+            try:
+                futures = [
+                    executor.submit(_pool_worker, flight.request)
+                    for _, flight in flights
+                ]
+            except Exception:  # pool unusable (e.g. shutting down)
+                self._discard_executor()
+        results: List[Tuple[str, Optional[SolveReport], Optional[str]]] = []
+        for index, (fp, flight) in enumerate(flights):
+            report: Optional[SolveReport] = None
+            error: Optional[str] = None
+            try:
+                if futures is not None:
+                    report = futures[index].result()
+                else:
+                    report = self.engine.solve(flight.request)
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                if isinstance(exc, BrokenExecutor):
+                    self._discard_executor()
+                    try:
+                        report = self.engine.solve(flight.request)
+                    except Exception as retry_exc:  # noqa: BLE001
+                        error = f"{type(retry_exc).__name__}: {retry_exc}"
+                else:
+                    error = f"{type(exc).__name__}: {exc}"
+            results.append((fp, report, error))
+        return results
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def _batch_executor(self, batch_len: int):
+        """The persistent process pool for multi-request batches, or ``None``.
+
+        Built once and reused across micro-batches (a pool per batch would
+        pay process startup every ``batch_window``); :meth:`close` shuts it
+        down.  Serial in-thread solving is kept for single-request batches
+        and for the default ``max_workers=None`` configuration.
+        """
+        if self.max_workers is None or self.max_workers <= 1 or batch_len <= 1:
+            return None
+        if self._executor is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            # Never fork: the service process is multithreaded (HTTP handler
+            # threads + this worker), and a forked child inheriting a lock
+            # held mid-operation by another thread deadlocks.  forkserver /
+            # spawn re-import the package in the children, which requests
+            # survive (they are picklable frozen dataclasses by design).
+            available = multiprocessing.get_all_start_methods()
+            method = "forkserver" if "forkserver" in available else "spawn"
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context(method),
+            )
+        return self._executor
+
+    def _worker_loop(self) -> None:
+        while not self._closed:
+            try:
+                self.process_once(block=True, timeout=0.1)
+            except Exception:  # pragma: no cover - defensive: keep serving
+                continue
+
+    # -- lifecycle / stats -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus the store's hit/miss/eviction stats."""
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+                "deduped_inflight": self._deduped,
+                "pending": len(self._inflight),
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "largest_batch": self._largest_batch,
+                "mean_batch": (
+                    self._batched_requests / self._batches if self._batches else 0.0
+                ),
+                "store_put_failures": self._store_put_failures,
+                "store": self.store.stats(),
+            }
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop accepting work, join the batch worker, fail whatever is left.
+
+        Jobs still queued (or mid-solve past the join timeout) are marked
+        failed with a ``ServiceClosedError`` message, so ``result()``
+        callers wake up instead of waiting on work that will never run.
+        """
+        with self._lock:
+            self._closed = True
+        if self._worker is not None:
+            self._worker.join(timeout)
+            self._worker = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        with self._lock:
+            leftovers = [
+                self._jobs[job_id]
+                for flight in self._inflight.values()
+                for job_id in flight.job_ids
+            ]
+            self._inflight.clear()
+        for job in leftovers:
+            self._fail_job(job, "service closed before the solve ran")
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,190 @@
+"""Content-addressed result store: LRU memory tier over an optional disk tier.
+
+Keys are the :func:`~busytime.service.canonical.request_fingerprint` hex
+digests; values are :class:`~busytime.engine.report.SolveReport` objects
+solved on the *canonical* instance (de-canonicalization back onto a caller's
+instance happens above the store, in :class:`~busytime.service.SolveService`).
+
+Two tiers:
+
+* an in-memory LRU of ``capacity`` reports (frozen dataclasses, shared by
+  reference — safe because reports are immutable);
+* optionally, a directory of ``<fingerprint>.json`` documents written with
+  :func:`busytime.io.solve_report_to_dict` (``include_timings=False``, so
+  stored bytes are deterministic).  Memory evictions never delete the disk
+  copy; a later get repopulates the LRU from disk.  Unreadable or
+  version-incompatible disk entries are treated as misses, never errors —
+  the store is a cache, and the io-layer version check (same PR) keeps a
+  newer writer's documents from being half-read by an older reader.
+
+All operations are thread-safe (one lock; the service hits the store from
+both the submit path and the batch worker).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..engine.report import SolveReport
+from ..io import solve_report_from_dict, solve_report_to_dict
+
+__all__ = ["ResultStore"]
+
+_PathLike = Union[str, Path]
+
+
+class ResultStore:
+    """Fingerprint-keyed cache of canonical solve reports.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of reports held in memory (least recently used
+        evicted first).  Must be >= 1.
+    directory:
+        Optional on-disk tier; created if missing.  ``None`` keeps the
+        store memory-only.
+    """
+
+    def __init__(self, capacity: int = 256, directory: Optional[_PathLike] = None):
+        if capacity < 1:
+            raise ValueError(f"store capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, SolveReport]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._disk_hits = 0
+        self._puts = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[SolveReport]:
+        """The cached report for ``fingerprint``, or ``None`` on a miss."""
+        with self._lock:
+            report = self._memory.get(fingerprint)
+            if report is not None:
+                self._memory.move_to_end(fingerprint)
+                self._hits += 1
+                return report
+        report = self._read_disk(fingerprint)
+        with self._lock:
+            if report is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._disk_hits += 1
+            self._insert(fingerprint, report)
+            return report
+
+    def peek(self, fingerprint: str) -> Optional[SolveReport]:
+        """Memory-tier-only re-check after a recorded :meth:`get` miss.
+
+        The service uses this inside its own lock to close a submit/worker
+        race window: the entry may have landed between its ``get`` and now.
+        A successful peek therefore *re-scores* the caller's just-recorded
+        miss as a hit (the request is served from the store after all), so
+        ``hits + misses`` stays equal to the number of requests looked up.
+        An empty peek changes nothing — the miss already stands.
+        """
+        with self._lock:
+            report = self._memory.get(fingerprint)
+            if report is not None:
+                self._memory.move_to_end(fingerprint)
+                self._hits += 1
+                self._misses = max(0, self._misses - 1)
+            return report
+
+    def put(self, fingerprint: str, report: SolveReport) -> None:
+        """Store a canonical report under its fingerprint (both tiers).
+
+        The memory tier is updated first: a failing disk (full, unwritable
+        directory) still raises — callers count those — but never costs the
+        in-memory cache its entry.
+        """
+        with self._lock:
+            self._puts += 1
+            self._insert(fingerprint, report)
+        if self.directory is not None:
+            doc = solve_report_to_dict(report, include_timings=False)
+            path = self.directory / f"{fingerprint}.json"
+            # A private temp file per writer + atomic rename: concurrent
+            # writers of the same fingerprint (two service processes sharing
+            # one directory) each publish a complete document, last one wins.
+            handle, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{fingerprint}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    stream.write(json.dumps(doc, indent=2))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def _insert(self, fingerprint: str, report: SolveReport) -> None:
+        """Insert into the LRU (lock held), evicting the oldest past capacity."""
+        self._memory[fingerprint] = report
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+
+    def _read_disk(self, fingerprint: str) -> Optional[SolveReport]:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{fingerprint}.json"
+        try:
+            return solve_report_from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError):
+            # Missing, corrupt or version-incompatible entry: a miss, not an
+            # error — the request simply re-solves and overwrites it.
+            return None
+
+    # -- introspection --------------------------------------------------------
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
+        if self.directory is None:
+            return False
+        return (self.directory / f"{fingerprint}.json").is_file()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (disk entries survive); stats are kept."""
+        with self._lock:
+            self._memory.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "disk_hits": self._disk_hits,
+                "evictions": self._evictions,
+                "puts": self._puts,
+                "size": len(self._memory),
+                "capacity": self.capacity,
+                "disk": str(self.directory) if self.directory else None,
+            }

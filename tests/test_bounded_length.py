@@ -23,10 +23,24 @@ class TestSegmentation:
         assert [j.id for j in segments[3]] == [3]
 
     def test_segment_boundary_is_half_open(self):
-        # start exactly at d*r belongs to segment r+1
-        inst = Instance.from_intervals([(4.0, 5.0)], g=1)
+        # start exactly at t_0 + d*r belongs to segment r+1
+        inst = Instance.from_intervals([(0.0, 1.0), (4.0, 5.0)], g=1)
         segments = segment_jobs(inst, d=4.0)
-        assert list(segments) == [2]
+        assert sorted(segments) == [1, 2]
+        assert [j.id for j in segments[2]] == [1]
+
+    def test_segment_grid_anchored_at_earliest_start(self):
+        # The grid travels with the instance: translating every job leaves
+        # the segmentation (and hence the schedule) unchanged.
+        inst = Instance.from_intervals([(0, 1), (3.5, 4.5), (4, 5), (8, 9)], g=2)
+        moved = Instance.from_intervals(
+            [(s + 10.5, e + 10.5) for s, e in [(0, 1), (3.5, 4.5), (4, 5), (8, 9)]], g=2
+        )
+        base = segment_jobs(inst, d=4.0)
+        shifted = segment_jobs(moved, d=4.0)
+        assert {r: [j.id for j in jobs] for r, jobs in base.items()} == {
+            r: [j.id for j in jobs] for r, jobs in shifted.items()
+        }
 
     def test_invalid_d(self):
         inst = Instance.from_intervals([(0, 1)], g=1)

@@ -184,6 +184,30 @@ class TestSolveMany:
         with pytest.raises(RequestValidationError):
             Engine().solve_many(requests)
 
+    def test_pool_worker_reuses_per_process_engine(self):
+        from busytime.engine import core as engine_core
+
+        engine_core._WORKER_ENGINE = None
+        first = engine_core._pool_worker(self._requests(1)[0])
+        built = engine_core._WORKER_ENGINE
+        assert built is not None
+        second = engine_core._pool_worker(self._requests(2)[1])
+        assert engine_core._WORKER_ENGINE is built  # cached, not rebuilt
+        assert first.cost > 0 and second.cost > 0
+
+    def test_pool_path_threads_default_policy_through_requests(self):
+        # A non-default engine policy must reach the workers via the
+        # resolved request, not via (process-local) engine state.
+        requests = self._requests(4)
+        engine = Engine(default_policy="first_fit")
+        pooled = engine.solve_many(requests, max_workers=2)
+        assert all(r.policy == "first_fit" for r in pooled)
+        serial = engine.solve_many(requests)
+        for a, b in zip(serial, pooled):
+            assert solve_report_to_dict(
+                a, include_timings=False
+            ) == solve_report_to_dict(b, include_timings=False)
+
 
 class TestReportRoundTrip:
     def test_json_round_trip(self):

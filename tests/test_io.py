@@ -101,6 +101,57 @@ class TestTrafficSerialization:
             traffic_from_dict({"format": "nope"})
 
 
+class TestVersionValidation:
+    """Loaders validate the ``version`` header they write (forward safety:
+    a future format revision fails loudly instead of being half-parsed)."""
+
+    def _documents(self):
+        inst = uniform_random_instance(6, g=2, seed=3)
+        sched = first_fit(inst)
+        from busytime import Engine, SolveRequest
+        from busytime.io import solve_report_from_dict, solve_report_to_dict
+
+        report = Engine().solve(SolveRequest(instance=inst))
+        traffic = uniform_traffic(10, 12, g=2, seed=3)
+        return [
+            (instance_to_dict(inst), instance_from_dict),
+            (schedule_to_dict(sched), schedule_from_dict),
+            (solve_report_to_dict(report), solve_report_from_dict),
+            (traffic_to_dict(traffic), traffic_from_dict),
+        ]
+
+    def test_current_version_accepted(self):
+        for doc, loader in self._documents():
+            assert doc["version"] == 1
+            loader(doc)  # round-trips without complaint
+
+    def test_unknown_version_rejected_with_clear_message(self):
+        for doc, loader in self._documents():
+            doc = dict(doc)
+            doc["version"] = 99
+            with pytest.raises(ValueError, match="unsupported .* version 99"):
+                loader(doc)
+
+    def test_non_object_document_rejected_with_value_error(self):
+        # Valid JSON that is not an object must be a format error, never an
+        # AttributeError out of the header check.
+        for loader in (
+            instance_from_dict,
+            schedule_from_dict,
+            traffic_from_dict,
+        ):
+            for document in ([1, 2, 3], "text", 7, None):
+                with pytest.raises(ValueError, match="expected a JSON object"):
+                    loader(document)
+
+    def test_missing_version_defaults_to_one(self):
+        # Documents written before the version check carry version 1
+        # semantics; absence must not start rejecting old archives.
+        doc = instance_to_dict(uniform_random_instance(4, g=2, seed=4))
+        doc.pop("version")
+        instance_from_dict(doc)
+
+
 class TestCsv:
     def test_round_trip(self, tmp_path):
         inst = uniform_random_instance(10, g=2, seed=7)

@@ -1,0 +1,875 @@
+"""Tests for the solve-as-a-service layer (busytime.service).
+
+Covers the four layers of the subsystem: canonicalization + fingerprints
+(including the slow-path oracle test over fuzzed instances), the
+content-addressed result store, the SolveService facade (cache hits,
+in-flight dedupe, micro-batching, admission control, failure isolation) and
+the HTTP frontend + CLI client.
+
+The fuzzed instances use dyadic-rational coordinates (multiples of 1/16) so
+that translating them by dyadic deltas is *exact* in binary floating point:
+fingerprint equality is then a property of the canonicalization, not of
+lucky rounding.
+"""
+
+import json
+import random
+import threading
+import urllib.request
+
+import pytest
+
+from busytime import Engine, Instance, SolveRequest
+from busytime import io as bio
+from busytime.cli import main
+from busytime.core.intervals import Interval, Job
+from busytime.generators import uniform_random_instance
+from busytime.service import (
+    AdmissionError,
+    AdmissionLimits,
+    JobFailedError,
+    ResultStore,
+    ServiceClosedError,
+    SolveService,
+    canonical_request,
+    canonicalize,
+    decanonicalize_report,
+    make_server,
+    request_fingerprint,
+    submit_instance,
+)
+
+# ---------------------------------------------------------------------------
+# Fuzz helpers: dyadic instances and their symmetry variants
+# ---------------------------------------------------------------------------
+
+
+def dyadic_instance(rng: random.Random, n: int, g: int, name: str = "fuzz") -> Instance:
+    """A random instance whose coordinates are multiples of 1/16."""
+    jobs = []
+    for i in range(n):
+        start = rng.randrange(0, 512) / 16.0
+        length = rng.randrange(1, 128) / 16.0
+        jobs.append(Job(id=i, interval=Interval(start, start + length)))
+    return Instance(jobs=tuple(jobs), g=g, name=name)
+
+
+def relabeled_variant(instance: Instance, rng: random.Random) -> Instance:
+    """Same job set, shuffled order and fresh (non-consecutive) ids."""
+    jobs = list(instance.jobs)
+    rng.shuffle(jobs)
+    new_ids = rng.sample(range(10_000, 10_000 + 10 * len(jobs)), len(jobs))
+    return Instance(
+        jobs=tuple(
+            Job(id=new_id, interval=j.interval, weight=j.weight, tag=j.tag)
+            for new_id, j in zip(new_ids, jobs)
+        ),
+        g=instance.g,
+        name="relabeled",
+    )
+
+
+def shifted_variant(instance: Instance, delta: float) -> Instance:
+    """Every interval translated by ``delta`` (callers pass dyadic deltas)."""
+    return Instance(
+        jobs=tuple(
+            Job(
+                id=j.id,
+                interval=Interval(j.start + delta, j.end + delta),
+                weight=j.weight,
+                tag=j.tag,
+            )
+            for j in instance.jobs
+        ),
+        g=instance.g,
+        name="shifted",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization + fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalization:
+    def test_canonical_instance_starts_at_zero_with_consecutive_ids(self):
+        inst = dyadic_instance(random.Random(0), 10, g=2)
+        form = canonicalize(shifted_variant(inst, 100.0))
+        assert min(j.start for j in form.instance.jobs) == 0.0
+        assert [j.id for j in form.instance.jobs] == list(range(10))
+        assert form.offset == 100.0 + min(j.start for j in inst.jobs)
+        assert form.name == "shifted"
+
+    def test_id_map_round_trips_every_job(self):
+        rng = random.Random(1)
+        inst = relabeled_variant(dyadic_instance(rng, 12, g=3), rng)
+        form = canonicalize(inst)
+        by_id = {j.id: j for j in inst.jobs}
+        for canonical_job in form.instance.jobs:
+            original = by_id[form.id_map[canonical_job.id]]
+            assert original.start - form.offset == canonical_job.start
+            assert original.end - form.offset == canonical_job.end
+
+    def test_empty_instance_canonicalizes(self):
+        a = Instance(jobs=(), g=2, name="empty-a")
+        b = Instance(jobs=(), g=2, name="empty-b")
+        assert request_fingerprint(SolveRequest(instance=a)) == request_fingerprint(
+            SolveRequest(instance=b)
+        )
+
+    def test_fingerprint_sensitive_to_what_matters(self):
+        inst = dyadic_instance(random.Random(2), 8, g=2)
+        base = request_fingerprint(SolveRequest(instance=inst))
+        assert base != request_fingerprint(SolveRequest(instance=inst.with_g(3)))
+        assert base != request_fingerprint(
+            SolveRequest(instance=inst, algorithm="first_fit")
+        )
+        assert base != request_fingerprint(SolveRequest(instance=inst, portfolio=False))
+        moved = shifted_variant(inst, 0.0625)  # a *non-uniform* change would
+        jobs = list(moved.jobs)  # also differ; here we nudge one job only
+        jobs[0] = Job(id=jobs[0].id, interval=Interval(jobs[0].start, jobs[0].end + 0.5))
+        assert base != request_fingerprint(
+            SolveRequest(instance=Instance(jobs=tuple(jobs), g=2))
+        )
+
+    def test_service_fingerprint_resolves_the_engine_default_policy(self):
+        # policy=None means "this engine's default": two services with
+        # different defaults sharing one store must not alias each other's
+        # cached answers, so the effective policy lands in the fingerprint.
+        inst = dyadic_instance(random.Random(4), 8, g=2)
+        fingerprints = {}
+        for policy in ("best_ratio", "first_fit"):
+            with SolveService(
+                engine=Engine(default_policy=policy), start_worker=False
+            ) as service:
+                job = service.submit(SolveRequest(instance=inst))
+                fingerprints[policy] = service.poll(job)["fingerprint"]
+        assert fingerprints["best_ratio"] != fingerprints["first_fit"]
+        # ...while an explicit policy equal to the default is the same line.
+        with SolveService(start_worker=False) as service:
+            implicit = service.poll(
+                service.submit(SolveRequest(instance=inst))
+            )["fingerprint"]
+            explicit = service.poll(
+                service.submit(SolveRequest(instance=inst, policy="best_ratio"))
+            )["fingerprint"]
+        assert implicit == explicit == fingerprints["best_ratio"]
+
+    def test_fingerprint_ignores_labels(self):
+        inst = dyadic_instance(random.Random(3), 8, g=2, name="labelled")
+        a = request_fingerprint(SolveRequest(instance=inst, tags={"who": "a"}))
+        b = request_fingerprint(SolveRequest(instance=inst, tags={"who": "b"}))
+        assert a == b
+
+
+class TestCanonicalOracle:
+    """The acceptance-criteria oracle: over fuzzed instances, symmetry
+    variants fingerprint identically and their served schedules cost the
+    same as a direct engine solve."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_variants_fingerprint_identically(self, seed):
+        rng = random.Random(seed)
+        inst = dyadic_instance(rng, rng.randrange(5, 18), g=rng.randrange(1, 5))
+        request = SolveRequest(instance=inst)
+        base = request_fingerprint(request)
+        for delta in (-64.0, -3.25, 0.5, 17.0, 1024.0):
+            variant = shifted_variant(inst, delta)
+            assert request_fingerprint(SolveRequest(instance=variant)) == base
+        for _ in range(3):
+            variant = relabeled_variant(inst, rng)
+            assert request_fingerprint(SolveRequest(instance=variant)) == base
+        combined = relabeled_variant(shifted_variant(inst, 12.5), rng)
+        assert request_fingerprint(SolveRequest(instance=combined)) == base
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_decanonicalized_solve_matches_direct_solve(self, seed):
+        rng = random.Random(100 + seed)
+        inst = dyadic_instance(rng, rng.randrange(5, 16), g=rng.randrange(1, 4))
+        variant = relabeled_variant(shifted_variant(inst, 8.0), rng)
+        request = SolveRequest(instance=variant)
+
+        direct = Engine().solve(request)
+        canonical, form = canonical_request(request)
+        canonical_report = Engine().solve(canonical)
+        served = decanonicalize_report(canonical_report, form, variant)
+
+        served.schedule.validate()  # the slow-path oracle on the original axis
+        assert served.cost == pytest.approx(direct.cost)
+        assert served.num_machines == direct.num_machines
+        assert served.lower_bound == pytest.approx(direct.lower_bound)
+        assert served.proven_ratio == direct.proven_ratio
+        assert set(served.schedule.assignment()) == {j.id for j in variant.jobs}
+
+    def test_served_report_equals_direct_report(self):
+        inst = dyadic_instance(random.Random(42), 14, g=2, name="served")
+        request = SolveRequest(instance=inst, tags={"case": "oracle"})
+        direct = Engine().solve(request)
+        with SolveService() as service:
+            served = service.solve(request, timeout=30)
+        assert served.cost == pytest.approx(direct.cost)
+        assert served.num_machines == direct.num_machines
+        assert served.lower_bound == pytest.approx(direct.lower_bound)
+        assert served.algorithm == direct.algorithm
+        assert dict(served.tags) == {"case": "oracle"}
+        assert served.schedule.instance is inst  # caller's instance, not a copy
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+
+
+def _canonical_report_for(instance: Instance):
+    request = SolveRequest(instance=instance)
+    canonical, _ = canonical_request(request)
+    return request_fingerprint(request), Engine().solve(canonical)
+
+
+class TestResultStore:
+    def test_memory_hit_and_miss_counters(self):
+        store = ResultStore(capacity=4)
+        fp, report = _canonical_report_for(dyadic_instance(random.Random(0), 6, g=2))
+        assert store.get(fp) is None
+        store.put(fp, report)
+        assert store.get(fp) is report  # immutable, shared by reference
+        stats = store.stats()
+        assert (stats["hits"], stats["misses"], stats["puts"]) == (1, 1, 1)
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_evicts_least_recently_used(self):
+        store = ResultStore(capacity=2)
+        entries = [
+            _canonical_report_for(dyadic_instance(random.Random(s), 5, g=2))
+            for s in range(3)
+        ]
+        store.put(*entries[0])
+        store.put(*entries[1])
+        assert store.get(entries[0][0]) is not None  # 0 is now most recent
+        store.put(*entries[2])  # evicts 1, the LRU
+        assert store.get(entries[1][0]) is None
+        assert store.get(entries[0][0]) is not None
+        assert store.stats()["evictions"] == 1
+
+    def test_disk_tier_survives_memory_eviction(self, tmp_path):
+        store = ResultStore(capacity=1, directory=tmp_path / "cache")
+        entries = [
+            _canonical_report_for(dyadic_instance(random.Random(s), 5, g=2))
+            for s in range(2)
+        ]
+        store.put(*entries[0])
+        store.put(*entries[1])  # evicts 0 from memory; disk copy remains
+        report = store.get(entries[0][0])
+        assert report is not None
+        assert report.cost == pytest.approx(entries[0][1].cost)
+        assert store.stats()["disk_hits"] == 1
+
+    def test_disk_round_trip_is_deterministic(self, tmp_path):
+        store = ResultStore(capacity=8, directory=tmp_path / "cache")
+        fp, report = _canonical_report_for(dyadic_instance(random.Random(7), 8, g=2))
+        store.put(fp, report)
+        path = tmp_path / "cache" / f"{fp}.json"
+        first_bytes = path.read_text()
+        store.put(fp, report)
+        assert path.read_text() == first_bytes  # timings excluded on disk
+
+    def test_corrupt_disk_entry_is_a_miss_not_an_error(self, tmp_path):
+        store = ResultStore(capacity=2, directory=tmp_path / "cache")
+        fp, _ = _canonical_report_for(dyadic_instance(random.Random(9), 5, g=2))
+        (tmp_path / "cache" / f"{fp}.json").write_text("{not json")
+        assert store.get(fp) is None
+
+    def test_future_version_disk_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(capacity=2, directory=tmp_path / "cache")
+        fp, report = _canonical_report_for(dyadic_instance(random.Random(10), 5, g=2))
+        store.put(fp, report)
+        store.clear_memory()
+        path = tmp_path / "cache" / f"{fp}.json"
+        doc = json.loads(path.read_text())
+        doc["version"] = 99
+        path.write_text(json.dumps(doc))
+        assert store.get(fp) is None  # io version check keeps it unread
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultStore(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# SolveService
+# ---------------------------------------------------------------------------
+
+
+class TestSolveService:
+    def test_cache_hit_on_equivalent_request(self):
+        inst = dyadic_instance(random.Random(20), 10, g=2)
+        variant = relabeled_variant(shifted_variant(inst, 32.0), random.Random(21))
+        with SolveService() as service:
+            first = service.solve(SolveRequest(instance=inst), timeout=30)
+            job2 = service.submit(SolveRequest(instance=variant))
+            second = service.result(job2, timeout=30)
+            assert service.poll(job2)["cached"] is True
+            stats = service.stats()
+        assert first.cost == pytest.approx(second.cost)
+        assert stats["store"]["hits"] == 1
+        assert stats["store"]["misses"] == 1
+        # The cached answer is mapped onto the *variant's* job ids.
+        assert set(second.schedule.assignment()) == {j.id for j in variant.jobs}
+
+    def test_inflight_dedupe_solves_once(self):
+        service = SolveService(start_worker=False)
+        inst = dyadic_instance(random.Random(22), 8, g=2)
+        job_a = service.submit(SolveRequest(instance=inst))
+        job_b = service.submit(SolveRequest(instance=relabeled_variant(inst, random.Random(23))))
+        assert service.poll(job_b)["deduped"] is True
+        assert service.process_once(block=False) == 1  # one flight, two jobs
+        assert service.result(job_a, timeout=5).cost == pytest.approx(
+            service.result(job_b, timeout=5).cost
+        )
+        stats = service.stats()
+        assert stats["deduped_inflight"] == 1
+        assert stats["completed"] == 2
+        assert stats["store"]["puts"] == 1
+        service.close()
+
+    def test_micro_batching_groups_distinct_requests(self):
+        service = SolveService(start_worker=False, batch_size=8, batch_window=0.0)
+        instances = [dyadic_instance(random.Random(s), 6, g=2) for s in range(30, 34)]
+        jobs = [service.submit(SolveRequest(instance=i)) for i in instances]
+        assert service.process_once(block=False) == 4
+        for job_id, instance in zip(jobs, instances):
+            report = service.result(job_id, timeout=5)
+            assert report.cost == pytest.approx(
+                Engine().solve(SolveRequest(instance=instance)).cost
+            )
+        stats = service.stats()
+        assert stats["batches"] == 1
+        assert stats["batched_requests"] == 4
+        assert stats["largest_batch"] == 4
+        service.close()
+
+    def test_batch_size_caps_one_drain(self):
+        service = SolveService(start_worker=False, batch_size=2, batch_window=0.0)
+        for s in range(40, 43):
+            service.submit(SolveRequest(instance=dyadic_instance(random.Random(s), 5, g=2)))
+        assert service.process_once(block=False) == 2
+        assert service.process_once(block=False) == 1
+        assert service.stats()["largest_batch"] == 2
+        service.close()
+
+    def test_admission_rejects_oversized_instance(self):
+        service = SolveService(limits=AdmissionLimits(max_jobs=5), start_worker=False)
+        big = dyadic_instance(random.Random(50), 6, g=2)
+        with pytest.raises(AdmissionError, match="6 jobs"):
+            service.submit(SolveRequest(instance=big))
+        assert service.stats()["rejected"] == 1
+        service.close()
+
+    def test_admission_rejects_excessive_time_limit(self):
+        service = SolveService(
+            limits=AdmissionLimits(max_time_limit=1.0), start_worker=False
+        )
+        inst = dyadic_instance(random.Random(51), 5, g=2)
+        with pytest.raises(AdmissionError, match="time_limit"):
+            service.submit(SolveRequest(instance=inst, time_limit=5.0))
+        service.close()
+
+    def test_admission_caps_forced_algorithm_size(self):
+        # Forced solves cannot be preempted by a time budget, so they get
+        # the tighter size cap instead of head-of-line blocking the worker.
+        service = SolveService(
+            limits=AdmissionLimits(max_jobs=100, max_forced_jobs=10),
+            start_worker=False,
+        )
+        big = dyadic_instance(random.Random(54), 20, g=2)
+        with pytest.raises(AdmissionError, match="cannot be preempted"):
+            service.submit(SolveRequest(instance=big, algorithm="first_fit"))
+        # The same instance is admitted under policy dispatch (with the
+        # default time budget injected) and under the forced cap.
+        service.submit(SolveRequest(instance=big))
+        small = dyadic_instance(random.Random(55), 8, g=2)
+        service.submit(SolveRequest(instance=small, algorithm="first_fit"))
+        service.close()
+
+    def test_admission_supplies_default_time_limit(self):
+        limits = AdmissionLimits(max_time_limit=7.5)
+        admitted = limits.admit(
+            SolveRequest(instance=dyadic_instance(random.Random(52), 5, g=2))
+        )
+        assert admitted.time_limit == 7.5
+        forced = limits.admit(
+            SolveRequest(
+                instance=dyadic_instance(random.Random(53), 5, g=2),
+                algorithm="first_fit",
+            )
+        )
+        assert forced.time_limit is None  # forced solves cannot be preempted
+
+    def test_failed_solve_isolated_from_batch_mates(self):
+        class BoobyTrappedEngine(Engine):
+            def solve(self, request, scheduler=None):
+                if any(j.tag == "boom" for j in request.instance.jobs):
+                    raise RuntimeError("kaboom")
+                return super().solve(request, scheduler)
+
+        service = SolveService(engine=BoobyTrappedEngine(), start_worker=False)
+        good = dyadic_instance(random.Random(60), 5, g=2)
+        bad = Instance(
+            jobs=(Job(id=0, interval=Interval(0, 1), tag="boom"),), g=1, name="bad"
+        )
+        good_job = service.submit(SolveRequest(instance=good))
+        bad_job = service.submit(SolveRequest(instance=bad))
+        assert service.process_once(block=False) == 2
+        assert service.result(good_job, timeout=5).cost > 0
+        with pytest.raises(JobFailedError, match="kaboom"):
+            service.result(bad_job, timeout=5)
+        stats = service.stats()
+        assert stats["completed"] == 1 and stats["failed"] == 1
+        service.close()
+
+    def test_budget_exhausted_reports_are_served_but_never_cached(self):
+        service = SolveService(start_worker=False)
+        inst = dyadic_instance(random.Random(63), 10, g=2)
+        # time_limit=0 trips the budget immediately: the engine serves its
+        # FirstFit fallback and flags the report budget_exhausted.
+        request = SolveRequest(instance=inst, time_limit=0.0)
+        job = service.submit(request)
+        assert service.process_once(block=False) == 1
+        report = service.result(job, timeout=5)
+        assert report.budget_exhausted is True
+        # The degraded answer reached its requester but not the store: the
+        # next equivalent request re-solves instead of inheriting it.
+        assert service.stats()["store"]["puts"] == 0
+        job2 = service.submit(request)
+        assert service.poll(job2)["cached"] is False
+        assert service.process_once(block=False) == 1
+        service.result(job2, timeout=5)
+        service.close()
+
+    def test_broken_pool_is_discarded_not_kept(self):
+        from concurrent.futures import BrokenExecutor
+
+        class DeadFuture:
+            def result(self, timeout=None):
+                raise BrokenExecutor("worker died")
+
+        class DeadPool:
+            def submit(self, *args, **kwargs):
+                return DeadFuture()
+
+            def shutdown(self, wait=True):
+                pass
+
+        service = SolveService(start_worker=False, max_workers=2, batch_window=0.0)
+        service._executor = DeadPool()
+        instances = [dyadic_instance(random.Random(s), 5, g=2) for s in (64, 65)]
+        jobs = [service.submit(SolveRequest(instance=i)) for i in instances]
+        assert service.process_once(block=False) == 2
+        # The batch fell back to serial solves and the dead pool was dropped
+        # (the next multi-request batch rebuilds instead of re-failing).
+        for job in jobs:
+            assert service.result(job, timeout=30).cost > 0
+        assert not isinstance(service._executor, DeadPool)
+        service.close()
+
+    def test_disk_write_failure_keeps_the_memory_tier(self, tmp_path, monkeypatch):
+        store = ResultStore(capacity=4, directory=tmp_path / "cache")
+        fp, report = _canonical_report_for(dyadic_instance(random.Random(66), 5, g=2))
+
+        def broken_mkstemp(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("busytime.service.store.tempfile.mkstemp", broken_mkstemp)
+        with pytest.raises(OSError):
+            store.put(fp, report)
+        # The put raised (callers count it) but the memory tier kept the
+        # entry, so hot repeats still hit while the disk is unwritable.
+        assert store.get(fp) is report
+
+    def test_disk_store_serves_across_service_restarts(self, tmp_path):
+        inst = dyadic_instance(random.Random(70), 9, g=2)
+        request = SolveRequest(instance=inst)
+        with SolveService(store=ResultStore(directory=tmp_path / "cache")) as first:
+            cold = first.solve(request, timeout=30)
+        with SolveService(store=ResultStore(directory=tmp_path / "cache")) as second:
+            job = second.submit(request)
+            warm = second.result(job, timeout=30)
+            assert second.poll(job)["cached"] is True
+        assert warm.cost == pytest.approx(cold.cost)
+
+    def test_store_put_failure_does_not_wedge_the_request(self):
+        class BrokenStore(ResultStore):
+            def put(self, fingerprint, report):
+                raise OSError("disk full")
+
+        service = SolveService(store=BrokenStore(), start_worker=False)
+        inst = dyadic_instance(random.Random(61), 6, g=2)
+        job = service.submit(SolveRequest(instance=inst))
+        assert service.process_once(block=False) == 1
+        # The report is in hand; a failed cache write must not lose it.
+        assert service.result(job, timeout=5).cost > 0
+        stats = service.stats()
+        assert stats["store_put_failures"] == 1
+        assert stats["pending"] == 0  # fingerprint not wedged in flight
+        # The next identical request re-solves (nothing was cached) instead
+        # of attaching to a zombie flight.
+        job2 = service.submit(SolveRequest(instance=inst))
+        assert service.poll(job2)["deduped"] is False
+        assert service.process_once(block=False) == 1
+        assert service.result(job2, timeout=5).cost > 0
+        service.close()
+
+    def test_finished_jobs_are_pruned_past_retention(self):
+        service = SolveService(start_worker=False, max_finished_jobs=3)
+        jobs = []
+        for s in range(44, 49):
+            jobs.append(
+                service.submit(
+                    SolveRequest(instance=dyadic_instance(random.Random(s), 4, g=2))
+                )
+            )
+            service.process_once(block=False)
+        # The two oldest finished jobs fell out of the retention window.
+        for stale in jobs[:2]:
+            with pytest.raises(KeyError):
+                service.poll(stale)
+        for kept in jobs[2:]:
+            assert service.poll(kept)["status"] == "done"
+        service.close()
+
+    def test_close_fails_pending_jobs_instead_of_deadlocking(self):
+        service = SolveService(start_worker=False)
+        inst = dyadic_instance(random.Random(62), 5, g=2)
+        job = service.submit(SolveRequest(instance=inst))  # queued, never run
+        service.close()
+        with pytest.raises(JobFailedError, match="service closed"):
+            service.result(job, timeout=5)
+        assert service.poll(job)["status"] == "failed"
+
+    def test_submit_after_close_raises(self):
+        service = SolveService(start_worker=False)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(
+                SolveRequest(instance=dyadic_instance(random.Random(80), 4, g=2))
+            )
+
+    def test_close_racing_submit_cannot_enqueue_an_orphan_flight(self):
+        # close() lands exactly in submit's unlocked window (during the
+        # store lookup): the late submit must refuse, not queue a flight no
+        # worker will ever drain.
+        service = SolveService(start_worker=False)
+        original_get = service.store.get
+
+        def close_then_miss(fingerprint):
+            service.close()
+            return original_get(fingerprint)
+
+        service.store.get = close_then_miss
+        with pytest.raises(ServiceClosedError):
+            service.submit(
+                SolveRequest(instance=dyadic_instance(random.Random(81), 4, g=2))
+            )
+        assert service.stats()["pending"] == 0
+
+    def test_persistent_pool_is_reused_across_batches(self):
+        service = SolveService(start_worker=False, max_workers=2, batch_window=0.0)
+        instances = [dyadic_instance(random.Random(s), 6, g=2) for s in range(84, 88)]
+        for inst in instances[:2]:
+            service.submit(SolveRequest(instance=inst))
+        assert service.process_once(block=False) == 2
+        pool = service._executor
+        assert pool is not None  # multi-request batch went through the pool
+        for inst in instances[2:]:
+            service.submit(SolveRequest(instance=inst))
+        assert service.process_once(block=False) == 2
+        assert service._executor is pool  # amortized, not rebuilt per batch
+        for job_id in (f"job-{k:06d}" for k in range(1, 5)):
+            assert service.result(job_id, timeout=30).cost > 0
+        service.close()
+        assert service._executor is None
+
+    def test_unknown_job_id_raises_key_error(self):
+        with SolveService(start_worker=False) as service:
+            with pytest.raises(KeyError):
+                service.poll("job-999999")
+
+    def test_concurrent_submitters_share_one_solve(self):
+        inst = uniform_random_instance(40, g=3, seed=5)
+        reports = []
+        with SolveService(batch_window=0.05) as service:
+            def submit():
+                reports.append(service.solve(SolveRequest(instance=inst), timeout=30))
+
+            threads = [threading.Thread(target=submit) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = service.stats()
+        assert len({r.cost for r in reports}) == 1
+        # Six identical requests, exactly one engine solve: the rest were
+        # deduped in flight or answered from the store.
+        assert stats["store"]["puts"] == 1
+        assert stats["deduped_inflight"] + stats["store"]["hits"] == 5
+
+
+# ---------------------------------------------------------------------------
+# HTTP frontend
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def http_service(tmp_path):
+    service = SolveService(limits=AdmissionLimits(max_jobs=100))
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield service, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return reply.status, json.loads(reply.read().decode("utf-8"))
+
+
+class TestHTTPFrontend:
+    def test_solve_wait_round_trips_report(self, http_service):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(90), 8, g=2, name="http")
+        reply = submit_instance(url, bio.instance_to_dict(inst), wait=True)
+        assert reply["status"] == "done"
+        report = bio.solve_report_from_dict(reply["report"])
+        report.schedule.validate()
+        assert report.cost == pytest.approx(
+            Engine().solve(SolveRequest(instance=inst)).cost
+        )
+
+    def test_async_submit_then_poll_jobs_endpoint(self, http_service):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(91), 8, g=2)
+        reply = submit_instance(url, bio.instance_to_dict(inst), wait=False)
+        job_id = reply["job_id"]
+        for _ in range(200):
+            status, payload = _get_json(f"{url}/jobs/{job_id}")
+            assert status == 200
+            if payload["status"] == "done":
+                break
+            import time
+
+            time.sleep(0.01)
+        assert payload["status"] == "done"
+        assert "report" in payload
+
+    def test_stats_endpoint_reports_hits(self, http_service):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(92), 8, g=2)
+        submit_instance(url, bio.instance_to_dict(inst), wait=True)
+        submit_instance(url, bio.instance_to_dict(inst), wait=True)
+        _, stats = _get_json(f"{url}/stats")
+        assert stats["submitted"] >= 2
+        assert stats["store"]["hits"] >= 1
+
+    def test_algorithms_endpoint_lists_registry(self, http_service):
+        _, url = http_service
+        _, payload = _get_json(f"{url}/algorithms")
+        names = {a["name"] for a in payload["algorithms"]}
+        assert {"first_fit", "proper_greedy"} <= names
+
+    def test_forced_algorithm_option(self, http_service):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(93), 8, g=2)
+        reply = submit_instance(
+            url, bio.instance_to_dict(inst), options={"algorithm": "first_fit"}
+        )
+        assert reply["report"]["algorithm"] == "first_fit"
+
+    def test_admission_rejection_maps_to_413(self, http_service):
+        _, url = http_service
+        big = dyadic_instance(random.Random(94), 101, g=2)
+        with pytest.raises(RuntimeError, match="above the service limit"):
+            submit_instance(url, bio.instance_to_dict(big))
+
+    def test_negative_content_length_maps_to_400(self, http_service):
+        # read(-1) would mean read-until-EOF: an unbounded buffer behind
+        # the body cap, and a pinned handler thread.
+        import http.client
+
+        _, url = http_service
+        host, port = url.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=10)
+        connection.putrequest("POST", "/solve")
+        connection.putheader("Content-Length", "-1")
+        connection.putheader("Content-Type", "application/json")
+        connection.endheaders()
+        reply = connection.getresponse()
+        assert reply.status == 400
+        assert "Content-Length" in json.loads(reply.read())["error"]
+        connection.close()
+
+    def test_bad_request_body_maps_to_400(self, http_service):
+        _, url = http_service
+        request = urllib.request.Request(
+            f"{url}/solve", data=b"{broken", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_unknown_option_maps_to_400(self, http_service):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(95), 5, g=2)
+        with pytest.raises(RuntimeError, match="unknown options"):
+            submit_instance(url, bio.instance_to_dict(inst), options={"nope": 1})
+
+    def test_mistyped_option_maps_to_400_not_a_dropped_connection(self, http_service):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(97), 5, g=2)
+        for options in (
+            {"time_limit": "5"},
+            {"portfolio": "yes"},
+            {"max_jobs_for_optimum": 2.5},
+            {"algorithm": 7},
+        ):
+            with pytest.raises(RuntimeError, match="must be"):
+                submit_instance(url, bio.instance_to_dict(inst), options=options)
+
+    def test_oversized_body_maps_to_413_before_reading(self):
+        service = SolveService(start_worker=False)
+        server = make_server(service, port=0, max_body_bytes=1024)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            inst = dyadic_instance(random.Random(98), 60, g=2)  # > 1 KiB doc
+            with pytest.raises(RuntimeError, match="above the service limit"):
+                submit_instance(
+                    f"http://{host}:{port}", bio.instance_to_dict(inst)
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_oversized_refusal_closes_the_keepalive_connection(self):
+        # The refused body is never drained, so the server must close the
+        # connection; a keep-alive client that reused it would otherwise see
+        # its next request line parsed out of the stale body bytes.
+        import http.client
+
+        service = SolveService()
+        server = make_server(service, port=0, max_body_bytes=64)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request(
+                "POST", "/solve", body=b"x" * 1024,
+                headers={"Content-Type": "application/json"},
+            )
+            reply = connection.getresponse()
+            assert reply.status == 413
+            assert reply.getheader("Connection") == "close"
+            reply.read()
+            # http.client transparently reconnects on a closed connection,
+            # so the follow-up request must come back clean, not as a 501
+            # parsed out of the stale POST body.
+            connection.request("GET", "/stats")
+            stats_reply = connection.getresponse()
+            assert stats_reply.status == 200
+            json.loads(stats_reply.read())
+            connection.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_non_object_instance_maps_to_400(self, http_service):
+        _, url = http_service
+        import urllib.error
+
+        body = json.dumps({"instance": [1, 2, 3]}).encode("utf-8")
+        request = urllib.request.Request(
+            f"{url}/solve", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+        assert "expected a JSON object" in json.loads(err.value.read())["error"]
+
+    def test_handler_sets_a_socket_timeout(self):
+        # A client that under-sends its advertised Content-Length must not
+        # pin the handler thread forever; socketserver honors this attr.
+        from busytime.service.frontend import _ServiceHandler
+
+        assert _ServiceHandler.timeout == 60.0
+
+    def test_unknown_job_and_endpoint_map_to_404(self, http_service):
+        _, url = http_service
+        for path in ("/jobs/job-999999", "/bogus"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{url}{path}", timeout=10)
+            assert err.value.code == 404
+
+    def test_submit_against_closed_service_maps_to_503(self):
+        service = SolveService(start_worker=False)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            service.close()  # "caller owns the loop": server still accepting
+            inst = dyadic_instance(random.Random(99), 4, g=2)
+            with pytest.raises(RuntimeError, match="closed"):
+                submit_instance(
+                    f"http://{host}:{port}", bio.instance_to_dict(inst)
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_post_refusals_close_the_keepalive_connection(self, http_service):
+        # A POST body sent to a refused path/encoding is never drained, so
+        # the connection must close instead of desyncing the next request.
+        import http.client
+
+        _, url = http_service
+        host, port = url.removeprefix("http://").split(":")
+        for path, headers, expected in (
+            ("/solvex", {"Content-Type": "application/json"}, 404),
+            ("/solve", {"Transfer-Encoding": "chunked"}, 411),
+        ):
+            connection = http.client.HTTPConnection(host, int(port), timeout=10)
+            connection.request(
+                "POST", path, body=b'{"instance": {}}', headers=headers
+            )
+            reply = connection.getresponse()
+            assert reply.status == expected
+            assert reply.getheader("Connection") == "close"
+            reply.read()
+            connection.request("GET", "/stats")  # reconnects transparently
+            stats_reply = connection.getresponse()
+            assert stats_reply.status == 200
+            json.loads(stats_reply.read())
+            connection.close()
+
+    def test_cli_submit_against_live_server(self, http_service, tmp_path, capsys):
+        _, url = http_service
+        inst = dyadic_instance(random.Random(96), 8, g=2, name="via-cli")
+        path = tmp_path / "inst.json"
+        bio.save_instance(inst, path)
+        out = tmp_path / "report.json"
+        rc = main(["submit", str(path), "--url", url, "--output", str(out)])
+        assert rc == 0
+        assert "served solve" in capsys.readouterr().out
+        report = bio.load_solve_report(out)
+        assert report.cost == pytest.approx(
+            Engine().solve(SolveRequest(instance=inst)).cost
+        )
