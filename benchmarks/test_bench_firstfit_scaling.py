@@ -23,7 +23,10 @@ This module regenerates the comparison:
 
 from __future__ import annotations
 
+import json
+import platform
 import time
+from pathlib import Path
 from typing import List, Optional
 
 import pytest
@@ -37,6 +40,40 @@ from busytime.generators import uniform_random_instance
 HEAD_TO_HEAD = dict(n=5000, g=10, horizon=1000.0, seed=7)
 LARGE = dict(n=20000, g=10, horizon=1000.0, seed=7)
 REQUIRED_SPEEDUP = 5.0
+
+#: The demand generalisation must not regress the PR-2 sweep-line win: the
+#: unit-demand n=20k run has to stay within this factor of the recorded
+#: BENCH_firstfit.json time.  The guard only arms on the hardware that
+#: recorded the artefact (platform string match) — absolute seconds are
+#: meaningless across machines — and is made load-immune by calibrating
+#: against the *frozen* seed clip-and-rescan baseline: `_seed_first_fit`
+#: below never changes with the library, so re-timing it against its
+#: recorded figure measures how much slower the machine is running right
+#: now (co-tenant load, thermal state) rather than anything about the
+#: code, and the budget scales by that factor.
+BUDGET_FACTOR = 1.15
+BENCH_RECORD = Path(__file__).resolve().parents[1] / "BENCH_firstfit.json"
+
+
+def _machine_speed_factor(record: dict) -> Optional[float]:
+    """Current-machine slowdown vs the artefact's recording conditions.
+
+    Times the frozen seed baseline at n=1000 (three rounds, min) and
+    divides by its recorded figure; >= 1.0 (a machine can't earn a stricter
+    budget than the record).  ``None`` when the artefact lacks the row.
+    """
+    rows = {row.get("n"): row for row in record.get("trajectory", [])}
+    reference = rows.get(1000, {}).get("baseline_clip_rescan_seconds")
+    if not reference:
+        return None
+    inst = uniform_random_instance(n=1000, g=10, horizon=1000.0, seed=7)
+    _seed_first_fit(inst)  # warm
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _seed_first_fit(inst)
+        best = min(best, time.perf_counter() - t0)
+    return max(1.0, best / reference)
 
 
 def _seed_fits(machine_jobs: List[Job], job: Job, g: int) -> bool:
@@ -109,20 +146,66 @@ def test_firstfit_speedup_over_seed(benchmark, attach_rows):
 
 
 def test_firstfit_20k_jobs(benchmark, attach_rows):
-    """n=20000 was out of reach for the seed (~90 s); now sub-second."""
+    """n=20000 was out of reach for the seed (~90 s); now sub-second.
+
+    Doubles as the demand-generalisation perf guard: on the machine that
+    recorded ``BENCH_firstfit.json``, the measured unit-demand time must
+    stay within ``BUDGET_FACTOR`` of the recorded headline — the
+    demand-aware ``fits``/``add`` path (one ``is None`` check on the rigid
+    fast path) is not allowed to erode the sweep-line win.
+    """
     inst = uniform_random_instance(**LARGE)
     schedule = benchmark(lambda: first_fit(inst))
     verify_schedule(schedule)
+    # Min over rounds: the load-robust estimator for "how fast can this
+    # code go", which is what a regression budget is about.
+    measured = benchmark.stats.stats.min
+    budget_checked = False
+    if BENCH_RECORD.exists():
+        record = json.loads(BENCH_RECORD.read_text())
+        headline = record.get("headline", {})
+        recorded = headline.get("sweep_profile_seconds")
+        if recorded and record.get("platform") == platform.platform():
+            factor = _machine_speed_factor(record)
+            if factor is not None:
+                budget_checked = True
+                budget = BUDGET_FACTOR * recorded * factor
+                if measured > budget:
+                    # One retry before failing: a co-tenant load spike
+                    # between the calibration probe and the benchmark
+                    # rounds shows up as a transient overshoot; a real
+                    # code regression reproduces.  Re-run probe and
+                    # workload back to back so both face the *same*
+                    # conditions, and rescale the budget by whichever
+                    # calibration saw the machine slower.
+                    factor = max(factor, _machine_speed_factor(record) or factor)
+                    budget = BUDGET_FACTOR * recorded * factor
+                    best = measured
+                    for _ in range(3):
+                        t0 = time.perf_counter()
+                        first_fit(inst)
+                        best = min(best, time.perf_counter() - t0)
+                    measured = best
+                assert measured <= budget, (
+                    f"unit-demand FirstFit at n=20k took {measured:.4f}s, "
+                    f"above {BUDGET_FACTOR}x the recorded {recorded:.4f}s "
+                    f"(load-calibrated budget {budget:.4f}s, machine speed "
+                    f"factor {factor:.2f}; BENCH_firstfit.json) — the "
+                    f"demand generalisation must not regress the "
+                    f"sweep-line hot path"
+                )
     attach_rows(
         benchmark,
         [
             {
                 **{k: LARGE[k] for k in ("n", "g", "seed")},
-                "sweep_profile_seconds": round(benchmark.stats.stats.mean, 4),
+                "sweep_profile_seconds": round(measured, 4),
                 "machines": schedule.num_machines,
                 "total_busy_time": round(schedule.total_busy_time, 3),
             }
         ],
         experiment="E16-firstfit-scaling",
         validated_by_verify_schedule=True,
+        budget_factor=BUDGET_FACTOR,
+        budget_checked=budget_checked,
     )

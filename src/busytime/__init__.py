@@ -70,6 +70,7 @@ from .algorithms import (
     singleton,
 )
 from .core import (
+    CostModel,
     Instance,
     Interval,
     Job,
@@ -79,9 +80,13 @@ from .core import (
     best_lower_bound,
     combined_bound,
     connected_components,
+    get_cost_model,
     parallelism_bound,
+    register_objective,
+    registered_objectives,
     span,
     span_bound,
+    total_demand_length,
     total_length,
 )
 from .engine import (
@@ -120,6 +125,11 @@ __all__ = [
     "span_bound",
     "combined_bound",
     "best_lower_bound",
+    "total_demand_length",
+    "CostModel",
+    "get_cost_model",
+    "register_objective",
+    "registered_objectives",
     # algorithms
     "first_fit",
     "proper_greedy",

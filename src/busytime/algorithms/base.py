@@ -38,7 +38,13 @@ __all__ = [
     "all_schedulers",
     "algorithm_table",
     "AlgorithmInfo",
+    "KNOWN_INSTANCE_CLASSES",
 ]
+
+#: The structural classes :meth:`Scheduler.handles` understands.  Declaring
+#: anything else is a registration-time error — a typo'd class name used to
+#: make the algorithm silently unselectable instead.
+KNOWN_INSTANCE_CLASSES = ("general", "clique", "proper", "laminar", "bounded_length")
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,16 @@ class AlgorithmInfo:
     ``composite``
         True for meta-algorithms (the ``auto`` dispatcher) that orchestrate
         other registered algorithms; never selected by a policy.
+    ``supported_objectives``
+        Objective names (see :mod:`busytime.core.objectives`) the algorithm
+        declares itself meaningful for.  Every algorithm minimises busy
+        time; those whose construction is invariant under the richer cost
+        models additionally declare them, and the selection policies route
+        a non-default-objective request only to declarers.
+    ``demand_aware``
+        True when the algorithm's feasibility checks honour job capacity
+        demands (the [15] model).  Instances carrying non-unit demands are
+        routed only to demand-aware algorithms.
     """
 
     name: str
@@ -85,6 +101,8 @@ class AlgorithmInfo:
     selection_priority: int = 100
     portfolio_member: bool = True
     composite: bool = False
+    supported_objectives: Tuple[str, ...] = ("busy_time",)
+    demand_aware: bool = False
 
 
 class Scheduler(abc.ABC):
@@ -112,6 +130,10 @@ class Scheduler(abc.ABC):
     portfolio_member: bool = True
     #: meta-algorithm orchestrating other registered algorithms
     composite: bool = False
+    #: objective names this algorithm declares itself meaningful for
+    supported_objectives: Tuple[str, ...] = ("busy_time",)
+    #: feasibility checks honour job capacity demands (the [15] model)
+    demand_aware: bool = False
 
     @abc.abstractmethod
     def schedule(self, instance: Instance) -> Schedule:
@@ -120,12 +142,24 @@ class Scheduler(abc.ABC):
     def __call__(self, instance: Instance) -> Schedule:
         return self.schedule(instance)
 
-    def handles(self, instance: Instance) -> bool:
-        """True when this algorithm's declared capabilities cover ``instance``.
+    def supports_objective(self, objective: str) -> bool:
+        """True when the algorithm declares support for the objective name."""
+        return objective in self.supported_objectives
 
-        The check is purely structural (class membership plus the length-ratio
-        precondition); it does not run the algorithm.
+    def handles(self, instance: Instance, objective: str = "busy_time") -> bool:
+        """True when this algorithm's declared capabilities cover ``instance``
+        under ``objective``.
+
+        The check is purely structural (problem-model support, class
+        membership, the length-ratio precondition); it does not run the
+        algorithm.  Demand-carrying instances are covered only by
+        ``demand_aware`` algorithms, and a non-default objective only by its
+        declarers — the routing rule every selection policy applies.
         """
+        if not self.supports_objective(objective):
+            return False
+        if instance.has_demands and not self.demand_aware:
+            return False
         if self.max_length_ratio is not None:
             ratio = instance.length_ratio()
             if ratio == float("inf") or ratio > self.max_length_ratio:
@@ -161,6 +195,8 @@ class Scheduler(abc.ABC):
             selection_priority=self.selection_priority,
             portfolio_member=self.portfolio_member,
             composite=self.composite,
+            supported_objectives=self.supported_objectives,
+            demand_aware=self.demand_aware,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -168,7 +204,18 @@ class Scheduler(abc.ABC):
 
 
 class FunctionScheduler(Scheduler):
-    """Adapter turning a plain ``instance -> Schedule`` function into a Scheduler."""
+    """Adapter turning a plain ``instance -> Schedule`` function into a Scheduler.
+
+    When ``instance_classes`` is omitted the default is *explicitly*
+    ``(instance_class,)`` — the single class the guarantee is declared on,
+    nothing more.  In particular, setting only ``instance_class="proper"``
+    does **not** keep the algorithm applicable to general instances; pass
+    ``instance_classes=("proper", "general")`` (or similar) to widen
+    applicability beyond the guarantee class.  Registration validates every
+    declared class name against :data:`KNOWN_INSTANCE_CLASSES`, so the
+    historical footgun — a typo'd or unintended class silently making the
+    algorithm unselectable — fails loudly instead.
+    """
 
     def __init__(
         self,
@@ -184,6 +231,8 @@ class FunctionScheduler(Scheduler):
         selection_priority: int = 100,
         portfolio_member: bool = True,
         composite: bool = False,
+        supported_objectives: Tuple[str, ...] = ("busy_time",),
+        demand_aware: bool = False,
     ) -> None:
         self._func = func
         self.name = name
@@ -199,10 +248,54 @@ class FunctionScheduler(Scheduler):
         self.selection_priority = selection_priority
         self.portfolio_member = portfolio_member
         self.composite = composite
+        self.supported_objectives = tuple(supported_objectives)
+        self.demand_aware = demand_aware
         self.__doc__ = func.__doc__
 
     def schedule(self, instance: Instance) -> Schedule:
         return self._func(instance)
+
+
+def _validate_capabilities(scheduler: Scheduler) -> None:
+    """Reject inconsistent capability declarations at registration time.
+
+    Catches the metadata footguns that used to surface only as an algorithm
+    never being selected: unknown structural class names (typos), an empty
+    declaration, a ``bounded_length`` declaration without the
+    ``max_length_ratio`` threshold that gates it, and an empty or
+    ill-typed ``supported_objectives`` tuple.
+    """
+    classes = tuple(scheduler.instance_classes)
+    if not classes:
+        raise ValueError(
+            f"scheduler {scheduler.name!r} declares no instance classes; "
+            f"declare at least one of {KNOWN_INSTANCE_CLASSES}"
+        )
+    unknown = [c for c in classes if c not in KNOWN_INSTANCE_CLASSES]
+    if unknown:
+        raise ValueError(
+            f"scheduler {scheduler.name!r} declares unknown instance "
+            f"class(es) {unknown}; known: {KNOWN_INSTANCE_CLASSES}"
+        )
+    if scheduler.instance_class not in KNOWN_INSTANCE_CLASSES:
+        raise ValueError(
+            f"scheduler {scheduler.name!r}: instance_class "
+            f"{scheduler.instance_class!r} is not one of {KNOWN_INSTANCE_CLASSES}"
+        )
+    if "bounded_length" in classes and scheduler.max_length_ratio is None:
+        raise ValueError(
+            f"scheduler {scheduler.name!r} declares 'bounded_length' without "
+            f"max_length_ratio; the declaration would never match (see "
+            f"Scheduler.handles)"
+        )
+    objectives = tuple(scheduler.supported_objectives)
+    if not objectives or not all(
+        isinstance(o, str) and o for o in objectives
+    ):
+        raise ValueError(
+            f"scheduler {scheduler.name!r}: supported_objectives must be a "
+            f"non-empty tuple of objective names, got {objectives!r}"
+        )
 
 
 _REGISTRY: Dict[str, Scheduler] = {}
@@ -241,6 +334,7 @@ def register_scheduler(
         raise TypeError("metadata keywords apply only to the decorator form")
     if scheduler.name in _REGISTRY and not overwrite:
         raise KeyError(f"scheduler {scheduler.name!r} already registered")
+    _validate_capabilities(scheduler)
     _REGISTRY[scheduler.name] = scheduler
     return scheduler
 

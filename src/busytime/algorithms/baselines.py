@@ -105,6 +105,12 @@ def random_assignment(instance: Instance, seed: int = 0) -> Schedule:
     return builder.freeze()
 
 
+# The builder-routed greedies (NextFit / BestFit / singleton / random) are
+# demand-aware for free: every `fits` query goes through the machine's
+# maintained profile, which honours job capacity demands.  machine_min is
+# *not*: interval colouring bundles g colour classes per machine by
+# cardinality, which can overload a capacity-g machine under demands — but
+# it stays the natural baseline for the machines_plus_busy cost model.
 register_scheduler(
     FunctionScheduler(
         machine_minimizing,
@@ -112,6 +118,7 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="Section 1.1 (remark)",
+        supported_objectives=("busy_time", "machines_plus_busy"),
     )
 )
 register_scheduler(
@@ -121,6 +128,8 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
+        supported_objectives=("busy_time", "weighted_busy_time"),
+        demand_aware=True,
     )
 )
 register_scheduler(
@@ -130,6 +139,8 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
+        supported_objectives=("busy_time", "weighted_busy_time"),
+        demand_aware=True,
     )
 )
 register_scheduler(
@@ -139,6 +150,8 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
+        supported_objectives=("busy_time", "weighted_busy_time"),
+        demand_aware=True,
     )
 )
 register_scheduler(
@@ -148,5 +161,7 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
+        supported_objectives=("busy_time", "weighted_busy_time"),
+        demand_aware=True,
     )
 )

@@ -67,6 +67,15 @@ class AutoScheduler(FunctionScheduler):
             paper_section="Sections 2, 3, Appendix",
             composite=True,
             portfolio_member=False,
+            # The dispatcher inherits the whole registry's coverage: the
+            # engine routes each component to a declarer of the objective
+            # and (for demand instances) a demand-aware algorithm.
+            supported_objectives=(
+                "busy_time",
+                "weighted_busy_time",
+                "machines_plus_busy",
+            ),
+            demand_aware=True,
         )
 
 

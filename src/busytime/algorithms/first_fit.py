@@ -62,7 +62,16 @@ def first_fit(instance: Instance) -> Schedule:
 
 
 class FirstFitScheduler(FunctionScheduler):
-    """Longest-first FirstFit; 4-approximation for general instances."""
+    """Longest-first FirstFit; 4-approximation for general instances.
+
+    Demand-aware: every ``fits`` query routes through the builder's
+    maintained profile, which honours job capacity demands (the [15]
+    model) — with unit demands the checks and the produced schedules are
+    bit-for-bit the paper's.  FirstFit is also the engine's fallback for
+    every registered objective: it minimises busy time and opens machines
+    lazily, so it remains a sensible (if guarantee-free beyond busy time)
+    last resort under activation-priced models.
+    """
 
     def __init__(self) -> None:
         super().__init__(
@@ -73,6 +82,12 @@ class FirstFitScheduler(FunctionScheduler):
             paper_section="Section 2",
             instance_classes=("general",),
             selection_priority=40,
+            supported_objectives=(
+                "busy_time",
+                "weighted_busy_time",
+                "machines_plus_busy",
+            ),
+            demand_aware=True,
         )
 
 

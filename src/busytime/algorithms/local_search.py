@@ -197,6 +197,9 @@ def local_search_first_fit(instance: Instance) -> Schedule:
     return improve(first_fit(instance))
 
 
+# Not demand-aware: the move evaluation (`_feasible` / `_fits_with`) counts
+# job cardinality, so an improving move could overload a capacity-g machine
+# under non-unit demands; the selection policies keep demand instances away.
 register_scheduler(
     FunctionScheduler(
         local_search_first_fit,
@@ -207,5 +210,6 @@ register_scheduler(
         anytime=True,
         selection_priority=90,
         portfolio_member=False,
+        supported_objectives=("busy_time", "weighted_busy_time"),
     )
 )

@@ -75,6 +75,10 @@ class ProperGreedyScheduler(FunctionScheduler):
             paper_section="Section 3.1",
             instance_classes=("proper",),
             selection_priority=20,
+            # Ratio guarantees survive a positive rescaling of busy time;
+            # Theorem 3.1's charging argument is only proved for the rigid
+            # (unit-demand) model, so the algorithm stays non-demand-aware.
+            supported_objectives=("busy_time", "weighted_busy_time"),
         )
 
 

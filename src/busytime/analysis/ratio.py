@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.bounds import best_lower_bound
 from ..core.instance import Instance
+from ..core.objectives import CostModel, get_cost_model
 from ..core.schedule import Schedule
 from ..exact import exact_optimal_cost
 
@@ -33,7 +34,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RatioMeasurement:
-    """One algorithm's result on one instance, with every reference value."""
+    """One algorithm's result on one instance, with every reference value.
+
+    ``cost``, ``lower_bound`` and ``optimum`` are all priced under the same
+    :class:`~busytime.core.objectives.CostModel` (the default ``busy_time``
+    model reproduces the seed numbers exactly), recorded in ``objective``.
+    """
 
     instance_name: str
     algorithm: str
@@ -43,6 +49,7 @@ class RatioMeasurement:
     num_machines: int
     lower_bound: float
     optimum: Optional[float]
+    objective: str = "busy_time"
 
     @property
     def ratio_lb(self) -> float:
@@ -72,6 +79,7 @@ class RatioMeasurement:
             "optimum": self.optimum,
             "ratio_lb": self.ratio_lb,
             "ratio_opt": self.ratio_opt,
+            "objective": self.objective,
         }
 
 
@@ -100,24 +108,37 @@ def measure(
     algorithm: Callable[[Instance], Schedule],
     compute_optimum: bool = False,
     max_jobs_for_optimum: int = 18,
+    cost_model: Optional[CostModel] = None,
 ) -> RatioMeasurement:
-    """Run ``algorithm`` on ``instance`` and collect every reference value."""
+    """Run ``algorithm`` on ``instance`` and collect every reference value.
+
+    ``cost_model`` prices cost, lower bound and (when it preserves busy-time
+    ratios) the exact optimum; omitted, the default ``busy_time`` model
+    reproduces the seed measurement exactly.
+    """
+    model = cost_model if cost_model is not None else get_cost_model("busy_time")
     schedule = algorithm(instance)
     schedule.validate()
     optimum: Optional[float] = None
-    if compute_optimum and instance.n <= max_jobs_for_optimum:
+    if (
+        compute_optimum
+        and instance.n <= max_jobs_for_optimum
+        and model.preserves_busy_time_ratios
+    ):
         optimum = exact_optimal_cost(
             instance,
             initial_upper_bound=schedule.total_busy_time,
             max_jobs=max_jobs_for_optimum,
         )
+        optimum = model.price_busy_time(optimum)
     return RatioMeasurement(
         instance_name=instance.name,
         algorithm=schedule.algorithm,
         n=instance.n,
         g=instance.g,
-        cost=schedule.total_busy_time,
+        cost=model.schedule_cost(schedule),
         num_machines=schedule.num_machines,
-        lower_bound=best_lower_bound(instance),
+        lower_bound=model.lower_bound(instance),
         optimum=optimum,
+        objective=model.objective,
     )

@@ -57,6 +57,7 @@ from .algorithms import algorithm_table, get_scheduler, select_algorithm
 from .analysis import format_table
 from .core.bounds import best_lower_bound, parallelism_bound, span_bound
 from .core.instance import Instance
+from .core.objectives import registered_objectives
 from .engine import Engine, SolveRequest, available_policies
 from .exact import exact_optimal_cost
 from .extensions.dynamic import simulate as run_simulation
@@ -167,7 +168,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _report_row(label: str, report) -> Dict[str, object]:
     summary = report.summary()
-    return {
+    row = {
         "algorithm": label,
         "n": summary["n"],
         "g": summary["g"],
@@ -178,12 +179,20 @@ def _report_row(label: str, report) -> Dict[str, object]:
             round(summary["ratio_vs_lb"], 3) if summary["lower_bound"] > 0 else 1.0
         ),
     }
+    if report.objective != "busy_time":
+        # Non-default cost models price the solve differently from the raw
+        # busy time; show both so the table stays comparable.
+        row["objective"] = report.objective
+        row["objective_value"] = round(report.value, 3)
+    return row
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance, args.g)
     engine = Engine()
-    report = engine.solve(_request_for(instance, args.algorithm))
+    report = engine.solve(
+        _request_for(instance, args.algorithm, objective=args.objective)
+    )
     print(
         format_table(
             [_report_row(args.algorithm, report)],
@@ -214,6 +223,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             _request_for(
                 instance,
                 args.algorithm,
+                objective=args.objective,
                 policy=args.policy,
                 portfolio=not args.no_portfolio,
                 time_limit=args.time_limit,
@@ -252,13 +262,43 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     instance = _load_instance(args.instance, args.g)
-    names = args.algorithms or ["first_fit", "proper_greedy", "best_fit", "auto"]
+    if args.algorithms:
+        names = args.algorithms
+    else:
+        # The default line-up is filtered by declared capability, so
+        # `compare --objective machines_plus_busy` (or a demand-carrying
+        # instance file) compares the declarers instead of dying on the
+        # first algorithm that never heard of the problem model.  An
+        # explicit --algorithms list is taken literally and may error.
+        names = [
+            name
+            for name in ("first_fit", "proper_greedy", "best_fit", "auto")
+            if name == "auto"
+            or (
+                get_scheduler(name).supports_objective(args.objective)
+                and (not instance.has_demands or get_scheduler(name).demand_aware)
+            )
+        ]
     engine = Engine()
-    reports = [(name, engine.solve(_request_for(instance, name))) for name in names]
+    reports = [
+        (name, engine.solve(_request_for(instance, name, objective=args.objective)))
+        for name in names
+    ]
     lb = reports[0][1].lower_bound
     optimum = None
+    from .core.objectives import get_cost_model
+
     if args.exact and instance.n <= args.exact_limit:
-        optimum = exact_optimal_cost(instance)
+        if get_cost_model(args.objective).preserves_busy_time_ratios:
+            optimum = exact_optimal_cost(instance)
+        else:
+            # The exact solvers minimise busy time; under an
+            # activation-priced model that number is not the model optimum
+            # and would sit in the table next to a model-priced LB.
+            print(
+                f"note: --exact is skipped for objective {args.objective!r} "
+                f"(the exact solver optimises busy time, not this cost model)"
+            )
     rows = []
     for name, report in reports:
         row = {
@@ -267,6 +307,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "machines": report.num_machines,
             "ratio_vs_lb": round(report.ratio_vs_lb, 3) if lb > 0 else 1.0,
         }
+        if args.objective != "busy_time":
+            # ratio_vs_lb is value/LB under the model; show the value so
+            # every printed ratio is derivable from printed numbers.
+            row["objective_value"] = round(report.value, 3)
         if optimum:
             row["ratio_vs_opt"] = round(report.cost / optimum, 3)
         rows.append(row)
@@ -434,6 +478,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.algorithm != "auto":
         _resolve_scheduler(args.algorithm)  # unknown names fail here, not serverside
         options["algorithm"] = args.algorithm
+    if args.objective != "busy_time":
+        options["objective"] = args.objective
     if args.policy:
         options["policy"] = args.policy
     if args.no_portfolio:
@@ -514,6 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched = sub.add_parser("schedule", help="run one algorithm on an instance")
     p_sched.add_argument("instance", help="instance JSON (or CSV job list with --g)")
     p_sched.add_argument("--algorithm", default="auto")
+    p_sched.add_argument(
+        "--objective", default="busy_time", choices=registered_objectives(),
+        help="cost model to price the solve under (problem-model axis)",
+    )
     p_sched.add_argument("--g", type=int, default=None)
     p_sched.add_argument("--output", default=None, help="write the schedule JSON here")
     p_sched.set_defaults(func=_cmd_schedule)
@@ -529,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--glob", default="*.json", help="filename pattern inside --batch"
     )
     p_solve.add_argument("--algorithm", default="auto")
+    p_solve.add_argument(
+        "--objective", default="busy_time", choices=registered_objectives(),
+        help="cost model to price the solves under (problem-model axis)",
+    )
     p_solve.add_argument(
         "--policy", default=None, choices=available_policies(),
         help="selection policy for dispatched (auto) solves",
@@ -559,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="head-to-head of several algorithms")
     p_cmp.add_argument("instance")
     p_cmp.add_argument("--algorithms", nargs="*", default=None)
+    p_cmp.add_argument(
+        "--objective", default="busy_time", choices=registered_objectives(),
+        help="cost model to price the comparison under",
+    )
     p_cmp.add_argument("--g", type=int, default=None)
     p_cmp.add_argument("--exact", action="store_true", help="also compute the exact optimum")
     p_cmp.add_argument("--exact-limit", type=int, default=16)
@@ -684,6 +742,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--url", default="http://127.0.0.1:8080", help="service base URL"
     )
     p_submit.add_argument("--algorithm", default="auto")
+    p_submit.add_argument(
+        "--objective", default="busy_time", choices=registered_objectives(),
+        help="cost model the service prices the solve under",
+    )
     p_submit.add_argument(
         "--policy", default=None, choices=available_policies(),
         help="selection policy for dispatched (auto) solves",

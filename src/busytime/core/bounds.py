@@ -23,6 +23,7 @@ pruning and by the experiment harness as a tighter OPT proxy:
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 from .instance import Instance, connected_components
@@ -33,13 +34,21 @@ __all__ = [
     "combined_bound",
     "component_bound",
     "clique_bound",
+    "min_machines_bound",
     "best_lower_bound",
 ]
 
 
 def parallelism_bound(instance: Instance) -> float:
-    """``len(J) / g`` (first bullet of Observation 1.1)."""
-    return instance.total_length / instance.g
+    """``sum_j len(J_j) * s_j / g`` — Observation 1.1's first bullet,
+    demand-weighted as in [15].
+
+    No machine can serve more than ``g`` capacity units at once, so each
+    unit of busy time pays for at most ``g`` units of demand-weighted job
+    length.  On unit-demand instances this is bit-for-bit the paper's
+    ``len(J) / g``.
+    """
+    return instance.total_demand_length / instance.g
 
 
 def span_bound(instance: Instance) -> float:
@@ -74,10 +83,13 @@ def clique_bound(instance: Instance) -> float:
     least the largest ``delta`` among jobs it serves; summing the
     ``(g(i-1)+1)``-th largest distances over ``i`` lower-bounds ``OPT``.
 
-    Returns the combined bound unchanged when the instance is not a clique.
+    Returns the combined bound unchanged when the instance is not a clique —
+    or when it carries non-unit demands: the machine-per-``g``-jobs charging
+    argument groups *jobs*, not capacity units, so the refinement is only
+    proved for the rigid model.
     """
     t = instance.common_point()
-    if t is None or instance.n == 0:
+    if t is None or instance.n == 0 or instance.has_demands:
         return combined_bound(instance)
     deltas = sorted(
         (max(t - j.start, j.end - t) for j in instance.jobs), reverse=True
@@ -85,6 +97,19 @@ def clique_bound(instance: Instance) -> float:
     g = instance.g
     bound = sum(deltas[i] for i in range(0, len(deltas), g))
     return max(bound, combined_bound(instance))
+
+
+def min_machines_bound(instance: Instance) -> int:
+    """``ceil(peak_demand / g)``: a lower bound on the number of machines.
+
+    At the instant of peak total demand every feasible schedule has that
+    demand spread over machines of capacity ``g`` each.  Used by cost
+    models with a per-machine activation term
+    (:meth:`busytime.core.objectives.CostModel.lower_bound`).
+    """
+    if instance.n == 0:
+        return 0
+    return math.ceil(instance.peak_demand / instance.g)
 
 
 def best_lower_bound(instance: Instance) -> float:

@@ -329,18 +329,34 @@ class SweepProfile:
     the arrays append-mostly and is harmless (stale breakpoints carry the
     coverage of their segment).
 
+    **Demand awareness.**  The follow-up model of [15] gives every job a
+    capacity demand ``s_j`` and replaces the cardinality constraint by
+    ``sum of demands <= g`` at every instant.  The profile supports it with a
+    second, *lazily materialised* pair of arrays (``dpoint``/``dseg``)
+    holding the demand-weighted load.  While every stored interval has unit
+    demand the weighted arrays stay ``None`` and every operation touches
+    exactly the arrays the rigid model always used — the unit-demand case
+    degenerates bit-for-bit (and at full speed) to the cardinality check.
+    The first ``add`` with ``demand != 1`` upgrades the profile by copying
+    the cardinality arrays (weighted == cardinality up to that point) and
+    both pairs are maintained from then on.
+
     The brute-force counterpart of every query lives in
     :mod:`busytime.core.intervals` (``max_point_load``, ``span``,
-    ``point_load``) and is used by ``verify_schedule`` and the property
-    tests to cross-check this structure.
+    ``point_load``, ``max_point_demand``) and is used by ``verify_schedule``
+    and the property tests to cross-check this structure.
     """
 
-    __slots__ = ("_times", "_point", "_seg", "_count", "_measure")
+    __slots__ = ("_times", "_point", "_seg", "_dpoint", "_dseg", "_count", "_measure")
 
     def __init__(self) -> None:
         self._times: List[float] = []
         self._point: List[int] = []
         self._seg: List[int] = []
+        # Demand-weighted twins of _point/_seg; None until a non-unit demand
+        # is stored (the rigid fast path never allocates or touches them).
+        self._dpoint: Optional[List[int]] = None
+        self._dseg: Optional[List[int]] = None
         self._count: int = 0
         self._measure: float = 0.0
 
@@ -352,9 +368,14 @@ class SweepProfile:
 
         Equivalent to ``add``-ing every interval one by one, but computes the
         ``point``/``seg`` arrays directly by rank counting over the sorted
-        endpoint lists.
+        endpoint lists.  :class:`~busytime.core.intervals.Job` items carry
+        their ``demand`` into the profile; bare intervals count as demand 1.
         """
-        ivs = [_as_interval(it) for it in items]
+        pairs = [
+            (_as_interval(it), it.demand if isinstance(it, Job) else 1)
+            for it in items
+        ]
+        ivs = [iv for iv, _ in pairs]
         prof = cls()
         if not ivs:
             return prof
@@ -372,6 +393,29 @@ class SweepProfile:
         prof._seg = seg
         prof._count = len(ivs)
         prof._measure = measure
+        if any(d != 1 for _, d in pairs):
+            # Demand-weighted rank counting: prefix sums of demands over the
+            # endpoint lists replace the plain ranks above.
+            wstarts = sorted((iv.start, d) for iv, d in pairs)
+            wends = sorted((iv.end, d) for iv, d in pairs)
+            s_coords = [c for c, _ in wstarts]
+            e_coords = [c for c, _ in wends]
+            s_cum = [0]
+            for _, d in wstarts:
+                s_cum.append(s_cum[-1] + d)
+            e_cum = [0]
+            for _, d in wends:
+                e_cum.append(e_cum[-1] + d)
+            prof._dpoint = [
+                s_cum[bisect_right(s_coords, t)] - e_cum[bisect_left(e_coords, t)]
+                for t in times
+            ]
+            dseg = [
+                s_cum[bisect_right(s_coords, t)] - e_cum[bisect_right(e_coords, t)]
+                for t in times
+            ]
+            dseg[-1] = 0
+            prof._dseg = dseg
         return prof
 
     def copy(self) -> "SweepProfile":
@@ -380,6 +424,8 @@ class SweepProfile:
         prof._times = self._times[:]
         prof._point = self._point[:]
         prof._seg = self._seg[:]
+        prof._dpoint = None if self._dpoint is None else self._dpoint[:]
+        prof._dseg = None if self._dseg is None else self._dseg[:]
         prof._count = self._count
         prof._measure = self._measure
         return prof
@@ -415,16 +461,32 @@ class SweepProfile:
         # A new breakpoint strictly inside an existing segment inherits that
         # segment's coverage for both its point load and the right half of
         # the split; at either end of the profile nothing covers it.
-        cover = self._seg[i - 1] if 0 < i < len(times) else 0
+        inside = 0 < i < len(times)
+        cover = self._seg[i - 1] if inside else 0
         times.insert(i, t)
         self._point.insert(i, cover)
         self._seg.insert(i, cover)
+        if self._dpoint is not None:
+            dcover = self._dseg[i - 1] if inside else 0
+            self._dpoint.insert(i, dcover)
+            self._dseg.insert(i, dcover)
         return i
 
-    def add(self, start: float, end: float) -> None:
-        """Insert the closed interval ``[start, end]`` into the profile."""
+    def _upgrade_to_weighted(self) -> None:
+        """Materialise the demand-weighted arrays (all prior demands were 1)."""
+        self._dpoint = self._point[:]
+        self._dseg = self._seg[:]
+
+    def add(self, start: float, end: float, demand: int = 1) -> None:
+        """Insert the closed interval ``[start, end]`` into the profile.
+
+        ``demand`` is the interval's capacity demand in the [15] model; the
+        default 1 is the rigid case and touches only the cardinality arrays.
+        """
         if end < start:
             raise ValueError(f"interval end ({end}) precedes start ({start})")
+        if demand != 1 and self._dpoint is None:
+            self._upgrade_to_weighted()
         lo = self._ensure_breakpoint(start)
         hi = self._ensure_breakpoint(end)  # inserting end never shifts lo
         point, seg, times = self._point, self._seg, self._times
@@ -435,12 +497,20 @@ class SweepProfile:
             if seg[k] == 0:
                 gained += times[k + 1] - times[k]
             seg[k] += 1
+        if self._dpoint is not None:
+            dpoint, dseg = self._dpoint, self._dseg
+            for k in range(lo, hi + 1):
+                dpoint[k] += demand
+            for k in range(lo, hi):
+                dseg[k] += demand
         self._measure += gained
         self._count += 1
 
-    def remove(self, start: float, end: float) -> None:
+    def remove(self, start: float, end: float, demand: int = 1) -> None:
         """Remove a previously :meth:`add`-ed interval (for backtracking).
 
+        ``demand`` must match the value the interval was added with (jobs
+        carry their demand, so callers route the same number both ways).
         Breakpoints are kept (possibly at zero coverage); only the counters
         and the maintained measure shrink.
         """
@@ -454,6 +524,11 @@ class SweepProfile:
             or times[hi] != end
         ):
             raise KeyError(f"interval [{start}, {end}] was never added")
+        if demand != 1 and self._dpoint is None:
+            raise KeyError(
+                f"interval [{start}, {end}] with demand {demand} was never "
+                f"added (profile holds only unit demands)"
+            )
         point, seg = self._point, self._seg
         for k in range(lo, hi + 1):
             point[k] -= 1
@@ -462,6 +537,12 @@ class SweepProfile:
             seg[k] -= 1
             if seg[k] == 0:
                 lost += times[k + 1] - times[k]
+        if self._dpoint is not None:
+            dpoint, dseg = self._dpoint, self._dseg
+            for k in range(lo, hi + 1):
+                dpoint[k] -= demand
+            for k in range(lo, hi):
+                dseg[k] -= demand
         self._measure -= lost
         self._count -= 1
 
@@ -523,17 +604,67 @@ class SweepProfile:
             k += 1
         return total
 
-    def fits(self, start: float, end: float, g: int) -> bool:
-        """True when adding ``[start, end]`` keeps the peak load at most ``g``.
+    # -- demand-weighted queries ([15] capacity model) ------------------------
+
+    @property
+    def has_demands(self) -> bool:
+        """True once any stored interval carried a non-unit demand."""
+        return self._dpoint is not None
+
+    def demand_at(self, t: float) -> int:
+        """Total demand of the stored intervals active at instant ``t``."""
+        if self._dpoint is None:
+            return self.load_at(t)
+        times = self._times
+        i = bisect_left(times, t)
+        if i < len(times) and times[i] == t:
+            return self._dpoint[i]
+        if 0 < i < len(times):
+            return self._dseg[i - 1]
+        return 0
+
+    def max_demand(self) -> int:
+        """Peak total demand over all time (== :meth:`max_load` when unit)."""
+        if self._dpoint is None:
+            return self.max_load()
+        return max(self._dpoint, default=0)
+
+    def max_demand_in(self, start: float, end: float) -> int:
+        """Maximum total demand over the closed window ``[start, end]``.
+
+        The demand-weighted twin of :meth:`max_load_in`; identical to it
+        while only unit demands are stored.
+        """
+        if self._dpoint is None:
+            return self.max_load_in(start, end)
+        times = self._times
+        lo = bisect_left(times, start)
+        best = 0
+        if not (lo < len(times) and times[lo] == start) and 0 < lo < len(times):
+            best = self._dseg[lo - 1]  # window starts inside a segment
+        hi = bisect_right(times, end) - 1
+        if hi >= lo:
+            window_max = max(self._dpoint[lo : hi + 1])
+            if window_max > best:
+                best = window_max
+        return best
+
+    def fits(self, start: float, end: float, g: int, demand: int = 1) -> bool:
+        """True when adding ``[start, end]`` keeps the peak demand at most ``g``.
 
         This is the FirstFit/NextFit feasibility predicate: only instants
         inside the new job's window can become overloaded, so the test is
-        ``max_load_in(start, end) <= g - 1``, with an O(1) fast path when
+        ``max_demand_in(start, end) <= g - demand``.  While the profile holds
+        only unit demands and the new interval has demand 1 — the rigid
+        model — this is exactly the seed's cardinality check
+        (``max_load_in(start, end) <= g - 1``) with an O(1) fast path when
         fewer than ``g`` intervals are stored at all.
         """
-        if self._count < g:
-            return True
-        return self.max_load_in(start, end) < g
+        if self._dpoint is None and demand == 1:
+            if self._count < g:
+                return True
+            return self.max_load_in(start, end) < g
+        return self.max_demand_in(start, end) + demand <= g
 
     def __len__(self) -> int:
         return self._count

@@ -21,9 +21,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from .intervals import (
     Interval,
     Job,
+    max_point_demand,
     max_point_load,
+    point_demand,
     point_load,
     span,
+    total_demand_length,
     total_length,
     union_intervals,
 )
@@ -78,6 +81,12 @@ class Instance:
         ids = [j.id for j in self.jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("job ids must be unique within an instance")
+        for j in self.jobs:
+            if j.demand > self.g:
+                raise ValueError(
+                    f"job {j.id} demands {j.demand} capacity units but g = "
+                    f"{self.g}; such a job can never be scheduled"
+                )
 
     def _memo(self, key: str, compute):
         """Cache a structural query on this (immutable) instance.
@@ -164,10 +173,52 @@ class Instance:
         """Number of jobs active at time ``t`` (``N_t`` in Theorem 3.1's proof)."""
         return point_load(self.jobs, t)
 
+    def demand_at(self, t: float) -> int:
+        """Total capacity demand of the jobs active at time ``t``."""
+        return point_demand(self.jobs, t)
+
     @property
     def clique_number(self) -> int:
         """Maximum number of simultaneously active jobs (interval-graph ω)."""
         return self._memo("_clique_number", lambda: max_point_load(self.jobs))
+
+    # -- demand model ([15]) -------------------------------------------------
+
+    @property
+    def has_demands(self) -> bool:
+        """True when any job carries a non-unit capacity demand."""
+        return self._memo(
+            "_has_demands", lambda: any(j.demand != 1 for j in self.jobs)
+        )
+
+    @property
+    def max_demand(self) -> int:
+        """Largest single-job capacity demand (1 for rigid instances)."""
+        return max((j.demand for j in self.jobs), default=1)
+
+    @property
+    def peak_demand(self) -> int:
+        """Peak total demand over all time (== ``clique_number`` when unit).
+
+        The demand-weighted clique number: an instance fits on a single
+        machine exactly when ``peak_demand <= g``.  Unit-demand instances
+        delegate to the :attr:`clique_number` memo — the two sweeps compute
+        the same number, so the structural shortcut and the classifiers
+        share one O(n log n) pass.
+        """
+        if not self.has_demands:
+            return self.clique_number
+        return self._memo("_peak_demand", lambda: max_point_demand(self.jobs))
+
+    @property
+    def total_demand_length(self) -> float:
+        """Demand-weighted work volume ``sum_j len(J_j) * s_j``.
+
+        Equals :attr:`total_length` bit-for-bit on unit-demand instances;
+        the [15] generalisation of the parallelism bound divides this by
+        ``g``.
+        """
+        return total_demand_length(self.jobs)
 
     @property
     def max_length(self) -> float:
@@ -291,7 +342,7 @@ class Instance:
 
     def summary(self) -> Dict[str, object]:
         """A plain-dict snapshot used by reports and logs."""
-        return {
+        out: Dict[str, object] = {
             "name": self.name,
             "n": self.n,
             "g": self.g,
@@ -300,6 +351,10 @@ class Instance:
             "clique_number": self.clique_number,
             "class": self.classify(),
         }
+        if self.has_demands:
+            out["max_demand"] = self.max_demand
+            out["peak_demand"] = self.peak_demand
+        return out
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         label = self.name or "instance"

@@ -39,6 +39,7 @@ __all__ = [
     "Job",
     "length",
     "total_length",
+    "total_demand_length",
     "union_intervals",
     "span",
     "intervals_overlap",
@@ -47,6 +48,8 @@ __all__ = [
     "merge_intervals",
     "point_load",
     "max_point_load",
+    "point_demand",
+    "max_point_demand",
 ]
 
 
@@ -154,21 +157,34 @@ class Job:
     interval:
         The processing window ``[s_j, c_j]``.
     weight:
-        Unused by the paper's objective but carried through so downstream
-        users can attach demands (the follow-up work [15] in the paper allows
-        per-job machine-capacity demands); defaults to 1.
+        Unused by the paper's objective but carried through for downstream
+        cost accounting; defaults to 1.
     tag:
         Free-form label used by generators and the optical reduction.
+    demand:
+        Machine-capacity demand ``s_j`` in the follow-up model of [15]
+        (Khandekar–Schieber–Shachnai–Tamir): a machine may host any job set
+        whose *total demand* at each instant is at most ``g``.  Demands are
+        integral capacity units so the feasibility counters stay exact; the
+        default ``1`` degenerates to the paper's cardinality constraint.
     """
 
     id: int
     interval: Interval
     weight: float = 1.0
     tag: str = ""
+    demand: int = 1
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
             raise ValueError("job weight must be positive")
+        if isinstance(self.demand, bool) or not isinstance(self.demand, int):
+            raise ValueError(
+                f"job demand must be an integer (capacity units), got "
+                f"{self.demand!r}"
+            )
+        if self.demand < 1:
+            raise ValueError(f"job demand must be >= 1, got {self.demand}")
 
     @property
     def start(self) -> float:
@@ -267,6 +283,59 @@ def properly_contains(outer, inner) -> bool:
 def point_load(items: Sequence, t: float) -> int:
     """Number of intervals/jobs active at time ``t`` (the paper's ``N_t``)."""
     return sum(1 for it in items if _as_interval(it).contains_point(t))
+
+
+def _demand_of(obj) -> int:
+    """The capacity demand of an item: ``Job.demand``, or 1 for bare intervals."""
+    return obj.demand if isinstance(obj, Job) else 1
+
+
+def total_demand_length(items: Iterable) -> float:
+    """Demand-weighted length ``sum_j len(J_j) * s_j`` (the [15] work volume).
+
+    With unit demands this reduces bit-for-bit to :func:`total_length`
+    (``len * 1`` is exact and the summation order is identical).
+    """
+    return sum(_as_interval(it).length * _demand_of(it) for it in items)
+
+
+def point_demand(items: Sequence, t: float) -> int:
+    """Total demand of the intervals/jobs active at time ``t``.
+
+    The demand-weighted counterpart of :func:`point_load`; equal to it on
+    unit-demand sets.
+    """
+    return sum(
+        _demand_of(it) for it in items if _as_interval(it).contains_point(t)
+    )
+
+
+def max_point_demand(items: Sequence) -> int:
+    """Peak total demand over all time (the [15] capacity constraint's LHS).
+
+    The demand-weighted counterpart of :func:`max_point_load`, computed by
+    the same closed-interval endpoint sweep (starts before ends at equal
+    coordinates); equal to it on unit-demand sets.  This is the *slow-path
+    oracle* for the demand-aware machine feasibility check —
+    ``verify_schedule`` cross-checks the maintained
+    :class:`busytime.core.events.SweepProfile` answers against it.
+    """
+    events: List[Tuple[float, int, int]] = []
+    for it in items:
+        iv = _as_interval(it)
+        d = _demand_of(it)
+        events.append((iv.start, 0, d))
+        events.append((iv.end, 1, d))
+    events.sort(key=lambda e: (e[0], e[1]))
+    load = best = 0
+    for _, kind, d in events:
+        if kind == 0:
+            load += d
+            if load > best:
+                best = load
+        else:
+            load -= d
+    return best
 
 
 def max_point_load(items: Sequence) -> int:

@@ -33,7 +33,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .events import SweepProfile
 from .instance import Instance
-from .intervals import Interval, Job, max_point_load, span, union_intervals
+from .intervals import (
+    Interval,
+    Job,
+    max_point_demand,
+    max_point_load,
+    span,
+    union_intervals,
+)
 
 __all__ = [
     "Machine",
@@ -112,21 +119,37 @@ class Machine:
         """Maximum number of this machine's jobs active at any instant."""
         return self.profile.max_load()
 
+    @property
+    def peak_demand(self) -> int:
+        """Peak total capacity demand of this machine's jobs at any instant.
+
+        Equals :attr:`peak_parallelism` on unit-demand machines; the
+        demand-aware feasibility constraint of [15] is
+        ``peak_demand <= g``.
+        """
+        return self.profile.max_demand()
+
     def active_job_count(self, t: float) -> int:
         return self.profile.load_at(t)
 
     def is_feasible(self, g: int) -> bool:
-        """True when the machine never runs more than ``g`` jobs at once."""
-        return self.peak_parallelism <= g
+        """True when the machine's total demand never exceeds ``g``.
+
+        With unit demands this is the paper's "never more than ``g`` jobs
+        at once" cardinality constraint.
+        """
+        return self.peak_demand <= g
 
     def can_accommodate(self, job: Job, g: int) -> bool:
         """True when adding ``job`` keeps the machine feasible for ``g``.
 
         Only instants inside ``job``'s interval can become overloaded, so the
-        check asks the maintained profile for the peak load inside ``job``'s
-        window and requires it to be at most ``g - 1``.
+        check asks the maintained profile for the peak demand inside
+        ``job``'s window and requires ``job``'s own demand to still fit
+        under ``g`` (the cardinality check of the rigid model when all
+        demands are 1).
         """
-        return self.profile.fits(job.start, job.end, g)
+        return self.profile.fits(job.start, job.end, g, demand=job.demand)
 
     def without_job(self, job_id: int) -> "Machine":
         """A copy of this machine with one job removed.
@@ -146,7 +169,7 @@ class Machine:
         cached = self.__dict__.get("_profile")
         if cached is not None:
             profile = cached.copy()
-            profile.remove(removed.start, removed.end)
+            profile.remove(removed.start, removed.end, demand=removed.demand)
             object.__setattr__(machine, "_profile", profile)
         return machine
 
@@ -180,13 +203,23 @@ class Schedule:
 
     @property
     def total_busy_time(self) -> float:
-        """The objective value: sum of machine busy times."""
+        """The paper's objective value: sum of machine busy times."""
         return sum(m.busy_time for m in self.machines)
 
     @property
     def cost(self) -> float:
-        """Alias of :attr:`total_busy_time`."""
+        """The seed objective (total busy time); see :meth:`cost_under` for
+        the general cost-model axis."""
         return self.total_busy_time
+
+    def cost_under(self, model) -> float:
+        """The schedule's cost under a :class:`~busytime.core.objectives.CostModel`.
+
+        ``cost_under(get_cost_model("busy_time"))`` equals
+        :attr:`total_busy_time` exactly (same summands, same order); other
+        models add activation / rate / weight terms per machine.
+        """
+        return model.schedule_cost(self)
 
     @property
     def num_machines(self) -> int:
@@ -294,7 +327,18 @@ def verify_schedule(schedule: Schedule) -> None:
         raise InfeasibleScheduleError(f"jobs never scheduled: {sorted(missing)}")
     for m in schedule.machines:
         peak = max_point_load(m.jobs)
-        if peak > instance.g:
+        demanding = any(j.demand != 1 for j in m.jobs)
+        # Demand-aware capacity constraint ([15]): total demand <= g at every
+        # instant.  On unit-demand machines the demand peak *is* the
+        # cardinality peak, so the oracle sweep below is skipped and the
+        # error message keeps the paper's wording.
+        demand_peak = max_point_demand(m.jobs) if demanding else peak
+        if demand_peak > instance.g:
+            if demanding:
+                raise InfeasibleScheduleError(
+                    f"machine {m.index} reaches total demand {demand_peak} "
+                    f"but g = {instance.g}"
+                )
             raise InfeasibleScheduleError(
                 f"machine {m.index} runs {peak} jobs simultaneously "
                 f"but g = {instance.g}"
@@ -304,6 +348,11 @@ def verify_schedule(schedule: Schedule) -> None:
             raise ProfileOracleMismatchError(
                 f"machine {m.index}: profile peak {m.peak_parallelism} "
                 f"disagrees with oracle peak {peak}"
+            )
+        if m.peak_demand != demand_peak:
+            raise ProfileOracleMismatchError(
+                f"machine {m.index}: profile demand peak {m.peak_demand} "
+                f"disagrees with oracle demand peak {demand_peak}"
             )
         oracle_busy = span(m.jobs)
         if abs(m.busy_time - oracle_busy) > 1e-9 * max(1.0, abs(oracle_busy)):
@@ -378,9 +427,9 @@ class ScheduleBuilder:
         machine_index = self.machine_of(job.id)
         profile = self._profiles[machine_index]
         before = profile.measure
-        profile.remove(job.start, job.end)
+        profile.remove(job.start, job.end, demand=job.demand)
         released = before - profile.measure
-        profile.add(job.start, job.end)
+        profile.add(job.start, job.end, demand=job.demand)
         return released
 
     def machine_of(self, job_id: int) -> int:
@@ -396,9 +445,14 @@ class ScheduleBuilder:
         return tuple(self._assigned)
 
     def fits(self, machine_index: int, job: Job) -> bool:
-        """True when adding ``job`` to the machine keeps it feasible."""
+        """True when adding ``job`` to the machine keeps it feasible.
+
+        Demand-aware: the machine's total demand inside ``job``'s window
+        must leave room for ``job.demand`` under ``g`` (the cardinality
+        check of the rigid model when all demands are 1).
+        """
         return self._profiles[machine_index].fits(
-            job.start, job.end, self.instance.g
+            job.start, job.end, self.instance.g, demand=job.demand
         )
 
     def first_fitting_machine(self, job: Job) -> Optional[int]:
@@ -425,7 +479,7 @@ class ScheduleBuilder:
         if not 0 <= machine_index < len(self._machines):
             raise IndexError(f"no machine with index {machine_index}")
         self._machines[machine_index].append(job)
-        self._profiles[machine_index].add(job.start, job.end)
+        self._profiles[machine_index].add(job.start, job.end, demand=job.demand)
         self._assigned[job.id] = machine_index
 
     def assign_first_fit(self, job: Job) -> int:
@@ -461,7 +515,9 @@ class ScheduleBuilder:
             if stored.id == job.id:
                 removed = jobs.pop(pos)
                 break
-        self._profiles[machine_index].remove(removed.start, removed.end)
+        self._profiles[machine_index].remove(
+            removed.start, removed.end, demand=removed.demand
+        )
         del self._assigned[job.id]
         return machine_index
 

@@ -20,7 +20,19 @@ from .policy import (
     register_policy,
 )
 from .report import ComponentDecision, SolveReport
-from .request import OBJECTIVES, RequestValidationError, SolveRequest
+from .request import RequestValidationError, SolveRequest
+
+
+def __getattr__(name: str):
+    # OBJECTIVES reads the live objective registry at access time (see
+    # busytime.engine.request.__getattr__); an eager import here would
+    # freeze the three built-ins and hide runtime-registered objectives
+    # from callers feature-detecting through the public tuple.
+    if name == "OBJECTIVES":
+        from .request import OBJECTIVES
+
+        return OBJECTIVES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Engine",

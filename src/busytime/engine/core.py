@@ -30,12 +30,12 @@ from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import Scheduler, get_scheduler
-from ..core.bounds import best_lower_bound
 from ..core.instance import Instance, connected_components
+from ..core.objectives import CostModel
 from ..core.schedule import Machine, Schedule
 from .policy import DEFAULT_POLICY, SINGLE_MACHINE, SelectionPolicy, get_policy
 from .report import ComponentDecision, SolveReport
-from .request import SolveRequest
+from .request import RequestValidationError, SolveRequest
 
 __all__ = ["Engine", "solve", "solve_many"]
 
@@ -54,46 +54,78 @@ def _single_machine_schedule(component: Instance) -> Schedule:
 
 
 def _solve_component(
-    component: Instance, portfolio: bool, policy: SelectionPolicy
+    component: Instance,
+    portfolio: bool,
+    policy: SelectionPolicy,
+    objective: str,
+    model: CostModel,
 ) -> Tuple[ComponentDecision, Schedule]:
-    """Best schedule for one connected component under the given policy."""
-    ranked = policy.rank(component)
+    """Best schedule for one connected component under the given policy.
+
+    Candidates are ranked for the requested *problem model* (objective +
+    demand-awareness, see :meth:`Scheduler.handles`) and compared by their
+    cost under the request's :class:`~busytime.core.objectives.CostModel` —
+    for the default model that comparison is bit-for-bit the seed's
+    total-busy-time comparison.
+    """
+    ranked = policy.rank(component, objective, model=model)
+    if not ranked:
+        raise RequestValidationError(
+            f"no registered algorithm covers objective {objective!r} on "
+            f"component {component.name or '(unnamed)'}"
+            + (" (instance carries capacity demands)" if component.has_demands else "")
+        )
     if ranked[0] == SINGLE_MACHINE:
         sched = _single_machine_schedule(component)
         decision = ComponentDecision(
             component=component.name,
             n=component.n,
             algorithm=SINGLE_MACHINE,
-            cost=sched.total_busy_time,
+            cost=model.schedule_cost(sched),
             proven_ratio=1.0,
         )
         return decision, sched
 
     if portfolio:
         names = [n for n in ranked if get_scheduler(n).portfolio_member]
+        if not names:
+            # Every ranked algorithm opted out of the portfolio (possible
+            # for a runtime objective whose only declarer is a
+            # post-optimiser): run the policy's single pick rather than
+            # handing min() an empty candidate list.
+            names = [ranked[0]]
     else:
         names = [ranked[0]]
-    # FirstFit is always applicable and is the guarantee of last resort.
-    if "first_fit" not in names:
+    # FirstFit is the guarantee of last resort wherever its declared
+    # capabilities cover the component's problem model (always, for the
+    # built-in objectives).
+    if "first_fit" not in names and get_scheduler("first_fit").handles(
+        component, objective
+    ):
         names.append("first_fit")
 
     candidates = [(name, get_scheduler(name)(component)) for name in names]
-    name, best = min(candidates, key=lambda c: c[1].total_busy_time)
+    name, best = min(candidates, key=lambda c: model.schedule_cost(c[1]))
     # The kept schedule costs no more than any candidate's, so the best
-    # guarantee among the candidates certifies it.
-    proven = min(
-        (
-            get_scheduler(n).approximation_ratio
-            for n in names
-            if get_scheduler(n).approximation_ratio is not None
-        ),
-        default=None,
-    )
+    # guarantee among the candidates certifies it — provided the cost model
+    # preserves busy-time ratios (a pure rescaling) *and* the instance is
+    # rigid: the paper's approximation proofs cover the unit-demand model
+    # only, so demand-carrying components get no certificate.
+    proven = None
+    if model.preserves_busy_time_ratios and not component.has_demands:
+        proven = min(
+            (
+                get_scheduler(n).approximation_ratio
+                for n in names
+                if get_scheduler(n).approximation_ratio is not None
+            ),
+            default=None,
+        )
     decision = ComponentDecision(
         component=component.name,
         n=component.n,
         algorithm=name,
-        cost=best.total_busy_time,
+        cost=model.schedule_cost(best),
         proven_ratio=proven,
     )
     return decision, best
@@ -128,20 +160,36 @@ class Engine:
         started = time.monotonic()
         timings: Dict[str, float] = {}
         policy_name = request.policy or self.default_policy
+        model = request.resolved_cost_model()
 
-        if scheduler is not None or request.algorithm is not None:
-            report = self._solve_forced(request, scheduler, policy_name, timings)
+        forced = scheduler is not None or request.algorithm is not None
+        if forced and scheduler is None and get_scheduler(request.algorithm).composite:
+            # A forced *composite* (the "auto" dispatcher) is the engine's
+            # own dispatch loop wearing a registry name; running it through
+            # its plain `instance -> Schedule` function would rebuild a
+            # default request and silently drop this request's objective,
+            # cost model, policy and portfolio flag.  Route it through the
+            # dispatcher directly so the problem model travels intact.
+            forced = False
+        if forced:
+            report = self._solve_forced(request, scheduler, policy_name, timings, model)
         else:
-            report = self._solve_dispatched(request, policy_name, timings)
+            report = self._solve_dispatched(request, policy_name, timings, model)
 
         lb_started = time.monotonic()
-        lower_bound = best_lower_bound(request.instance)
+        # The model lower bound: exactly the Observation 1.1 bound under the
+        # default model, activation/rate-priced otherwise.
+        lower_bound = model.lower_bound(request.instance)
         timings["lower_bound"] = time.monotonic() - lb_started
 
         optimum: Optional[float] = None
         if (
             request.compute_optimum
             and request.instance.n <= request.max_jobs_for_optimum
+            # The exact solvers minimise busy time; their answer is the
+            # model optimum only when the model is a positive rescaling of
+            # busy time (activation-priced optima need a different search).
+            and model.preserves_busy_time_ratios
         ):
             from ..exact import exact_optimal_cost
 
@@ -151,6 +199,9 @@ class Engine:
                 initial_upper_bound=report.schedule.total_busy_time,
                 max_jobs=request.max_jobs_for_optimum,
             )
+            # Price the busy-time optimum under the model (a no-op rescale
+            # for the default model: * 1.0 is exact).
+            optimum = model.price_busy_time(optimum)
             timings["optimum"] = time.monotonic() - opt_started
 
         timings["total"] = time.monotonic() - started
@@ -158,6 +209,8 @@ class Engine:
             report,
             lower_bound=lower_bound,
             optimum=optimum,
+            objective=request.objective,
+            objective_value=model.schedule_cost(report.schedule),
             timings=dict(timings),
             tags=dict(request.tags),
         )
@@ -168,6 +221,7 @@ class Engine:
         scheduler: Optional[Callable[[Instance], Schedule]],
         policy_name: str,
         timings: Dict[str, float],
+        model: CostModel,
     ) -> SolveReport:
         """Run one named (or supplied) algorithm on the whole instance."""
         if scheduler is None:
@@ -179,7 +233,14 @@ class Engine:
         if request.validate_schedule:
             schedule.validate()
         proven: Optional[float] = None
-        if isinstance(scheduler, Scheduler) and scheduler.handles(request.instance):
+        if (
+            isinstance(scheduler, Scheduler)
+            and model.preserves_busy_time_ratios
+            # The paper's ratio proofs cover the rigid (unit-demand) model
+            # only; demand-carrying instances get no certificate.
+            and not request.instance.has_demands
+            and scheduler.handles(request.instance, request.objective)
+        ):
             proven = scheduler.approximation_ratio
         return SolveReport(
             schedule=schedule,
@@ -191,7 +252,11 @@ class Engine:
         )
 
     def _solve_dispatched(
-        self, request: SolveRequest, policy_name: str, timings: Dict[str, float]
+        self,
+        request: SolveRequest,
+        policy_name: str,
+        timings: Dict[str, float],
+        model: CostModel,
     ) -> SolveReport:
         """Component-wise dispatch through the selection policy."""
         instance = request.instance
@@ -218,19 +283,38 @@ class Engine:
         for component in connected_components(instance):
             if deadline is not None and time.monotonic() >= deadline:
                 # Budget gone: fall back to the cheapest-to-compute guarantee
-                # algorithm so the solve still returns a feasible schedule.
+                # algorithm so the solve still returns a feasible schedule
+                # (FirstFit is demand-aware and declares every built-in
+                # objective, so the fallback covers the whole model axis).
                 budget_exhausted = True
-                sched = get_scheduler("first_fit")(component)
-                decision = ComponentDecision(
-                    component=component.name,
-                    n=component.n,
-                    algorithm="first_fit",
-                    cost=sched.total_busy_time,
-                    proven_ratio=get_scheduler("first_fit").approximation_ratio,
-                )
+                if not get_scheduler("first_fit").handles(
+                    component, request.objective
+                ):
+                    # A runtime-registered objective FirstFit never
+                    # declared: the no-coverage outcome must not depend on
+                    # whether the deadline beat the component — run the
+                    # policy's single pick (which raises the same
+                    # RequestValidationError when nothing covers it).
+                    decision, sched = _solve_component(
+                        component, False, policy, request.objective, model
+                    )
+                else:
+                    sched = get_scheduler("first_fit")(component)
+                    decision = ComponentDecision(
+                        component=component.name,
+                        n=component.n,
+                        algorithm="first_fit",
+                        cost=model.schedule_cost(sched),
+                        proven_ratio=(
+                            get_scheduler("first_fit").approximation_ratio
+                            if model.preserves_busy_time_ratios
+                            and not component.has_demands
+                            else None
+                        ),
+                    )
             else:
                 decision, sched = _solve_component(
-                    component, request.portfolio, policy
+                    component, request.portfolio, policy, request.objective, model
                 )
             decisions.append(decision)
             for m in sched.machines:

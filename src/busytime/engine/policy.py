@@ -42,25 +42,58 @@ DEFAULT_POLICY = "best_ratio"
 
 
 class SelectionPolicy(abc.ABC):
-    """Strategy ranking the applicable algorithms for one component."""
+    """Strategy ranking the applicable algorithms for one component.
+
+    Rankings are per *problem model*: ``rank`` takes the requested objective
+    alongside the instance, and policies only return algorithms whose
+    declared capabilities cover both the instance's structure (including
+    capacity demands) and the objective — see :meth:`Scheduler.handles`.
+    """
 
     #: registry key
     name: str = "abstract"
 
     @abc.abstractmethod
-    def rank(self, instance: Instance) -> List[str]:
-        """Applicable algorithm names, most preferred first (never empty)."""
+    def rank(
+        self,
+        instance: Instance,
+        objective: str = "busy_time",
+        model=None,
+    ) -> List[str]:
+        """Applicable algorithm names, most preferred first.
 
-    def choose(self, instance: Instance) -> str:
+        ``model`` is the request's *resolved*
+        :class:`~busytime.core.objectives.CostModel` when the engine has
+        one in hand (a request may override the objective's registered
+        default parameters); ``None`` means "the registered default for
+        ``objective``".  Empty only when no registered algorithm covers
+        the instance/objective combination (the engine reports that as a
+        request error rather than guessing).
+        """
+
+    def choose(self, instance: Instance, objective: str = "busy_time") -> str:
         """Name of the single preferred algorithm for ``instance``."""
-        return self.rank(instance)[0]
+        ranked = self.rank(instance, objective)
+        if not ranked:
+            raise LookupError(
+                f"no registered algorithm covers objective {objective!r} "
+                f"on this instance"
+            )
+        return ranked[0]
 
 
 def _structural_shortcut(instance: Instance) -> List[str]:
-    """The rankings shared by every policy, or [] when none applies."""
+    """The rankings shared by every policy, or [] when none applies.
+
+    The single-machine shortcut is demand-aware — everything fits on one
+    machine exactly when the *peak total demand* is at most ``g`` (the
+    cardinality clique number when demands are unit) — and objective-proof:
+    one machine with busy time ``span(J)`` simultaneously minimises machine
+    count and busy time, hence every registered cost model.
+    """
     if instance.n == 0:
         return ["first_fit"]
-    if instance.clique_number <= instance.g:
+    if instance.peak_demand <= instance.g:
         return [SINGLE_MACHINE]
     return []
 
@@ -78,35 +111,72 @@ class BestRatioPolicy(SelectionPolicy):
 
     name = "best_ratio"
 
-    def rank(self, instance: Instance) -> List[str]:
+    def rank(
+        self,
+        instance: Instance,
+        objective: str = "busy_time",
+        model=None,
+    ) -> List[str]:
         shortcut = _structural_shortcut(instance)
         if shortcut:
             return shortcut
-        candidates = [
+        applicable = [
             s
             for s in all_schedulers()
-            if s.approximation_ratio is not None
-            and not s.composite
-            and s.deterministic
-            and s.handles(instance)
+            if not s.composite and s.deterministic and s.handles(instance, objective)
         ]
+        candidates = [s for s in applicable if s.approximation_ratio is not None]
         candidates.sort(
             key=lambda s: (s.approximation_ratio, s.selection_priority, s.name)
         )
-        return [s.name for s in candidates]
+        ranked = [s.name for s in candidates]
+        # Busy-time ratio certificates mean nothing under an
+        # activation-priced cost model, but its *natural* ratio-less
+        # declarers (machine_min for machines_plus_busy) do: append them so
+        # the portfolio's model-priced comparison can let them win.  The
+        # decision reads the request's *resolved* model when supplied — a
+        # busy_time request priced with an activation override gets the
+        # same candidates as the equivalent machines_plus_busy spelling —
+        # and falls back to the objective's registered default otherwise.
+        from ..core.objectives import get_cost_model
+
+        if model is None:
+            model = get_cost_model(objective)
+        if not model.preserves_busy_time_ratios:
+            extras = sorted(
+                (s for s in applicable if s.approximation_ratio is None),
+                key=lambda s: (s.selection_priority, s.name),
+            )
+            ranked.extend(s.name for s in extras)
+        return ranked
 
 
 class FirstFitPolicy(SelectionPolicy):
     """Cheapest dispatch: FirstFit everywhere (after the structural shortcuts).
 
     Useful under tight latency budgets where classifying the component
-    (properness, length ratios) costs more than it saves.
+    (properness, length ratios) costs more than it saves.  FirstFit is
+    demand-aware and declares every built-in objective, so the ranking
+    degrades to empty only for objectives registered at runtime that
+    FirstFit never heard of.
     """
 
     name = "first_fit"
 
-    def rank(self, instance: Instance) -> List[str]:
-        return _structural_shortcut(instance) or ["first_fit"]
+    def rank(
+        self,
+        instance: Instance,
+        objective: str = "busy_time",
+        model=None,
+    ) -> List[str]:
+        shortcut = _structural_shortcut(instance)
+        if shortcut:
+            return shortcut
+        from ..algorithms.base import get_scheduler
+
+        if get_scheduler("first_fit").handles(instance, objective):
+            return ["first_fit"]
+        return []
 
 
 _POLICIES: Dict[str, SelectionPolicy] = {}

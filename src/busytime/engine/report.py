@@ -61,8 +61,17 @@ class SolveReport:
         Selection policy that made the per-component choices.
     portfolio:
         Whether the per-component portfolio ran.
+    objective:
+        The registered objective the request priced the solve under
+        (``"busy_time"`` is the seed default).
+    objective_value:
+        The schedule's cost under the request's resolved cost model.  Equals
+        :attr:`cost` exactly for the default model; ``None`` only on
+        reports built before the engine priced them (old archives).
     lower_bound:
-        The Observation 1.1 lower bound ``max(span, len/g)`` on OPT.
+        Lower bound on the optimal *objective value* under the request's
+        cost model; for the default model this is exactly the
+        Observation 1.1 bound ``max(span, len/g)`` on OPT.
     optimum:
         Exact optimum when requested and small enough, else ``None``.
     components:
@@ -92,6 +101,8 @@ class SolveReport:
     components: Tuple[ComponentDecision, ...] = ()
     proven_ratio: Optional[float] = None
     budget_exhausted: bool = False
+    objective: str = "busy_time"
+    objective_value: Optional[float] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     tags: Mapping[str, object] = field(default_factory=dict)
 
@@ -99,8 +110,17 @@ class SolveReport:
 
     @property
     def cost(self) -> float:
-        """The objective value of the produced schedule."""
+        """The schedule's total busy time (the paper's objective)."""
         return self.schedule.total_busy_time
+
+    @property
+    def value(self) -> float:
+        """The objective value under the request's cost model.
+
+        Falls back to :attr:`cost` when the report predates pricing (the
+        two are identical for the default ``busy_time`` model anyway).
+        """
+        return self.cost if self.objective_value is None else self.objective_value
 
     @property
     def num_machines(self) -> int:
@@ -113,21 +133,24 @@ class SolveReport:
 
     @property
     def ratio_vs_lb(self) -> float:
-        """Cost over the lower bound (1.0 for degenerate zero bounds)."""
+        """Objective value over the lower bound (1.0 for degenerate zero
+        bounds).  Both sides are priced under the same cost model, so the
+        ratio stays meaningful across objectives."""
         if self.lower_bound <= 0:
-            return 1.0 if self.cost <= 0 else float("inf")
-        return self.cost / self.lower_bound
+            return 1.0 if self.value <= 0 else float("inf")
+        return self.value / self.lower_bound
 
     @property
     def ratio_vs_opt(self) -> Optional[float]:
-        """Cost over the exact optimum, when the optimum was computed."""
+        """Objective value over the exact optimum, when computed (both sides
+        priced under the request's cost model)."""
         if self.optimum is None or self.optimum <= 0:
             return None
-        return self.cost / self.optimum
+        return self.value / self.optimum
 
     def summary(self) -> Dict[str, object]:
         """A flat dict for tables and logs (no machine assignment)."""
-        return {
+        out = {
             "instance": self.schedule.instance.name,
             "n": self.schedule.instance.n,
             "g": self.schedule.instance.g,
@@ -140,6 +163,10 @@ class SolveReport:
             "proven_ratio": self.proven_ratio,
             "wall_time_s": self.wall_time_seconds,
         }
+        if self.objective != "busy_time":
+            out["objective"] = self.objective
+            out["objective_value"] = self.value
+        return out
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -15,13 +15,21 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from ..core.instance import Instance
+from ..core.objectives import CostModel, get_cost_model, registered_objectives
 
 __all__ = ["SolveRequest", "RequestValidationError", "OBJECTIVES"]
 
-#: Objectives the engine understands.  The paper minimises total busy time;
-#: the field exists so future objectives (weighted busy time, machine count)
-#: plug into the same request shape.
-OBJECTIVES = ("busy_time",)
+
+def __getattr__(name: str):
+    # `OBJECTIVES` keeps its historical tuple semantics ("busy_time" in
+    # OBJECTIVES, iteration) but now reads the live registry of
+    # :mod:`busytime.core.objectives` at access time, so objectives
+    # registered at runtime become requestable with no engine change.
+    # (`from ... import OBJECTIVES` binds a snapshot; use
+    # `registered_objectives()` for a guaranteed-live view.)
+    if name == "OBJECTIVES":
+        return registered_objectives()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class RequestValidationError(ValueError):
@@ -37,7 +45,17 @@ class SolveRequest:
     instance:
         The instance to schedule.
     objective:
-        Objective to minimise; only ``"busy_time"`` is currently supported.
+        Name of the registered objective to minimise (see
+        :mod:`busytime.core.objectives`): ``"busy_time"`` (the paper's
+        objective, the default), ``"weighted_busy_time"``,
+        ``"machines_plus_busy"``, or any objective registered at runtime.
+    cost_model:
+        Optional :class:`~busytime.core.objectives.CostModel` overriding the
+        objective's registered default parameters (activation cost, busy
+        rate, machine weight).  Its ``objective`` must match this request's;
+        ``None`` uses the registered default.  Cost-model parameters enter
+        the service fingerprint, so differently priced requests never share
+        a cache line.
     algorithm:
         Force a specific registered algorithm on the whole instance
         (bypassing component dispatch), or ``None`` to let the selection
@@ -69,6 +87,7 @@ class SolveRequest:
 
     instance: Instance
     objective: str = "busy_time"
+    cost_model: Optional[CostModel] = None
     algorithm: Optional[str] = None
     policy: Optional[str] = None
     portfolio: bool = True
@@ -77,6 +96,16 @@ class SolveRequest:
     max_jobs_for_optimum: int = 16
     validate_schedule: bool = True
     tags: Mapping[str, object] = field(default_factory=dict)
+
+    def resolved_cost_model(self) -> CostModel:
+        """The cost model this request is priced under.
+
+        The explicit ``cost_model`` when set, else the registered default
+        for ``objective``.
+        """
+        if self.cost_model is not None:
+            return self.cost_model
+        return get_cost_model(self.objective)
 
     def validate(self, check_algorithm: bool = True) -> None:
         """Raise :class:`RequestValidationError` if the request is ill-formed.
@@ -89,10 +118,22 @@ class SolveRequest:
             raise RequestValidationError(
                 f"instance must be a busytime Instance, got {type(self.instance).__name__}"
             )
-        if self.objective not in OBJECTIVES:
+        if self.objective not in registered_objectives():
             raise RequestValidationError(
-                f"unknown objective {self.objective!r}; supported: {OBJECTIVES}"
+                f"unknown objective {self.objective!r}; supported: "
+                f"{registered_objectives()}"
             )
+        if self.cost_model is not None:
+            if not isinstance(self.cost_model, CostModel):
+                raise RequestValidationError(
+                    f"cost_model must be a CostModel, got "
+                    f"{type(self.cost_model).__name__}"
+                )
+            if self.cost_model.objective != self.objective:
+                raise RequestValidationError(
+                    f"cost_model prices objective {self.cost_model.objective!r} "
+                    f"but the request asks for {self.objective!r}"
+                )
         if self.time_limit is not None and self.time_limit < 0:
             raise RequestValidationError(
                 f"time_limit must be non-negative, got {self.time_limit}"
@@ -105,9 +146,26 @@ class SolveRequest:
             from ..algorithms.base import get_scheduler
 
             try:
-                get_scheduler(self.algorithm)
+                scheduler = get_scheduler(self.algorithm)
             except KeyError as exc:
                 raise RequestValidationError(str(exc)) from None
+            # A forced algorithm bypasses structural dispatch, but the
+            # problem-model axis is not negotiable: an algorithm that
+            # ignores demands would hand back a capacity-violating
+            # schedule, and one that never heard of the objective would
+            # optimise the wrong quantity.
+            if self.instance.has_demands and not scheduler.demand_aware:
+                raise RequestValidationError(
+                    f"algorithm {self.algorithm!r} is not demand-aware but "
+                    f"the instance carries capacity demands; demand-aware "
+                    f"algorithms declare demand_aware=True"
+                )
+            if not scheduler.supports_objective(self.objective):
+                raise RequestValidationError(
+                    f"algorithm {self.algorithm!r} does not declare support "
+                    f"for objective {self.objective!r} (declared: "
+                    f"{scheduler.supported_objectives})"
+                )
         if self.policy is not None:
             from .policy import get_policy
 
@@ -117,9 +175,17 @@ class SolveRequest:
                 raise RequestValidationError(str(exc)) from None
 
     def options_dict(self) -> dict:
-        """The request's options (everything but the instance), JSON-ready."""
+        """The request's options (everything but the instance), JSON-ready.
+
+        The *resolved* cost model is serialised (the registered default when
+        no override was given), so two requests naming the same objective
+        with equal parameters produce identical option documents — and
+        therefore identical service fingerprints — regardless of whether the
+        model was spelled out.
+        """
         return {
             "objective": self.objective,
+            "cost_model": self.resolved_cost_model().to_dict(),
             "algorithm": self.algorithm,
             "policy": self.policy,
             "portfolio": self.portfolio,

@@ -76,14 +76,20 @@ class _Searcher:
         self.best_assignment: Optional[List[int]] = None
         self.stats = BranchAndBoundStats()
         # machine state stacks: one sweep profile + assigned-length counter
-        # per opened machine, updated incrementally on push/pop.
+        # per opened machine, updated incrementally on push/pop.  Lengths are
+        # demand-weighted (len * s_j): a machine of capacity g absorbs at
+        # most g * span demand-weighted length, which is what the
+        # free-capacity bound charges against.
         self.profiles: List[SweepProfile] = []
         self.machine_len: List[float] = []
         self.assignment: List[int] = [-1] * self.n
-        # suffix_len[i] = total length of jobs[i:], precomputed for bounding
+        # suffix_len[i] = demand-weighted length of jobs[i:], for bounding
         self.suffix_len: List[float] = [0.0] * (self.n + 1)
         for i in range(self.n - 1, -1, -1):
-            self.suffix_len[i] = self.suffix_len[i + 1] + self.jobs[i].length
+            self.suffix_len[i] = (
+                self.suffix_len[i + 1]
+                + self.jobs[i].length * self.jobs[i].demand
+            )
 
     # -- bounding -------------------------------------------------------------
 
@@ -117,17 +123,19 @@ class _Searcher:
     # -- feasibility ----------------------------------------------------------
 
     def _fits(self, machine_index: int, job: Job) -> bool:
-        return self.profiles[machine_index].fits(job.start, job.end, self.g)
+        return self.profiles[machine_index].fits(
+            job.start, job.end, self.g, demand=job.demand
+        )
 
     # -- machine state --------------------------------------------------------
 
     def _push(self, machine_index: int, job: Job) -> None:
-        self.profiles[machine_index].add(job.start, job.end)
-        self.machine_len[machine_index] += job.length
+        self.profiles[machine_index].add(job.start, job.end, demand=job.demand)
+        self.machine_len[machine_index] += job.length * job.demand
 
     def _pop(self, machine_index: int, job: Job) -> None:
-        self.profiles[machine_index].remove(job.start, job.end)
-        self.machine_len[machine_index] -= job.length
+        self.profiles[machine_index].remove(job.start, job.end, demand=job.demand)
+        self.machine_len[machine_index] -= job.length * job.demand
 
     # -- search ---------------------------------------------------------------
 

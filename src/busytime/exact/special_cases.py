@@ -107,8 +107,9 @@ def optimal_cost_if_polynomial(instance: Instance):
         return instance.total_length
     if instance.clique_number <= 1:
         return instance.total_length
-    if instance.clique_number <= instance.g:
-        # All jobs fit on a single machine; that machine's span is span(J),
-        # which matches the span lower bound, hence optimal.
+    if instance.peak_demand <= instance.g:
+        # All jobs fit on a single machine (total demand never exceeds g;
+        # with unit demands this is the clique-number check); that machine's
+        # span is span(J), which matches the span lower bound, hence optimal.
         return instance.span
     return None

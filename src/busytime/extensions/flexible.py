@@ -47,6 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.events import SweepProfile
 from ..core.instance import Instance
 from ..core.intervals import Interval, Job, span, union_intervals
 
@@ -340,6 +341,15 @@ def flexible_first_fit(
     With ``starts`` omitted, :func:`fix_start_times` is used, giving the full
     two-phase heuristic in the spirit of the 5-approximation of [15].  The
     result is validated before being returned.
+
+    The packing phase runs on the *core* demand-aware machine state: each
+    machine maintains a :class:`~busytime.core.events.SweepProfile` and the
+    "does this job fit" query reads the peak demand inside the job's window
+    off the maintained profile — the same check the rigid algorithms use —
+    instead of the module's former private clip-and-rescan loop.  The
+    profiles only ever grow here (packing never unplaces a job), so float
+    demands are safe; :func:`demand_profile_peak` stays the independent
+    slow-path oracle through :meth:`FlexibleSchedule.validate`.
     """
     if starts is None:
         starts = fix_start_times(instance)
@@ -350,24 +360,27 @@ def flexible_first_fit(
         instance.jobs, key=lambda j: (-j.processing, starts[j.id], j.id)
     )
     machines: List[List[FlexibleJob]] = []
+    profiles: List[SweepProfile] = []
     machine_of: Dict[int, int] = {}
     for job in order:
+        window = placed[job.id]
         target = None
-        for idx, content in enumerate(machines):
-            trial = [(placed[o.id], o.demand) for o in content if placed[o.id].overlaps(placed[job.id])]
-            trial.append((placed[job.id], job.demand))
-            clipped = []
-            for interval, demand in trial:
-                inter = interval.intersection(placed[job.id])
-                if inter is not None:
-                    clipped.append((inter, demand))
-            if demand_profile_peak(clipped) <= instance.g + 1e-12:
+        for idx, profile in enumerate(profiles):
+            # Peak demand already on the machine inside the job's window,
+            # plus the job's own demand, within capacity (tolerance matches
+            # the validator's: demands are caller-supplied floats here).
+            if (
+                profile.max_demand_in(window.start, window.end) + job.demand
+                <= instance.g + 1e-12
+            ):
                 target = idx
                 break
         if target is None:
             machines.append([])
+            profiles.append(SweepProfile())
             target = len(machines) - 1
         machines[target].append(job)
+        profiles[target].add(window.start, window.end, demand=job.demand)
         machine_of[job.id] = target
     schedule = FlexibleSchedule(
         instance=instance,

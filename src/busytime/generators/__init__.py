@@ -20,6 +20,7 @@ from .adversarial import (
 from .optical_traffic import hotspot_traffic, local_traffic, uniform_traffic
 from .random_instances import (
     bursty_instance,
+    demand_loaded_instance,
     poisson_arrivals_instance,
     uniform_random_instance,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "uniform_random_instance",
     "poisson_arrivals_instance",
     "bursty_instance",
+    "demand_loaded_instance",
     "proper_instance",
     "clique_instance",
     "bounded_length_instance",

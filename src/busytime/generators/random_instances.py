@@ -17,6 +17,11 @@ Three families are provided:
 * :func:`bursty_instance` — arrivals clustered into bursts, producing high
   peak parallelism; stresses the parallelism bound rather than the span
   bound.
+* :func:`demand_loaded_instance` — the [15]-style workload: uniform
+  intervals whose jobs carry integral capacity demands in ``[1,
+  max_demand]``, skewed towards small demands (most traffic is thin, a few
+  requests are fat — the optical-grooming shape); exercises the
+  demand-aware feasibility axis end to end.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ __all__ = [
     "uniform_random_instance",
     "poisson_arrivals_instance",
     "bursty_instance",
+    "demand_loaded_instance",
 ]
 
 
@@ -75,6 +81,50 @@ def uniform_random_instance(
         jobs=jobs,
         g=g,
         name=f"uniform(n={n},g={g},h={horizon:g},len=[{min_length:g},{max_length:g}],seed={seed})",
+    )
+
+
+def demand_loaded_instance(
+    n: int,
+    g: int,
+    horizon: float = 100.0,
+    min_length: float = 1.0,
+    max_length: float = 20.0,
+    max_demand: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Uniform intervals with integral capacity demands ([15]-style corpus).
+
+    Demands are drawn from a geometric-flavoured distribution over
+    ``[1, max_demand]`` (each extra unit halves the probability), clipped to
+    ``g``: most jobs are thin, a few are fat, matching the optical-grooming
+    motivation where a few connections consume several grooming slots.
+    ``max_demand`` defaults to ``g`` (and is capped by it — a job demanding
+    more than ``g`` could never be scheduled).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if min_length < 0 or max_length < min_length:
+        raise ValueError("need 0 <= min_length <= max_length")
+    cap = g if max_demand is None else min(max_demand, g)
+    if cap < 1:
+        raise ValueError("max_demand must be >= 1")
+    rng = _rng(seed)
+    starts = rng.uniform(0.0, horizon, size=n)
+    lengths = rng.uniform(min_length, max_length, size=n)
+    # Geometric(0.5) truncated to [1, cap]: P(d) halves per extra unit.
+    demands = np.minimum(rng.geometric(0.5, size=n), cap)
+    jobs = tuple(
+        Job(id=i, interval=Interval(float(s), float(s + l)), demand=int(d))
+        for i, (s, l, d) in enumerate(zip(starts, lengths, demands))
+    )
+    return Instance(
+        jobs=jobs,
+        g=g,
+        name=(
+            f"demand(n={n},g={g},h={horizon:g},"
+            f"len=[{min_length:g},{max_length:g}],dmax={cap},seed={seed})"
+        ),
     )
 
 

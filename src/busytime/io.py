@@ -10,11 +10,17 @@ The formats are deliberately boring:
 
     {
       "format": "busytime-instance",
-      "version": 1,
+      "version": 2,
       "name": "...",
       "g": 3,
-      "jobs": [{"id": 0, "start": 0.0, "end": 4.5, "weight": 1.0, "tag": ""}, ...]
+      "jobs": [{"id": 0, "start": 0.0, "end": 4.5, "weight": 1.0,
+                "tag": "", "demand": 1}, ...]
     }
+
+Version 2 added the per-job capacity ``demand`` (the [15] model; see
+:mod:`busytime.core.objectives` for the matching cost-model axis).  Readers
+accept version-1 documents — absent demands default to 1, which *is* the
+version-1 semantics — and writers always stamp the current version.
 
 ``Schedule`` JSON adds the machine partition (job ids per machine) and the
 producing algorithm; ``Traffic`` JSON stores the path length, the grooming
@@ -26,11 +32,13 @@ factor and the lightpath endpoint pairs.  CSV files have a header row
 
     {
       "format": "busytime-solve-report",
-      "version": 1,
+      "version": 2,
       "algorithm": "auto",            # overall producing algorithm
       "policy": "best_ratio",         # selection policy used
       "portfolio": true,
-      "lower_bound": 12.5,            # Observation 1.1 bound on OPT
+      "objective": "busy_time",       # cost-model axis (version 2)
+      "objective_value": 14.0,        # cost under the request's model
+      "lower_bound": 12.5,            # model-priced bound on OPT
       "optimum": null,                # exact optimum when computed
       "proven_ratio": 2.0,            # certificate: cost <= ratio * OPT
       "budget_exhausted": false,
@@ -53,6 +61,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -89,11 +98,14 @@ _PathLike = Union[str, Path]
 #: Format name -> document versions this reader understands.  Writers stamp
 #: the current (last) version; readers reject anything else up front, so an
 #: on-disk archive written by a future format revision fails loudly instead
-#: of being half-parsed (the service result store relies on this).
+#: of being half-parsed (the service result store relies on this).  Version 2
+#: added the problem-model axis (per-job demands; objective + objective
+#: value on reports); version-1 documents load with the defaults that *are*
+#: the version-1 semantics (demand 1, objective "busy_time").
 _SUPPORTED_VERSIONS: Dict[str, tuple] = {
-    "busytime-instance": (1,),
-    "busytime-schedule": (1,),
-    "busytime-solve-report": (1,),
+    "busytime-instance": (1, 2),
+    "busytime-schedule": (1, 2),
+    "busytime-solve-report": (1, 2),
     "busytime-traffic": (1,),
 }
 
@@ -123,11 +135,45 @@ def _check_header(data: Mapping[str, object], fmt: str) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _demand_from_field(value: object) -> int:
+    """Parse a job's ``demand`` field, rejecting non-integral values.
+
+    ``Job`` validates integrality; coercing ``2.5`` to ``2`` here would
+    defeat that guard and silently alter the instance, so fractional —
+    and non-finite (``json.loads`` accepts ``Infinity``/``NaN``) — demands
+    fail loudly as ``ValueError`` like every other malformed document
+    field (an ``OverflowError`` out of ``int(inf)`` would escape the
+    frontend's 400 handler).
+    """
+    if isinstance(value, bool):
+        # bool subclasses int; a client confusing a flag with a count must
+        # fail loudly like Job's own validation does, not load as demand 1.
+        raise ValueError(
+            f"job demand must be an integral number of capacity units, "
+            f"got {value!r}"
+        )
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except TypeError:
+        # e.g. "demand": null — a malformed field, not an internal bug, so
+        # it must surface as ValueError like the rest of the loader errors.
+        raise ValueError(
+            f"job demand must be an integral number of capacity units, "
+            f"got {value!r}"
+        ) from None
+    if not math.isfinite(number) or number != int(number):
+        raise ValueError(
+            f"job demand must be an integral number of capacity units, "
+            f"got {value!r}"
+        )
+    return int(number)
+
+
 def instance_to_dict(instance: Instance) -> Dict[str, object]:
     """A JSON-serialisable dict describing the instance."""
     return {
         "format": "busytime-instance",
-        "version": 1,
+        "version": 2,
         "name": instance.name,
         "g": instance.g,
         "jobs": [
@@ -137,6 +183,7 @@ def instance_to_dict(instance: Instance) -> Dict[str, object]:
                 "end": j.end,
                 "weight": j.weight,
                 "tag": j.tag,
+                "demand": j.demand,
             }
             for j in instance.jobs
         ],
@@ -144,7 +191,11 @@ def instance_to_dict(instance: Instance) -> Dict[str, object]:
 
 
 def instance_from_dict(data: Mapping[str, object]) -> Instance:
-    """Rebuild an :class:`Instance` from :func:`instance_to_dict` output."""
+    """Rebuild an :class:`Instance` from :func:`instance_to_dict` output.
+
+    Accepts version-1 documents: a job row without a ``demand`` field gets
+    demand 1, the rigid semantics every version-1 document meant.
+    """
     _check_header(data, "busytime-instance")
     jobs = tuple(
         Job(
@@ -152,6 +203,7 @@ def instance_from_dict(data: Mapping[str, object]) -> Instance:
             interval=Interval(float(row["start"]), float(row["end"])),
             weight=float(row.get("weight", 1.0)),
             tag=str(row.get("tag", "")),
+            demand=_demand_from_field(row.get("demand", 1)),
         )
         for row in data["jobs"]  # type: ignore[index]
     )
@@ -175,7 +227,7 @@ def schedule_to_dict(schedule: Schedule) -> Dict[str, object]:
     """A JSON-serialisable dict: the instance plus the machine partition."""
     return {
         "format": "busytime-schedule",
-        "version": 1,
+        "version": 2,
         "algorithm": schedule.algorithm,
         "total_busy_time": schedule.total_busy_time,
         "instance": instance_to_dict(schedule.instance),
@@ -227,10 +279,12 @@ def solve_report_to_dict(
     """
     doc: Dict[str, object] = {
         "format": "busytime-solve-report",
-        "version": 1,
+        "version": 2,
         "algorithm": report.algorithm,
         "policy": report.policy,
         "portfolio": report.portfolio,
+        "objective": report.objective,
+        "objective_value": report.objective_value,
         "lower_bound": report.lower_bound,
         "optimum": report.optimum,
         "proven_ratio": report.proven_ratio,
@@ -262,6 +316,7 @@ def solve_report_from_dict(data: Mapping[str, object]) -> SolveReport:
     )
     optimum = data.get("optimum")
     proven = data.get("proven_ratio")
+    objective_value = data.get("objective_value")
     return SolveReport(
         schedule=schedule,
         algorithm=str(data.get("algorithm", "")),
@@ -272,6 +327,10 @@ def solve_report_from_dict(data: Mapping[str, object]) -> SolveReport:
         components=components,
         proven_ratio=None if proven is None else float(proven),
         budget_exhausted=bool(data.get("budget_exhausted", False)),
+        # Version-1 documents predate the cost-model axis; their implied
+        # model is the default.
+        objective=str(data.get("objective", "busy_time")),
+        objective_value=None if objective_value is None else float(objective_value),
         timings=dict(data.get("timings", {})),  # type: ignore[arg-type]
         tags=dict(data.get("tags", {})),  # type: ignore[arg-type]
     )
@@ -334,16 +393,16 @@ def load_traffic(path: _PathLike) -> Traffic:
 
 
 def jobs_to_csv(instance: Instance, path: _PathLike) -> None:
-    """Write the job list as CSV with columns ``id,start,end,weight,tag``."""
+    """Write the job list as CSV (``id,start,end,weight,tag,demand``)."""
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["id", "start", "end", "weight", "tag"])
+        writer.writerow(["id", "start", "end", "weight", "tag", "demand"])
         for j in instance.jobs:
-            writer.writerow([j.id, j.start, j.end, j.weight, j.tag])
+            writer.writerow([j.id, j.start, j.end, j.weight, j.tag, j.demand])
 
 
 def jobs_from_csv(path: _PathLike, g: int, name: str = "") -> Instance:
-    """Read a CSV job list (``id,start,end[,weight][,tag]``) into an instance."""
+    """Read a CSV job list (``id,start,end[,weight][,tag][,demand]``)."""
     jobs: List[Job] = []
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
@@ -357,6 +416,7 @@ def jobs_from_csv(path: _PathLike, g: int, name: str = "") -> Instance:
                     interval=Interval(float(row["start"]), float(row["end"])),
                     weight=float(row.get("weight") or 1.0),
                     tag=row.get("tag") or "",
+                    demand=_demand_from_field(row.get("demand") or 1),
                 )
             )
     return Instance(jobs=tuple(jobs), g=g, name=name or str(path))

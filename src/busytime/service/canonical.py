@@ -13,12 +13,16 @@ symmetries that real traffic exercises constantly:
   and ``span`` are translation invariant by definition).
 
 :func:`canonicalize` quotients both symmetries out: jobs are translated so
-the earliest start sits at 0, sorted by ``(start, end, weight, tag)`` and
-relabeled ``0..n-1`` (ties broken by original id, so the map back is
-deterministic).  :func:`request_fingerprint` then hashes the canonical
-rows together with the solve options — everything in
+the earliest start sits at 0, sorted by ``(start, end, weight, tag,
+demand)`` and relabeled ``0..n-1`` (ties broken by original id, so the map
+back is deterministic).  :func:`request_fingerprint` then hashes the
+canonical rows together with the solve options — everything in
 :meth:`~busytime.engine.request.SolveRequest.options_dict` *except* the
-free-form ``tags``, which label a request without changing its answer.
+free-form ``tags``, which label a request without changing its answer.  The
+problem-model axis is data, not a label: per-job capacity demands sit in
+the canonical rows and the resolved cost model (objective name, activation
+cost, busy rate, machine weight) sits in the hashed options, so two
+requests differing only in pricing or demands never share a cache line.
 
 The arithmetic is exact: canonicalization subtracts the instance's own
 minimum start, so equal fingerprints mean bit-equal canonical coordinates.
@@ -60,7 +64,10 @@ __all__ = [
 
 #: Version tag baked into every fingerprint so a change to the canonical
 #: document shape can never collide with fingerprints minted before it.
-CANONICAL_VERSION = 1
+#: Version 2 added the problem-model axis: per-job demands in the rows and
+#: the resolved cost model in the options (version-1 store entries degrade
+#: to misses, as the store guarantees for unknown versions).
+CANONICAL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -72,8 +79,8 @@ class CanonicalForm:
     g:
         The parallelism parameter (not touched by canonicalization).
     rows:
-        One ``(start, end, weight, tag)`` tuple per canonical job ``k``,
-        already translated (earliest start at 0) and sorted.
+        One ``(start, end, weight, tag, demand)`` tuple per canonical job
+        ``k``, already translated (earliest start at 0) and sorted.
     id_map:
         ``id_map[k]`` is the *original* id of canonical job ``k``.
     offset:
@@ -85,7 +92,7 @@ class CanonicalForm:
     """
 
     g: int
-    rows: Tuple[Tuple[float, float, float, str], ...]
+    rows: Tuple[Tuple[float, float, float, str, int], ...]
     id_map: Tuple[int, ...]
     offset: float
     name: str
@@ -107,8 +114,9 @@ class CanonicalForm:
                         interval=Interval(start, end),
                         weight=weight,
                         tag=tag,
+                        demand=demand,
                     )
-                    for k, (start, end, weight, tag) in enumerate(self.rows)
+                    for k, (start, end, weight, tag, demand) in enumerate(self.rows)
                 ),
                 g=self.g,
                 name="",
@@ -126,12 +134,13 @@ def canonicalize(instance: Instance) -> CanonicalForm:
     # by original id so the id_map is deterministic.  Identical jobs are
     # interchangeable in any schedule, so which one lands where is immaterial.
     keyed = sorted(
-        (j.start - offset, j.end - offset, j.weight, j.tag, j.id) for j in instance.jobs
+        (j.start - offset, j.end - offset, j.weight, j.tag, j.demand, j.id)
+        for j in instance.jobs
     )
     return CanonicalForm(
         g=instance.g,
-        rows=tuple(row[:4] for row in keyed),
-        id_map=tuple(row[4] for row in keyed),
+        rows=tuple(row[:5] for row in keyed),
+        id_map=tuple(row[5] for row in keyed),
         offset=offset,
         name=instance.name,
     )
@@ -210,6 +219,7 @@ def decanonicalize_report(
             if (
                 original_job.start - form.offset != canonical_job.start
                 or original_job.end - form.offset != canonical_job.end
+                or original_job.demand != canonical_job.demand
             ):
                 raise ValueError(
                     f"canonical form does not match instance "

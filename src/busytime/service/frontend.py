@@ -6,10 +6,13 @@ to install):
 ``POST /solve``
     body ``{"instance": <busytime-instance doc>, "options": {...},
     "wait": bool}``.  Options are the :class:`~busytime.engine.SolveRequest`
-    knobs (``algorithm``, ``policy``, ``portfolio``, ``time_limit``,
-    ``compute_optimum``, ``tags``).  Returns ``{"job_id", "status", ...}``;
-    with ``"wait": true`` the response blocks on the solve and embeds the
-    full ``busytime-solve-report`` document.
+    knobs (``algorithm``, ``policy``, ``objective``, ``cost_model``,
+    ``portfolio``, ``time_limit``, ``compute_optimum``, ``tags``); instance
+    documents may carry per-job capacity ``demand`` fields (format version
+    2), and ``cost_model`` is a JSON object of
+    :meth:`~busytime.core.objectives.CostModel.to_dict` shape.  Returns
+    ``{"job_id", "status", ...}``; with ``"wait": true`` the response blocks
+    on the solve and embeds the full ``busytime-solve-report`` document.
 ``GET /jobs/<id>``
     status snapshot of one submission, plus the report once done.
 ``GET /stats``
@@ -37,17 +40,20 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from .. import io as bio
 from ..algorithms import algorithm_table
+from ..core.objectives import CostModel
 from ..engine import RequestValidationError, SolveRequest
 from .service import AdmissionError, JobFailedError, ServiceClosedError, SolveService
 
 __all__ = ["make_server", "serve", "submit_instance"]
 
-#: SolveRequest options settable over the wire (tags is handled separately),
-#: with the JSON types each accepts — checked before the request is built so
-#: a mistyped value is a 400, not a crashed handler thread.
+#: SolveRequest options settable over the wire (tags and cost_model are
+#: handled separately), with the JSON types each accepts — checked before
+#: the request is built so a mistyped value is a 400, not a crashed handler
+#: thread.
 _REQUEST_OPTIONS = {
     "algorithm": (str, type(None)),
     "policy": (str, type(None)),
+    "objective": (str,),
     "portfolio": (bool,),
     "time_limit": (int, float, type(None)),
     "compute_optimum": (bool,),
@@ -63,11 +69,11 @@ def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
     options = doc.get("options") or {}
     if not isinstance(options, Mapping):
         raise ValueError('"options" must be a JSON object')
-    unknown = set(options) - set(_REQUEST_OPTIONS) - {"tags"}
+    unknown = set(options) - set(_REQUEST_OPTIONS) - {"tags", "cost_model"}
     if unknown:
         raise ValueError(
             f"unknown options: {sorted(unknown)}; supported: "
-            f"{sorted(_REQUEST_OPTIONS) + ['tags']}"
+            f"{sorted(_REQUEST_OPTIONS) + ['cost_model', 'tags']}"
         )
     kwargs = {}
     for key, allowed in _REQUEST_OPTIONS.items():
@@ -83,6 +89,14 @@ def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
                 f'option "{key}" must be {names}, got {type(value).__name__}'
             )
         kwargs[key] = value
+    if "cost_model" in options and options["cost_model"] is not None:
+        # CostModel.from_dict validates keys and numeric types; its
+        # ValueError surfaces as a 400 like every other option error.  A
+        # model naming an objective pins the request's objective unless the
+        # caller also set (a then necessarily matching) "objective".
+        model = CostModel.from_dict(options["cost_model"])
+        kwargs["cost_model"] = model
+        kwargs.setdefault("objective", model.objective)
     tags = options.get("tags") or {}
     if not isinstance(tags, Mapping):
         raise ValueError('"tags" must be a JSON object')
@@ -226,6 +240,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                             "approximation_ratio": info.approximation_ratio,
                             "instance_classes": list(info.instance_classes),
                             "portfolio_member": info.portfolio_member,
+                            "supported_objectives": list(info.supported_objectives),
+                            "demand_aware": info.demand_aware,
                         }
                         for info in algorithm_table()
                     ]

@@ -106,6 +106,73 @@ class TestSchedule:
         err = capsys.readouterr().err
         assert "busytime: error:" in err and "nope" in err
 
+    def test_schedule_with_objective(self, instance_file, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        rc = main(
+            ["schedule", str(instance_file), "--objective", "machines_plus_busy",
+             "--output", str(out)]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "machines_plus_busy" in text and "objective_value" in text
+
+    def test_unknown_objective_is_a_parse_error(self, instance_file):
+        with pytest.raises(SystemExit):
+            main(["schedule", str(instance_file), "--objective", "nope"])
+
+    def test_schedule_demand_instance_file(self, tmp_path, capsys):
+        from busytime.core.instance import Instance
+        from busytime.core.intervals import Interval, Job
+
+        demanding = Instance(
+            jobs=tuple(
+                Job(id=i, interval=Interval(i, i + 4.0), demand=1 + i % 2)
+                for i in range(8)
+            ),
+            g=3,
+            name="cli-demand",
+        )
+        path = tmp_path / "demand.json"
+        save_instance(demanding, path)
+        out = tmp_path / "sched.json"
+        rc = main(["schedule", str(path), "--output", str(out)])
+        assert rc == 0
+        sched = load_schedule(out)
+        assert any(j.demand != 1 for j in sched.instance.jobs)
+        sched.validate()  # demand-aware oracle on the round-tripped schedule
+
+    def test_compare_default_lineup_filters_by_objective(self, instance_file, capsys):
+        # proper_greedy/best_fit don't declare machines_plus_busy; the
+        # default line-up must skip them instead of exiting 2, and --exact
+        # must be skipped (the exact solver optimises busy time).
+        rc = main(
+            ["compare", str(instance_file), "--objective", "machines_plus_busy",
+             "--exact"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "first_fit" in out and "auto" in out
+        assert "proper_greedy" not in out and "best_fit" not in out
+        assert "--exact is skipped" in out and "OPT=" not in out
+
+    def test_demand_instance_with_non_aware_algorithm_errors(self, tmp_path, capsys):
+        from busytime.core.instance import Instance
+        from busytime.core.intervals import Interval, Job
+
+        demanding = Instance(
+            jobs=tuple(
+                Job(id=i, interval=Interval(i, i + 4.0), demand=2)
+                for i in range(6)
+            ),
+            g=3,
+            name="cli-demand",
+        )
+        path = tmp_path / "demand.json"
+        save_instance(demanding, path)
+        rc = main(["schedule", str(path), "--algorithm", "machine_min"])
+        assert rc == 2
+        assert "not demand-aware" in capsys.readouterr().err
+
 
 class TestSolve:
     @pytest.fixture

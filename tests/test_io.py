@@ -121,9 +121,44 @@ class TestVersionValidation:
         ]
 
     def test_current_version_accepted(self):
+        from busytime.io import _SUPPORTED_VERSIONS
+
         for doc, loader in self._documents():
-            assert doc["version"] == 1
+            # Writers stamp the newest version the readers understand.
+            assert doc["version"] == _SUPPORTED_VERSIONS[doc["format"]][-1]
             loader(doc)  # round-trips without complaint
+
+    def test_version1_documents_still_load(self):
+        """Back-compat: pre-problem-model documents (no demand, no objective
+        fields) load with the defaults that *are* the version-1 semantics."""
+        for doc, loader in self._documents():
+            if doc["format"] == "busytime-traffic":
+                continue
+            legacy = json.loads(json.dumps(doc))
+            def strip(node):
+                if isinstance(node, dict):
+                    node.pop("demand", None)
+                    node.pop("objective", None)
+                    node.pop("objective_value", None)
+                    if node.get("format") in (
+                        "busytime-instance",
+                        "busytime-schedule",
+                        "busytime-solve-report",
+                    ):
+                        node["version"] = 1
+                    for value in node.values():
+                        strip(value)
+                elif isinstance(node, list):
+                    for value in node:
+                        strip(value)
+            strip(legacy)
+            loaded = loader(legacy)
+            if doc["format"] == "busytime-instance":
+                assert all(j.demand == 1 for j in loaded.jobs)
+            if doc["format"] == "busytime-solve-report":
+                assert loaded.objective == "busy_time"
+                assert loaded.objective_value is None
+                assert loaded.value == loaded.cost
 
     def test_unknown_version_rejected_with_clear_message(self):
         for doc, loader in self._documents():

@@ -22,7 +22,9 @@ from busytime.core.events import SweepProfile
 from busytime.core.intervals import (
     Interval,
     Job,
+    max_point_demand,
     max_point_load,
+    point_demand,
     point_load,
     span,
 )
@@ -124,6 +126,118 @@ def test_remove_unknown_interval_raises():
     prof.add(0.0, 2.0)
     with pytest.raises(KeyError):
         prof.remove(0.5, 1.5)
+
+
+# -- demand-weighted profile ([15] capacity model) ----------------------------
+#
+# Every query gains a demand-weighted twin; the brute-force oracle is
+# point_demand / max_point_demand over Jobs carrying their demands.  Unit
+# demands must leave the weighted path un-materialised (the rigid fast path).
+
+demand_jobs = st.lists(
+    st.tuples(
+        st.tuples(coords, coords).map(lambda p: Interval(min(p), max(p))),
+        st.integers(min_value=1, max_value=4),
+    ),
+    min_size=0,
+    max_size=25,
+).map(
+    lambda rows: [
+        Job(id=i, interval=iv, demand=d) for i, (iv, d) in enumerate(rows)
+    ]
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(demand_jobs)
+def test_demand_profile_matches_oracle_at_all_breakpoints(jobs):
+    prof = SweepProfile()
+    for j in jobs:
+        prof.add(j.start, j.end, demand=j.demand)
+    batch = SweepProfile.from_intervals(jobs)
+    assert prof.max_demand() == batch.max_demand() == max_point_demand(jobs)
+    assert prof.max_load() == batch.max_load() == max_point_load(jobs)
+    assert prof.measure == pytest.approx(span(jobs))
+    probes = {j.start for j in jobs} | {j.end for j in jobs}
+    probes |= {(j.start + j.end) / 2 for j in jobs} | {-1.0, 13.0}
+    for t in probes:
+        assert prof.demand_at(t) == point_demand(jobs, t), f"demand_at({t})"
+        assert batch.demand_at(t) == point_demand(jobs, t)
+        assert prof.load_at(t) == point_load(jobs, t)
+    # The weighted arrays materialise exactly when a non-unit demand exists.
+    assert prof.has_demands == any(j.demand != 1 for j in jobs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(demand_jobs, st.tuples(coords, coords).map(lambda p: (min(p), max(p))))
+def test_demand_window_queries_match_clipped_oracle(jobs, window):
+    lo, hi = window
+    prof = SweepProfile.from_intervals(jobs)
+    clipped = [
+        Job(id=j.id, interval=inter, demand=j.demand)
+        for j in jobs
+        if (inter := j.interval.intersection(Interval(lo, hi))) is not None
+    ]
+    assert prof.max_demand_in(lo, hi) == max_point_demand(clipped)
+    for g in (1, 2, 3, 5, 8):
+        for d in (1, 2, 3):
+            assert prof.fits(lo, hi, g, demand=d) == (
+                max_point_demand(clipped) + d <= g
+            )
+
+
+@settings(max_examples=150, deadline=None)
+@given(demand_jobs, st.randoms(use_true_random=False))
+def test_demand_add_remove_equals_rebuild_of_survivors(jobs, rnd):
+    """Fuzzed add/remove with demands: the profile equals the brute-force
+    demand load of the survivors at every breakpoint."""
+    prof = SweepProfile()
+    for j in jobs:
+        prof.add(j.start, j.end, demand=j.demand)
+    keep, drop = [], []
+    for j in jobs:
+        (keep if rnd.random() < 0.5 else drop).append(j)
+    for j in drop:
+        prof.remove(j.start, j.end, demand=j.demand)
+    assert prof.count == len(keep)
+    assert prof.max_demand() == max_point_demand(keep)
+    assert prof.max_load() == max_point_load(keep)
+    assert prof.measure == pytest.approx(span(keep), abs=1e-9)
+    for t in {j.start for j in jobs} | {j.end for j in jobs} | {-1.0, 6.5, 13.0}:
+        assert prof.demand_at(t) == point_demand(keep, t), f"demand_at({t})"
+        assert prof.load_at(t) == point_load(keep, t)
+
+
+@settings(max_examples=100, deadline=None)
+@given(demand_jobs, st.randoms(use_true_random=False))
+def test_builder_assign_unassign_exact_inverse_with_demands(jobs, rnd):
+    """assign . unassign == identity on demand-carrying machine state."""
+    from busytime.core.instance import Instance
+
+    g = 8  # above the max fuzzed demand, so every job is schedulable
+    inst = Instance(jobs=tuple(jobs), g=g, name="demand-fuzz")
+    builder = ScheduleBuilder(inst, algorithm="demand-fuzz")
+    for job in jobs:
+        builder.assign_first_fit(job)
+    snapshot = [
+        (tuple(builder.jobs_on(i)), builder.profile_of(i).copy())
+        for i in range(builder.num_machines)
+    ]
+    removed = [(builder.machine_of(j.id), j) for j in jobs if rnd.random() < 0.5]
+    for _, job in removed:
+        builder.unassign(job)
+    for idx, job in reversed(removed):
+        builder.assign(idx, job)
+    for i, (jobs_before, profile_before) in enumerate(snapshot):
+        after = builder.profile_of(i)
+        assert after.count == profile_before.count
+        assert after.max_demand() == profile_before.max_demand()
+        assert after.max_load() == profile_before.max_load()
+        assert after.measure == pytest.approx(profile_before.measure, abs=1e-9)
+        for t in {j.start for j in jobs_before} | {j.end for j in jobs_before}:
+            assert after.demand_at(t) == profile_before.demand_at(t)
+    # The mutated state still passes the (demand-aware) slow-path oracle.
+    verify_schedule(builder.freeze())
 
 
 # -- fuzzed mutation sequences (the dynamic-workload invariants) --------------
