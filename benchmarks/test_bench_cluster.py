@@ -1,0 +1,135 @@
+"""E20 — sharded cluster vs single worker under replayed traffic.
+
+The cluster layer (:mod:`busytime.service.cluster`) exists for one reason:
+a consistent-hash shard map turns N workers' caches into one aggregate
+cache.  This module regenerates that claim with the traffic-replay harness
+from ``scripts/stress_replay.py`` (the same machinery behind
+``BENCH_cluster.json``, at CI scale):
+
+* a hot set of distinct canonical requests, each replayed as disguised
+  variants (relabeled ids, translated time axes), is sized *above* one
+  worker's memory+disk budget but *within* the 4-worker aggregate — with
+  identical per-worker budgets and the same router in front of both
+  topologies, the 4-worker cluster must sustain **at least 2.5x** the
+  single-worker steady-state throughput;
+* killing a worker mid-burst loses **zero** jobs: the router marks the
+  worker dead, shards fail over to ring successors, and bounded client
+  retry absorbs the transition.
+
+The module is marked ``slow`` and skipped by default so tier-1 stays fast;
+run it with ``pytest benchmarks/test_bench_cluster.py --run-slow``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+from busytime import io as bio
+from busytime.service.cluster import LocalCluster
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import stress_replay  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+PASSES = 2
+MIN_SPEEDUP = 2.5
+CLUSTER_WORKERS = 4
+THREADS = 8
+
+
+def test_cluster_sustains_2_5x_single_worker_throughput(
+    benchmark, attach_rows, tmp_path
+):
+    """Same per-worker budgets, same router — sharding must buy >= 2.5x."""
+    hot = stress_replay.build_hot_set()
+    assert len(hot) > stress_replay.STORE_CAPACITY + stress_replay.MAX_DISK_ENTRIES, (
+        "hot set must overflow a single worker's cache tiers, or the "
+        "topologies are indistinguishable"
+    )
+    stream = stress_replay.build_stream(hot, PASSES)
+
+    results = {
+        workers: stress_replay.run_topology(
+            workers, hot, stream, THREADS, str(tmp_path)
+        )
+        for workers in (1, CLUSTER_WORKERS)
+    }
+    single = results[1]["steady"]
+    clustered = results[CLUSTER_WORKERS]["steady"]
+    speedup = clustered["throughput_rps"] / single["throughput_rps"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"{CLUSTER_WORKERS}-worker cluster only {speedup:.2f}x the "
+        f"single-worker throughput (need >= {MIN_SPEEDUP}x): "
+        f"single={single}, cluster={clustered}"
+    )
+    # The differential must come from cache capacity, visibly: the cluster
+    # serves the hot set mostly from its aggregate tiers while the single
+    # worker churns (a shuffled scan wider than LRU is LRU's worst case).
+    assert results[CLUSTER_WORKERS]["cache"]["hit_rate"] > results[1]["cache"][
+        "hit_rate"
+    ] + 0.3
+
+    # Time the path the cluster serves at steady state: one disguised hot
+    # request, routed by fingerprint shard to the owning worker's memory tier.
+    rng = random.Random(7)
+    with LocalCluster(
+        workers=2,
+        store_capacity=stress_replay.STORE_CAPACITY,
+        store_dir=str(tmp_path / "bench"),
+    ) as cluster:
+        client = stress_replay.ReplayClient(cluster.url)
+        try:
+            warm = json.dumps(
+                {"instance": bio.instance_to_dict(hot[0]), "wait": True}
+            ).encode("utf-8")
+            assert client.solve(warm)["status"] == "done"
+            bodies = [
+                json.dumps(
+                    {
+                        "instance": bio.instance_to_dict(
+                            stress_replay._disguised(hot[0], rng)
+                        ),
+                        "wait": True,
+                    }
+                ).encode("utf-8")
+                for _ in range(64)
+            ]
+            cursor = iter(bodies * 64)
+            benchmark(lambda: client.solve(next(cursor)))
+        finally:
+            client.close()
+
+    attach_rows(
+        benchmark,
+        [
+            {
+                "workers": workers,
+                "throughput_rps": result["steady"]["throughput_rps"],
+                "p50_ms": result["steady"]["p50_ms"],
+                "p95_ms": result["steady"]["p95_ms"],
+                "p99_ms": result["steady"]["p99_ms"],
+                "hit_rate": result["cache"]["hit_rate"],
+            }
+            for workers, result in sorted(results.items())
+        ],
+        speedup=round(speedup, 2),
+        hot_set=len(hot),
+        stream_requests=len(stream),
+    )
+
+
+def test_kill_one_worker_loses_zero_jobs(tmp_path):
+    """Failover drill: a worker dies under a concurrent burst; every job
+    still completes via ring-successor failover + bounded client retry."""
+    drill = stress_replay.kill_drill(
+        CLUSTER_WORKERS, str(tmp_path), jobs=32, threads=8
+    )
+    assert drill["lost"] == 0, f"drill lost jobs: {drill['failures']}"
+    assert drill["completed"] == drill["submitted"]

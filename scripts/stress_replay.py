@@ -1,0 +1,511 @@
+#!/usr/bin/env python
+"""Traffic-replay stress harness for the service cluster (experiment E20).
+
+Replays a mixed hot/cold request stream against 1-worker and N-worker
+topologies of the sharded cluster (:mod:`busytime.service.cluster`) and
+records per-request latency quantiles (p50/p95/p99), sustained throughput,
+and cache behaviour into ``BENCH_cluster.json``.
+
+The workload is the one the service layer is built for: a *hot set* of H
+distinct canonical requests, each arriving over and over as disguised
+variants (relabeled job ids, translated time axes — different bytes, same
+fingerprint), interleaved with cold one-off requests.  Every worker runs
+with the **same per-worker cache budgets** (memory LRU capacity and disk
+entry budget) in both topologies, and both topologies sit behind the same
+router, so the measured differential isolates the one thing sharding buys
+on this workload: *aggregate* cache capacity.  H is sized above what one
+worker can hold (memory + disk) but within what N workers hold together —
+a single worker churns its tiers and keeps re-solving, while the cluster
+answers from memory.  This is the classic sharded-cache claim, and the
+acceptance bar is the ISSUE's: the N-worker topology must sustain >= 2.5x
+the single-worker throughput on the steady-state phase.
+
+The harness also runs the kill-one-worker drill: a burst of concurrent
+clients (with bounded retry) while one worker is killed under them — the
+consistent-hash failover must complete every request (zero lost jobs).
+
+Usage::
+
+    python scripts/stress_replay.py                # default: ~4k requests
+    python scripts/stress_replay.py --passes 100   # full: tens of thousands
+    python scripts/stress_replay.py --quick        # CI smoke (~1k requests)
+    python scripts/stress_replay.py --workers 4 --threads 8 --output OUT.json
+
+``benchmarks/test_bench_cluster.py`` imports the corpus and replay
+machinery from here, so the pytest gate and this script measure the same
+thing at different scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import platform
+import random
+import sys
+import tempfile
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from busytime import Instance  # noqa: E402
+from busytime import io as bio  # noqa: E402
+from busytime.core.intervals import Interval, Job  # noqa: E402
+from busytime.generators import (  # noqa: E402
+    clique_instance,
+    proper_instance,
+    uniform_random_instance,
+)
+from busytime.service.cluster import LocalCluster  # noqa: E402
+
+# Per-worker cache budgets, identical in every topology.  The hot set is
+# sized above one worker's total (memory + disk) and within the 4-worker
+# aggregate, so capacity — not worker count — is the controlled variable.
+STORE_CAPACITY = 28
+MAX_DISK_ENTRIES = 32
+HOT_SET_SIZE = 96
+COLD_EVERY = 10  # one cold singleton per this many hot requests
+
+
+def _quantized(instance: Instance) -> Instance:
+    """Snap coordinates to 1/16 units so dyadic time shifts are float-exact."""
+    return Instance(
+        jobs=tuple(
+            Job(
+                id=j.id,
+                interval=Interval(
+                    round(j.start * 16.0) / 16.0,
+                    max(round(j.end * 16.0), round(j.start * 16.0)) / 16.0,
+                ),
+                weight=j.weight,
+                tag=j.tag,
+            )
+            for j in instance.jobs
+        ),
+        g=instance.g,
+        name=instance.name,
+    )
+
+
+def _disguised(instance: Instance, rng: random.Random) -> Instance:
+    """A relabeled, time-translated variant: same problem, different bytes."""
+    delta = float(rng.randrange(-4096, 4096)) / 16.0
+    jobs = list(instance.jobs)
+    rng.shuffle(jobs)
+    base = rng.randrange(100_000, 900_000)
+    return Instance(
+        jobs=tuple(
+            Job(
+                id=base + k,
+                interval=Interval(j.start + delta, j.end + delta),
+                weight=j.weight,
+                tag=j.tag,
+            )
+            for k, j in enumerate(jobs)
+        ),
+        g=instance.g,
+        name=f"{instance.name}@{delta:g}",
+    )
+
+
+def build_hot_set(size: int = HOT_SET_SIZE, seed: int = 2009) -> List[Instance]:
+    """``size`` distinct canonical requests, weighted toward the expensive
+    family (proper) so a cache miss costs what it costs in production."""
+    rng = random.Random(seed)
+    hot: List[Instance] = []
+    while len(hot) < size:
+        roll = len(hot) % 4
+        s = rng.randrange(1, 10_000)
+        if roll == 3:
+            hot.append(_quantized(clique_instance(240, 4, seed=s)))
+        else:
+            hot.append(_quantized(proper_instance(260 + 40 * roll, 3, seed=s)))
+    return hot
+
+
+def build_stream(
+    hot: Sequence[Instance],
+    passes: int,
+    seed: int = 4242,
+    cold_every: int = COLD_EVERY,
+) -> List[Tuple[str, bytes]]:
+    """The replay stream: ``passes`` shuffled disguised passes over the hot
+    set, a cold singleton every ``cold_every`` hot requests.
+
+    Each element is ``(kind, body)`` with the request body pre-serialized,
+    so replay time measures the serving path, not client-side JSON work.
+    """
+    rng = random.Random(seed)
+    stream: List[Tuple[str, bytes]] = []
+
+    def body_of(instance: Instance) -> bytes:
+        return json.dumps(
+            {"instance": bio.instance_to_dict(instance), "wait": True}
+        ).encode("utf-8")
+
+    cold_seed = 1_000_000
+    since_cold = 0
+    for _ in range(passes):
+        order = list(hot)
+        rng.shuffle(order)
+        for instance in order:
+            stream.append(("hot", body_of(_disguised(instance, rng))))
+            since_cold += 1
+            if since_cold >= cold_every:
+                since_cold = 0
+                cold_seed += 1
+                cold = _quantized(
+                    uniform_random_instance(120, 3, seed=cold_seed)
+                )
+                stream.append(("cold", body_of(cold)))
+    return stream
+
+
+class ReplayClient:
+    """A keep-alive HTTP client with bounded retry on 429/503/transport."""
+
+    def __init__(self, url: str, timeout: float = 120.0, retries: int = 5):
+        host, _, port = url.removeprefix("http://").partition(":")
+        self._address = (host, int(port))
+        self.timeout = timeout
+        self.retries = retries
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _dial(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                *self._address, timeout=self.timeout
+            )
+        return self._conn
+
+    def _drop(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def solve(self, body: bytes) -> Dict[str, object]:
+        last = "no attempt"
+        for attempt in range(self.retries + 1):
+            conn = self._dial()
+            try:
+                conn.request(
+                    "POST", "/solve", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+                if response.will_close:
+                    self._drop()
+            except (OSError, http.client.HTTPException) as exc:
+                self._drop()
+                last = f"transport: {exc}"
+                time.sleep(min(0.5, 0.02 * (2.0 ** attempt)))
+                continue
+            if response.status == 200:
+                return json.loads(data.decode("utf-8"))
+            last = f"HTTP {response.status}"
+            if response.status not in (429, 503):
+                raise RuntimeError(f"replay request failed: {last}: {data[:200]!r}")
+            time.sleep(min(0.5, 0.02 * (2.0 ** attempt)))
+        raise RuntimeError(f"replay request kept failing: {last}")
+
+    def close(self) -> None:
+        self._drop()
+
+
+def replay(
+    url: str, stream: Sequence[Tuple[str, bytes]], threads: int
+) -> Dict[str, object]:
+    """Drive ``stream`` through ``threads`` concurrent keep-alive clients.
+
+    Returns wall time, throughput, and latency quantiles; raises if any
+    request ultimately fails (the stream is supposed to be lossless).
+    """
+    latencies: List[float] = []
+    errors: List[str] = []
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker() -> None:
+        client = ReplayClient(url)
+        own: List[float] = []
+        try:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(stream) or errors:
+                        break
+                    cursor["next"] = index + 1
+                _, body = stream[index]
+                started = time.perf_counter()
+                reply = client.solve(body)
+                own.append(time.perf_counter() - started)
+                if reply.get("status") != "done":
+                    raise RuntimeError(f"job not done: {reply}")
+        except RuntimeError as exc:
+            with lock:
+                errors.append(str(exc))
+        finally:
+            client.close()
+            with lock:
+                latencies.extend(own)
+
+    started = time.perf_counter()
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"replay lost requests: {errors[:3]}")
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 3),
+        "throughput_rps": round(len(latencies) / wall, 2),
+        "p50_ms": round(pct(0.50) * 1e3, 2),
+        "p95_ms": round(pct(0.95) * 1e3, 2),
+        "p99_ms": round(pct(0.99) * 1e3, 2),
+        "max_ms": round(ordered[-1] * 1e3, 2),
+    }
+
+
+def run_topology(
+    workers: int,
+    hot: Sequence[Instance],
+    stream: Sequence[Tuple[str, bytes]],
+    threads: int,
+    store_root: str,
+    store_capacity: int = STORE_CAPACITY,
+    max_disk_entries: int = MAX_DISK_ENTRIES,
+) -> Dict[str, object]:
+    """Warm a fresh ``workers``-worker cluster, replay ``stream``, report."""
+    with LocalCluster(
+        workers=workers,
+        store_capacity=store_capacity,
+        store_dir=f"{store_root}/w{workers}",
+        max_disk_entries=max_disk_entries,
+        max_pending=64,
+    ) as cluster:
+        warm_stream = [
+            (
+                "warm",
+                json.dumps(
+                    {"instance": bio.instance_to_dict(i), "wait": True}
+                ).encode("utf-8"),
+            )
+            for i in hot
+        ]
+        warm = replay(cluster.url, warm_stream, threads)
+        steady = replay(cluster.url, stream, threads)
+        stores = [s.store.stats() for s in cluster.services]
+        hits = sum(s["hits"] for s in stores)
+        misses = sum(s["misses"] for s in stores)
+        return {
+            "workers": workers,
+            "store_capacity_per_worker": store_capacity,
+            "max_disk_entries_per_worker": max_disk_entries,
+            "threads": threads,
+            "warmup": warm,
+            "steady": steady,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+                "disk_hits": sum(s["disk_hits"] for s in stores),
+                "disk_evictions": sum(s["disk_evictions"] for s in stores),
+            },
+        }
+
+
+def kill_drill(
+    workers: int, store_root: str, jobs: int = 40, threads: int = 8
+) -> Dict[str, object]:
+    """Kill one worker under a concurrent burst; count completed requests.
+
+    Clients run with bounded retry, so the router's mark-dead + replay-on-
+    next-replica path must complete every request: ``lost`` is the number
+    that ultimately failed, and the acceptance bar is zero.
+    """
+    rng = random.Random(77)
+    with LocalCluster(
+        workers=workers,
+        store_capacity=STORE_CAPACITY,
+        store_dir=f"{store_root}/drill",
+        max_pending=64,
+    ) as cluster:
+        bodies = [
+            json.dumps(
+                {
+                    "instance": bio.instance_to_dict(
+                        _quantized(
+                            uniform_random_instance(
+                                150, 3, seed=rng.randrange(1, 10**6)
+                            )
+                        )
+                    ),
+                    "wait": True,
+                }
+            ).encode("utf-8")
+            for _ in range(jobs)
+        ]
+        completed: List[int] = []
+        failures: List[str] = []
+        lock = threading.Lock()
+        cursor = {"next": 0}
+
+        def client_loop() -> None:
+            client = ReplayClient(cluster.url, retries=6)
+            try:
+                while True:
+                    with lock:
+                        index = cursor["next"]
+                        if index >= len(bodies):
+                            break
+                        cursor["next"] = index + 1
+                    try:
+                        reply = client.solve(bodies[index])
+                        if reply.get("status") == "done":
+                            with lock:
+                                completed.append(index)
+                        else:  # pragma: no cover - would be a lost job
+                            with lock:
+                                failures.append(str(reply))
+                    except RuntimeError as exc:  # pragma: no cover - lost job
+                        with lock:
+                            failures.append(str(exc))
+            finally:
+                client.close()
+
+        pool = [threading.Thread(target=client_loop) for _ in range(threads)]
+        for index, t in enumerate(pool):
+            t.start()
+            if index == 1:
+                cluster.kill_worker(0)  # mid-burst, with requests in flight
+        for t in pool:
+            t.join()
+        return {
+            "workers": workers,
+            "submitted": jobs,
+            "completed": len(completed),
+            "lost": len(failures),
+            "failures": failures[:5],
+        }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=4, help="cluster size to compare against 1"
+    )
+    parser.add_argument(
+        "--passes", type=int, default=20,
+        help="shuffled passes over the hot set (~%d requests each + cold "
+        "singletons); 100 for the full tens-of-thousands run" % HOT_SET_SIZE,
+    )
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument(
+        "--hot-set", type=int, default=HOT_SET_SIZE,
+        help="distinct hot canonical requests",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: 3 passes (the hot set must stay larger than "
+        "one worker's memory+disk budget, so only the pass count shrinks)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.5,
+        help="acceptance bar on steady-state throughput ratio",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_cluster.json"
+    )
+    args = parser.parse_args()
+    passes = 3 if args.quick else args.passes
+    hot_size = args.hot_set
+
+    hot = build_hot_set(hot_size)
+    stream = build_stream(hot, passes)
+    print(
+        f"replay stream: {len(stream)} requests "
+        f"({hot_size} hot x {passes} passes + cold singletons), "
+        f"{args.threads} client threads"
+    )
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for workers in (1, args.workers):
+            result = run_topology(
+                workers, hot, stream, args.threads, tmp
+            )
+            results.append(result)
+            steady = result["steady"]
+            print(
+                f"workers={workers}: {steady['throughput_rps']} req/s, "
+                f"p50={steady['p50_ms']}ms p95={steady['p95_ms']}ms "
+                f"p99={steady['p99_ms']}ms, "
+                f"hit_rate={result['cache']['hit_rate']}"
+            )
+        drill = kill_drill(args.workers, tmp)
+        print(
+            f"kill-one-worker drill: {drill['completed']}/{drill['submitted']} "
+            f"completed, {drill['lost']} lost"
+        )
+
+    single, cluster = results
+    speedup = round(
+        cluster["steady"]["throughput_rps"] / single["steady"]["throughput_rps"], 2
+    )
+    payload = {
+        "experiment": "E20-cluster-replay",
+        "description": (
+            "Mixed hot/cold traffic replay against 1-vs-N-worker sharded "
+            "cluster topologies with identical per-worker cache budgets; "
+            "the throughput differential is the aggregate cache capacity "
+            "the consistent-hash sharding buys"
+        ),
+        "generated_by": "scripts/stress_replay.py"
+        + (" --quick" if args.quick else f" --passes {passes}"),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "hot_set": hot_size,
+        "stream_requests_per_topology": len(stream),
+        "headline": {
+            "cluster_workers": args.workers,
+            "single_throughput_rps": single["steady"]["throughput_rps"],
+            "cluster_throughput_rps": cluster["steady"]["throughput_rps"],
+            "speedup": speedup,
+            "single_p99_ms": single["steady"]["p99_ms"],
+            "cluster_p99_ms": cluster["steady"]["p99_ms"],
+            "drill_lost_jobs": drill["lost"],
+        },
+        "topologies": results,
+        "kill_drill": drill,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"headline: {args.workers}-worker cluster {speedup}x single-worker "
+        f"throughput (bar: >= {args.min_speedup}x)"
+    )
+    if drill["lost"]:
+        raise SystemExit("kill-one-worker drill lost jobs")
+    if speedup < args.min_speedup:
+        raise SystemExit(
+            f"cluster speedup {speedup}x below the {args.min_speedup}x bar"
+        )
+
+
+if __name__ == "__main__":
+    main()

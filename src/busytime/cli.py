@@ -35,8 +35,14 @@ and renders the returned :class:`~busytime.engine.SolveReport`.
     canonicalization, result cache, in-flight dedupe and micro-batching in
     front of the engine, on a stdlib-only JSON API.
 ``submit``
-    post one instance to a running ``busytime serve`` endpoint and print
-    (or save) the returned solve report.
+    post one instance to a running ``busytime serve`` (or ``busytime
+    cluster``) endpoint and print (or save) the returned solve report;
+    retries shed/draining answers with exponential backoff and jitter.
+``cluster``
+    run the sharded multi-worker topology: either spin up N in-process
+    workers plus the consistent-hash router (``--workers N``), or bind
+    just the router over externally started ``busytime serve`` processes
+    (repeated ``--worker URL``).
 
 Every command accepts ``--seed`` where randomness is involved, so runs are
 reproducible.  User-facing failures — a missing file, an unknown algorithm
@@ -438,10 +444,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
     # serving until interrupted; exercised end-to-end by the CI smoke step.
+    import signal
+    import threading
+
     from .service import AdmissionLimits, ResultStore, SolveService, make_server
 
     service = SolveService(
-        store=ResultStore(capacity=args.cache_capacity, directory=args.store_dir),
+        store=ResultStore(
+            capacity=args.cache_capacity,
+            directory=args.store_dir,
+            max_disk_entries=args.max_disk_entries,
+        ),
         limits=AdmissionLimits(
             max_jobs=args.max_jobs,
             max_time_limit=args.max_time_limit,
@@ -450,6 +463,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
         batch_size=args.batch_size,
         batch_window=args.batch_window,
         max_workers=args.workers,
+        max_pending=args.max_pending,
     )
     server = make_server(
         service,
@@ -460,6 +474,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
     )
     host, port = server.server_address[:2]
     print(f"busytime service listening on http://{host}:{port}", flush=True)
+
+    def _drain_and_stop() -> None:
+        # Graceful drain: refuse new admissions (503 + Retry-After at the
+        # frontend, so cluster routers spill to replicas), let in-flight
+        # solves finish within the grace window, then stop the loop.
+        print("busytime service draining", flush=True)
+        drained = service.drain(timeout=args.drain_grace)
+        print(f"busytime service drained={drained}", flush=True)
+        server.shutdown()
+
+    def _on_sigterm(signum, frame) -> None:
+        # The handler must return promptly; the drain runs on its own
+        # thread while serve_forever keeps answering polls for in-flight
+        # jobs until shutdown() is called.
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use): no signal hook
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -467,6 +501,86 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
     finally:
         server.server_close()
         service.close()
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
+    # serving until interrupted; exercised end-to-end by the CI cluster smoke.
+    import signal
+    import threading
+
+    from .service import LocalCluster, make_cluster_router
+
+    router_kwargs = {
+        "vnodes": args.vnodes,
+        "max_worker_inflight": args.max_worker_inflight,
+        "probe_interval": args.probe_interval,
+        "verbose": args.verbose,
+    }
+    if args.worker:
+        # Router-only mode over externally started `busytime serve` workers:
+        # drain/shutdown is each worker's own business, the router just
+        # reroutes around it.
+        router = make_cluster_router(
+            args.worker, host=args.host, port=args.port, **router_kwargs
+        )
+        host, port = router.server_address[:2]
+        print(
+            f"busytime cluster router listening on http://{host}:{port} "
+            f"({len(args.worker)} workers)",
+            flush=True,
+        )
+        try:
+            signal.signal(
+                signal.SIGTERM,
+                lambda *_: threading.Thread(
+                    target=router.shutdown, daemon=True
+                ).start(),
+            )
+        except ValueError:
+            pass
+        try:
+            router.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            router.server_close()
+        return 0
+
+    cluster = LocalCluster(
+        workers=args.workers,
+        host=args.host,
+        store_capacity=args.cache_capacity,
+        store_dir=args.store_dir,
+        max_disk_entries=args.max_disk_entries,
+        max_pending=args.max_pending,
+        wait_timeout=args.wait_timeout,
+        router_port=args.port,
+        router_kwargs=router_kwargs,
+    )
+    host, port = cluster.router.server_address[:2]
+    print(
+        f"busytime cluster router listening on http://{host}:{port} "
+        f"({args.workers} workers)",
+        flush=True,
+    )
+    for index, url in enumerate(cluster.worker_urls):
+        print(f"  worker {index}: {url}", flush=True)
+    stopping = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: stopping.set())
+    except ValueError:
+        pass
+    try:
+        while not stopping.wait(0.5):
+            pass
+        print("busytime cluster draining workers", flush=True)
+        for service in cluster.services:
+            service.drain(timeout=args.drain_grace)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.close()
     return 0
 
 
@@ -486,13 +600,30 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         options["portfolio"] = False
     if args.time_limit is not None:
         options["time_limit"] = args.time_limit
+    instance_doc = bio.instance_to_dict(instance)
+    # Pre-compute the canonical fingerprint and send it as a routing hint:
+    # a cluster router then picks the shard straight from the header
+    # instead of re-canonicalizing the body.  Plain `busytime serve`
+    # ignores the header, so this is always safe to send.
+    from .service import request_fingerprint
+    from .service.frontend import _request_from_document
+
+    try:
+        fingerprint = request_fingerprint(
+            _request_from_document({"instance": instance_doc, "options": options})
+        )
+    except (ValueError, KeyError, TypeError):
+        fingerprint = None  # let the server produce the real 400
     try:
         reply = submit_instance(
             args.url,
-            bio.instance_to_dict(instance),
+            instance_doc,
             options=options,
             wait=not args.no_wait,
             timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            fingerprint=fingerprint,
         )
     except RuntimeError as exc:
         raise CliError(str(exc)) from None  # the service's refusal, one line
@@ -700,6 +831,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist cached reports as JSON under this directory",
     )
     p_serve.add_argument(
+        "--max-disk-entries", type=int, default=None,
+        help="disk-tier budget: evict oldest cached reports beyond this "
+        "many entries (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="queue-depth cap: shed new submissions with 429 once this "
+        "many solves are in flight (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds SIGTERM waits for in-flight solves before stopping",
+    )
+    p_serve.add_argument(
         "--batch-size", type=int, default=8,
         help="max requests gathered into one engine batch",
     )
@@ -767,9 +912,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0, help="client-side wait timeout"
     )
     p_submit.add_argument(
+        "--retries", type=int, default=2,
+        help="retry connection-refused/429/503 answers this many times "
+        "with exponential backoff and jitter (0 disables)",
+    )
+    p_submit.add_argument(
+        "--backoff", type=float, default=0.25,
+        help="base backoff delay in seconds (doubles per attempt, jittered)",
+    )
+    p_submit.add_argument(
         "--output", default=None, help="write the solve-report JSON here"
     )
     p_submit.set_defaults(func=_cmd_submit)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="run the sharded multi-worker cluster (router + workers)"
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument(
+        "--port", type=int, default=8080, help="router port (0 picks a free one)"
+    )
+    p_cluster.add_argument(
+        "--workers", type=int, default=2,
+        help="number of in-process workers to start (ignored with --worker)",
+    )
+    p_cluster.add_argument(
+        "--worker", action="append", default=None, metavar="URL",
+        help="route to this externally started `busytime serve` worker "
+        "(repeatable; router-only mode)",
+    )
+    p_cluster.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per worker on the consistent-hash ring",
+    )
+    p_cluster.add_argument(
+        "--max-worker-inflight", type=int, default=64,
+        help="router-side per-worker in-flight cap before spilling/shedding",
+    )
+    p_cluster.add_argument(
+        "--probe-interval", type=float, default=1.0,
+        help="seconds between liveness probes of dead workers (0 disables)",
+    )
+    p_cluster.add_argument(
+        "--cache-capacity", type=int, default=256,
+        help="per-worker in-memory result-cache entries (local workers)",
+    )
+    p_cluster.add_argument(
+        "--store-dir", default=None,
+        help="per-worker disk cache root (local workers get w0/, w1/, ...)",
+    )
+    p_cluster.add_argument(
+        "--max-disk-entries", type=int, default=None,
+        help="per-worker disk-tier entry budget (local workers)",
+    )
+    p_cluster.add_argument(
+        "--max-pending", type=int, default=None,
+        help="per-worker queue-depth cap (local workers)",
+    )
+    p_cluster.add_argument(
+        "--wait-timeout", type=float, default=300.0,
+        help="per-worker cap on 'wait: true' blocking (seconds)",
+    )
+    p_cluster.add_argument(
+        "--drain-grace", type=float, default=30.0,
+        help="seconds SIGTERM waits for each local worker's in-flight solves",
+    )
+    p_cluster.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     return parser
 

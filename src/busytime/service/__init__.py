@@ -1,7 +1,7 @@
 """Solve-as-a-service: canonicalization, result cache, batching frontend.
 
 The package turns the solve engine (:mod:`busytime.engine`) into a
-traffic-serving subsystem, in four layers:
+traffic-serving subsystem, in five layers:
 
 * :mod:`~busytime.service.canonical` — a deterministic canonical form and
   content fingerprint for ``(instance, options)``, invariant under job
@@ -15,8 +15,13 @@ traffic-serving subsystem, in four layers:
   requests, micro-batches queued work (optionally across a persistent
   process pool, one future per request) and enforces admission limits;
 * :mod:`~busytime.service.frontend` — the stdlib-only JSON-over-HTTP API
-  (``POST /solve``, ``GET /jobs/<id>``, ``GET /stats``,
-  ``GET /algorithms``) behind ``busytime serve`` / ``busytime submit``.
+  (``POST /solve``, ``GET /jobs/<id>``, ``GET /stats``, ``GET /healthz``,
+  ``GET /algorithms``, ``POST /warm``) behind ``busytime serve`` /
+  ``busytime submit``;
+* :mod:`~busytime.service.cluster` — :class:`ShardMap` +
+  :class:`ClusterRouter`, the consistent-hash router that shards the
+  fingerprint space over N workers (failover, load shedding, cache
+  warming on topology change) behind ``busytime cluster``.
 
 Typical in-process use::
 
@@ -38,12 +43,20 @@ from .canonical import (
     decanonicalize_report,
     request_fingerprint,
 )
+from .cluster import (
+    ClusterRouter,
+    LocalCluster,
+    ShardMap,
+    make_cluster_router,
+)
 from .frontend import make_server, serve, submit_instance
 from .service import (
     AdmissionError,
     AdmissionLimits,
     JobFailedError,
     ServiceClosedError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
     SolveService,
 )
 from .store import ResultStore
@@ -59,8 +72,14 @@ __all__ = [
     "AdmissionLimits",
     "JobFailedError",
     "ServiceClosedError",
+    "ServiceDrainingError",
+    "ServiceOverloadedError",
     "SolveService",
     "make_server",
     "serve",
     "submit_instance",
+    "ShardMap",
+    "ClusterRouter",
+    "LocalCluster",
+    "make_cluster_router",
 ]

@@ -17,8 +17,25 @@ to install):
     status snapshot of one submission, plus the report once done.
 ``GET /stats``
     service + result-store counters (hit rate, batches, dedupes, ...).
+``GET /healthz``
+    cheap liveness probe: drain state, queue depth vs the ``max_pending``
+    cap, uptime and a small store summary.  This is what the cluster
+    router polls to decide routing and shedding, and what an external
+    load balancer should health-check — but it is useful standalone too.
 ``GET /algorithms``
     the registered-algorithm capability table.
+``POST /warm``
+    body ``{"prefixes": ["ab", ...], "limit": 64}``: pre-load the store's
+    disk entries under those fingerprint prefixes into the memory tier
+    (the cluster's cross-worker cache warming; see
+    :meth:`~busytime.service.store.ResultStore.warm`).
+
+Overload and shutdown map onto status codes clients can act on: a service
+at its ``max_pending`` queue-depth cap sheds the request with **429** and
+a ``Retry-After`` hint; a draining service (graceful shutdown in
+progress) answers **503** with ``Retry-After`` — and
+:func:`submit_instance` honours both by retrying with exponential backoff
+and jitter, so worker drains and restarts are invisible to callers.
 
 Every handler thread shares the one service (``ThreadingHTTPServer``), so
 concurrent clients exercise exactly the dedupe/batch path the service
@@ -33,6 +50,8 @@ on ``urllib``) so ``busytime submit`` needs no extra dependency either.
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -42,9 +61,20 @@ from .. import io as bio
 from ..algorithms import algorithm_table
 from ..core.objectives import CostModel
 from ..engine import RequestValidationError, SolveRequest
-from .service import AdmissionError, JobFailedError, ServiceClosedError, SolveService
+from .service import (
+    AdmissionError,
+    JobFailedError,
+    ServiceClosedError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
+    SolveService,
+)
 
 __all__ = ["make_server", "serve", "submit_instance"]
+
+#: Hint clients receive with a 429 (shed) or draining 503: short, because
+#: overload is bursty and drains precede an imminent replacement worker.
+RETRY_AFTER_SECONDS = 1
 
 #: SolveRequest options settable over the wire (tags and cost_model are
 #: handled separately), with the JSON types each accepts — checked before
@@ -103,36 +133,104 @@ def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
     return SolveRequest(instance=instance, tags=dict(tags), **kwargs)
 
 
-class _ServiceHandler(BaseHTTPRequestHandler):
-    """Routes the four endpoints onto the shared :class:`SolveService`."""
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Shared HTTP plumbing for the JSON services in this package.
 
-    server: "ServiceServer"
+    Carries the request/response conventions every busytime endpoint needs
+    — JSON replies with correct framing, refusals that close the keep-alive
+    connection whenever the request body was not drained, a bounded body
+    reader — so the single-worker frontend (:class:`_ServiceHandler`) and
+    the cluster router (:mod:`busytime.service.cluster`) implement routing,
+    not transport.
+    """
+
     protocol_version = "HTTP/1.1"
     # Socket timeout (socketserver applies it in setup()): a client that
     # advertises a Content-Length and then under-sends would otherwise pin
     # this handler thread in rfile.read forever.
     timeout = 60.0
-
-    # -- plumbing -------------------------------------------------------------
+    # The response is written as two sends (header block, then body); with
+    # Nagle on, the second would wait for the peer's delayed ACK of the
+    # first — a ~40ms stall per request that dwarfs a cache hit.
+    disable_nagle_algorithm = True
 
     def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
-        if self.server.verbose:
+        if getattr(self.server, "verbose", False):
             super().log_message(fmt, *args)
 
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if self.close_connection:
-            # Advertise what we are about to do (set on refusals whose
-            # request body was never drained — see do_POST).
-            self.send_header("Connection", "close")
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if retry_after is not None:
+                self.send_header("Retry-After", str(retry_after))
+            if self.close_connection:
+                # Advertise what we are about to do (set on refusals whose
+                # request body was never drained — see _read_body).
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except ConnectionError:
+            # The client hung up mid-exchange (e.g. disconnected while
+            # sending its body).  Nobody is listening for this reply, and a
+            # handler-thread traceback would be the only effect of raising.
+            self.close_connection = True
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        self._send_json(status, {"error": message}, retry_after=retry_after)
+
+    def _read_body(self, max_bytes: int) -> Optional[bytes]:
+        """Read the request body, or send the refusal and return ``None``.
+
+        Every refusal here leaves the body undrained, so the keep-alive
+        connection is closed with it — stale body bytes would otherwise
+        parse as the connection's next request line.
+        """
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            # No Content-Length to bound or drain by; refuse and close.
+            self.close_connection = True
+            self._send_error_json(
+                411, "chunked request bodies are not supported; send Content-Length"
+            )
+            return None
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length < 0:
+                # A negative length would turn read(length) into
+                # read-until-EOF — an unbounded buffer behind the body cap.
+                raise ValueError
+        except ValueError:
+            self.close_connection = True
+            self._send_error_json(400, "invalid Content-Length header")
+            return None
+        if length > max_bytes:
+            # Refuse before reading: the admission limits must hold at the
+            # socket too, or one oversized body buys an unbounded allocation.
+            self.close_connection = True
+            self._send_error_json(
+                413,
+                f"request body of {length} bytes is above the service "
+                f"limit of {max_bytes}",
+            )
+            return None
+        return self.rfile.read(length)
+
+
+class _ServiceHandler(JsonRequestHandler):
+    """Routes the worker endpoints onto the shared :class:`SolveService`."""
+
+    server: "ServiceServer"
+
+    # -- plumbing -------------------------------------------------------------
 
     def _job_payload(self, job_id: str, include_report: bool) -> Dict[str, object]:
         service = self.server.service
@@ -145,46 +243,22 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # -- endpoints ------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path.rstrip("/") != "/solve":
+        path = self.path.rstrip("/")
+        if path == "/warm":
+            self._do_warm()
+            return
+        if path != "/solve":
             # The body (if any) is never drained on this path, so the
             # keep-alive connection must close with the refusal — stale
             # body bytes would otherwise parse as the next request line.
             self.close_connection = True
             self._send_error_json(404, f"no such endpoint: POST {self.path}")
             return
-        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
-            # No Content-Length to bound or drain by; refuse and close.
-            self.close_connection = True
-            self._send_error_json(
-                411, "chunked request bodies are not supported; send Content-Length"
-            )
+        raw = self._read_body(self.server.max_body_bytes)
+        if raw is None:
             return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length < 0:
-                # A negative length would turn read(length) into
-                # read-until-EOF — an unbounded buffer behind the body cap.
-                raise ValueError
-        except ValueError:
-            # The body can't be drained without a trustworthy length, so the
-            # keep-alive connection must die with the refusal — otherwise the
-            # unread bytes masquerade as the connection's next request line.
-            self.close_connection = True
-            self._send_error_json(400, "invalid Content-Length header")
-            return
-        if length > self.server.max_body_bytes:
-            # Refuse before reading: the admission limits must hold at the
-            # socket too, or one oversized body buys an unbounded allocation.
-            # The undrained body also forces the connection closed (above).
-            self.close_connection = True
-            self._send_error_json(
-                413,
-                f"request body of {length} bytes is above the service "
-                f"limit of {self.server.max_body_bytes}",
-            )
-            return
-        try:
-            doc = json.loads(self.rfile.read(length).decode("utf-8"))
+            doc = json.loads(raw.decode("utf-8"))
             request = _request_from_document(doc)
         except (ValueError, KeyError, TypeError) as exc:
             self._send_error_json(400, str(exc))
@@ -194,6 +268,19 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             job_id = service.submit(request)
         except AdmissionError as exc:
             self._send_error_json(413, str(exc))
+            return
+        except ServiceOverloadedError as exc:
+            # Load shedding, not failure: the queue is at max_pending.  The
+            # Retry-After hint tells well-behaved clients (and the cluster
+            # router) to back off instead of hammering.
+            self._send_error_json(429, str(exc), retry_after=RETRY_AFTER_SECONDS)
+            return
+        except ServiceDrainingError as exc:
+            # Graceful shutdown in progress: the worker finishes what it
+            # has but admits nothing new.  Unlike the closed 503 below the
+            # connection stays usable (polls for in-flight jobs continue),
+            # and Retry-After points the client at the imminent successor.
+            self._send_error_json(503, str(exc), retry_after=RETRY_AFTER_SECONDS)
             return
         except ServiceClosedError as exc:
             # The service is shutting down under us ("caller owns the loop"
@@ -225,9 +312,36 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             payload["report"] = bio.solve_report_to_dict(report)
         self._send_json(200, payload)
 
+    def _do_warm(self) -> None:
+        """``POST /warm``: pre-load disk-tier shard prefixes into memory."""
+        raw = self._read_body(self.server.max_body_bytes)
+        if raw is None:
+            return
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+            prefixes = doc.get("prefixes", [])
+            limit = doc.get("limit")
+            if not isinstance(prefixes, list) or not all(
+                isinstance(p, str) and p for p in prefixes
+            ):
+                raise ValueError('"prefixes" must be a list of fingerprint prefixes')
+            if limit is not None and (not isinstance(limit, int) or limit < 0):
+                raise ValueError('"limit" must be a non-negative integer')
+        except (ValueError, TypeError, AttributeError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        warmed = self.server.service.store.warm(prefixes, limit=limit)
+        self._send_json(200, {"warmed": warmed, "prefixes": len(prefixes)})
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         path = self.path.rstrip("/") or "/"
-        if path == "/stats":
+        if path == "/healthz":
+            health = self.server.service.health()
+            # Liveness probes key off the status code, not the body: a
+            # draining or closed worker is not a routable target.
+            status = 200 if health["status"] == "ok" else 503
+            self._send_json(status, health)
+        elif path == "/stats":
             self._send_json(200, self.server.service.stats())
         elif path == "/algorithms":
             self._send_json(
@@ -321,12 +435,24 @@ def serve(  # pragma: no cover - blocking loop; the CI smoke drives it
 # ---------------------------------------------------------------------------
 
 
+#: HTTP statuses worth retrying: shed load (429) and drain/restart (503).
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+def _backoff_delay(attempt: int, backoff: float, cap: float = 10.0) -> float:
+    """Exponential backoff with full jitter (the standard AWS recipe)."""
+    return random.uniform(0, min(cap, backoff * (2.0 ** attempt)))
+
+
 def submit_instance(
     url: str,
     instance_doc: Mapping[str, object],
     options: Optional[Mapping[str, object]] = None,
     wait: bool = True,
     timeout: float = 300.0,
+    retries: int = 0,
+    backoff: float = 0.25,
+    fingerprint: Optional[str] = None,
 ) -> Dict[str, object]:
     """POST one instance document to a running service and return the reply.
 
@@ -334,22 +460,62 @@ def submit_instance(
     parsed ``POST /solve`` payload (job id, status, and the report document
     when ``wait`` is true).  Raises ``RuntimeError`` with the server's
     message on a non-200 answer.
+
+    ``retries`` > 0 turns on bounded retry with exponential backoff and
+    full jitter for the failures that resolve themselves — connection
+    refused/reset (a worker restarting, a router failing over) and 429/503
+    answers (load shedding, graceful drain) — so those operational events
+    are invisible to callers.  Errors that will not improve with time
+    (400s, admission 413s) are never retried.  A server ``Retry-After``
+    hint, when present, takes precedence over the computed delay.
+
+    ``fingerprint`` (the :func:`~busytime.service.canonical.request_fingerprint`
+    of the equivalent ``SolveRequest``) is forwarded as the
+    ``X-Busytime-Fingerprint`` header; the cluster router then routes on it
+    directly instead of re-canonicalizing the body.
     """
     body = json.dumps(
         {"instance": dict(instance_doc), "options": dict(options or {}), "wait": wait}
     ).encode("utf-8")
-    request = urllib.request.Request(
-        url.rstrip("/") + "/solve",
-        data=body,
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as reply:
-            return json.loads(reply.read().decode("utf-8"))
-    except urllib.error.HTTPError as exc:
+    headers = {"Content-Type": "application/json"}
+    if fingerprint is not None:
+        headers["X-Busytime-Fingerprint"] = fingerprint
+    attempts = max(0, retries) + 1
+    last_error = "no attempt made"
+    for attempt in range(attempts):
+        request = urllib.request.Request(
+            url.rstrip("/") + "/solve", data=body, headers=headers, method="POST"
+        )
+        delay = _backoff_delay(attempt, backoff)
         try:
-            message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
-        except Exception:  # noqa: BLE001 - surface the original HTTP error
-            message = str(exc)
-        raise RuntimeError(f"service rejected the request: {message}") from None
+            with urllib.request.urlopen(request, timeout=timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:  # noqa: BLE001 - surface the original HTTP error
+                message = str(exc)
+            if exc.code not in _RETRYABLE_STATUSES:
+                raise RuntimeError(f"service rejected the request: {message}") from None
+            last_error = f"HTTP {exc.code}: {message}"
+            hint = exc.headers.get("Retry-After") if exc.headers else None
+            if hint:
+                try:
+                    delay = min(float(hint), 10.0)
+                except ValueError:
+                    pass
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", exc)
+            if isinstance(exc, urllib.error.URLError) and not isinstance(
+                reason, (ConnectionError, OSError)
+            ):
+                # Not a transport failure (e.g. a malformed URL): retrying
+                # cannot help, so surface it immediately.
+                raise RuntimeError(f"service unreachable: {reason}") from None
+            last_error = f"connection failed: {reason}"
+        if attempt + 1 < attempts:
+            time.sleep(delay)
+    raise RuntimeError(
+        f"service did not accept the request after {attempts} attempts; "
+        f"last error: {last_error}"
+    )

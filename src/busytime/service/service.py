@@ -61,6 +61,8 @@ __all__ = [
     "AdmissionLimits",
     "JobFailedError",
     "ServiceClosedError",
+    "ServiceDrainingError",
+    "ServiceOverloadedError",
     "SolveService",
 ]
 
@@ -75,6 +77,26 @@ class JobFailedError(RuntimeError):
 
 class ServiceClosedError(RuntimeError):
     """Raised when submitting to a service that has been closed."""
+
+
+class ServiceDrainingError(ServiceClosedError):
+    """Raised when submitting to a service that is draining (shutdown soon).
+
+    Subclasses :class:`ServiceClosedError` so existing "service gone" error
+    handling keeps working; the HTTP frontend additionally answers it with
+    a ``Retry-After`` hint, because a drain usually precedes a restart and
+    the retrying client will find a fresh worker.
+    """
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised at submit time when the in-flight queue is at ``max_pending``.
+
+    This is load shedding, not failure: the request was *not* queued, and
+    the caller should back off and retry (the HTTP frontend maps this to
+    429 + ``Retry-After``; the cluster router spills the request to the
+    next replica first).
+    """
 
 
 @dataclass(frozen=True)
@@ -181,6 +203,12 @@ class SolveService:
         pruned from the poll table; their ids then answer ``KeyError``.
         Waiters that already hold the job keep their reference — pruning
         only bounds the table a long-running server retains.
+    max_pending:
+        Queue-depth cap: a submission that would queue a *new* solve while
+        this many fingerprints are already in flight is shed with
+        :class:`ServiceOverloadedError` instead of queued.  Cache hits and
+        in-flight dedupe attach regardless (they add no work).  ``None``
+        (the default) disables shedding.
     start_worker:
         Start the background batch worker (default).  Pass ``False`` to
         drive the queue manually with :meth:`process_once` (tests do).
@@ -195,12 +223,15 @@ class SolveService:
         batch_window: float = 0.01,
         max_workers: Optional[int] = None,
         max_finished_jobs: int = 4096,
+        max_pending: Optional[int] = None,
         start_worker: bool = True,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if max_finished_jobs < 1:
             raise ValueError(f"max_finished_jobs must be >= 1, got {max_finished_jobs}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 (or None), got {max_pending}")
         self.engine = engine if engine is not None else Engine()
         # `is not None`, not truthiness: an empty ResultStore has len() == 0
         # and would otherwise be silently swapped for a memory-only one.
@@ -210,6 +241,7 @@ class SolveService:
         self.batch_window = batch_window
         self.max_workers = max_workers
         self.max_finished_jobs = max_finished_jobs
+        self.max_pending = max_pending
         self._lock = threading.Lock()
         self._jobs: Dict[str, _Job] = {}
         self._finished: Deque[str] = deque()
@@ -217,6 +249,9 @@ class SolveService:
         self._queue: "Queue[str]" = Queue()
         self._ids = itertools.count(1)
         self._closed = False
+        self._draining = False
+        self._started_at = time.monotonic()
+        self._shed = 0
         self._submitted = 0
         self._completed = 0
         self._failed = 0
@@ -295,6 +330,25 @@ class SolveService:
             # a just-solved fingerprint from being re-solved from scratch.
             cached = self.store.peek(fingerprint)
             if cached is None:
+                # Only *new* solves are refused while draining or shedding:
+                # cache hits and dedupe attaches (above) ride along free.
+                if self._draining:
+                    self._jobs.pop(job.job_id, None)
+                    self._submitted -= 1
+                    raise ServiceDrainingError(
+                        "service is draining; submit to another worker"
+                    )
+                if (
+                    self.max_pending is not None
+                    and len(self._inflight) >= self.max_pending
+                ):
+                    self._jobs.pop(job.job_id, None)
+                    self._submitted -= 1
+                    self._shed += 1
+                    raise ServiceOverloadedError(
+                        f"queue depth is at the max_pending cap of "
+                        f"{self.max_pending}; retry after backoff"
+                    )
                 self._inflight[fingerprint] = _Flight(
                     request=canonical, job_ids=[job.job_id]
                 )
@@ -550,6 +604,40 @@ class SolveService:
 
     # -- lifecycle / stats -----------------------------------------------------
 
+    def queue_depth(self) -> int:
+        """Number of fingerprints currently in flight (queued or solving)."""
+        with self._lock:
+            return len(self._inflight)
+
+    def health(self) -> Dict[str, object]:
+        """Cheap liveness snapshot (the ``GET /healthz`` payload).
+
+        Unlike :meth:`stats` this is meant for *frequent* polling — the
+        cluster router reads it to decide shedding and routing — so it
+        carries the queue depth and drain state plus a small store summary,
+        not the full counter set.
+        """
+        store_stats = self.store.stats()
+        with self._lock:
+            if self._closed:
+                status = "closed"
+            elif self._draining:
+                status = "draining"
+            else:
+                status = "ok"
+            return {
+                "status": status,
+                "queue_depth": len(self._inflight),
+                "max_pending": self.max_pending,
+                "shed": self._shed,
+                "jobs_tracked": len(self._jobs),
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "store": {
+                    key: store_stats[key]
+                    for key in ("size", "capacity", "disk_entries", "hit_rate")
+                },
+            }
+
     def stats(self) -> Dict[str, object]:
         """Service counters plus the store's hit/miss/eviction stats."""
         with self._lock:
@@ -558,6 +646,8 @@ class SolveService:
                 "completed": self._completed,
                 "failed": self._failed,
                 "rejected": self._rejected,
+                "shed": self._shed,
+                "draining": self._draining,
                 "deduped_inflight": self._deduped,
                 "pending": len(self._inflight),
                 "batches": self._batches,
@@ -569,6 +659,35 @@ class SolveService:
                 "store_put_failures": self._store_put_failures,
                 "store": self.store.stats(),
             }
+
+    def drain(self, timeout: Optional[float] = 30.0, poll: float = 0.05) -> bool:
+        """Graceful shutdown: stop admitting, finish in-flight work, close.
+
+        New solves are refused with :class:`ServiceDrainingError` from the
+        moment this is called (cache hits and dedupe attaches still serve),
+        the batch worker keeps draining the queue, and once nothing is in
+        flight — or ``timeout`` elapses — the service closes.  Results are
+        flushed to the store as each flight retires (store writes are
+        synchronous), so a drained worker leaves the shared disk tier
+        complete for its successors.
+
+        Returns ``True`` when everything in flight finished inside the
+        timeout; ``False`` when :meth:`close` had to fail leftovers.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = False
+        while True:
+            with self._lock:
+                if not self._inflight:
+                    drained = True
+                    break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(poll)
+        self.close()
+        return drained
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop accepting work, join the batch worker, fail whatever is left.

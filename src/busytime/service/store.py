@@ -14,11 +14,29 @@ Two tiers:
   stored bytes are deterministic).  Memory evictions never delete the disk
   copy; a later get repopulates the LRU from disk.  Unreadable or
   version-incompatible disk entries are treated as misses, never errors —
-  the store is a cache, and the io-layer version check (same PR) keeps a
-  newer writer's documents from being half-read by an older reader.
+  the store is a cache, and the io-layer version check keeps a newer
+  writer's documents from being half-read by an older reader.
 
-All operations are thread-safe (one lock; the service hits the store from
-both the submit path and the batch worker).
+The disk tier is **shard-partitioned**: entries live under a subdirectory
+named by the first ``shard_depth`` hex characters of the fingerprint
+(``directory/ab/<fingerprint>.json``), which is exactly the granularity the
+cluster router shards traffic at (:mod:`busytime.service.cluster`), so one
+worker's cache responsibility is a set of shard directories, not a scan of
+the whole tier.  Pre-partitioning flat layouts are still readable (reads
+fall back to ``directory/<fingerprint>.json``), and :meth:`warm` pre-loads
+a set of shard prefixes into the memory tier — the cross-worker cache
+warming step a router triggers when the routing table changes.
+
+Unlike the memory tier, the disk tier used to grow without bound; it now
+takes an optional ``max_disk_entries`` budget, enforced by evicting the
+oldest-written entries (and counted in :meth:`stats`).  Writes stay safe
+for multiple processes sharing one directory — each writer publishes via a
+private temp file and an atomic rename — and the budget is enforced by each
+writer against the directory's actual contents, so co-writers converge on
+the cap instead of double-counting.
+
+All operations are thread-safe (one lock for the memory tier and counters;
+disk I/O happens outside it so a slow disk never serializes memory hits).
 """
 
 from __future__ import annotations
@@ -29,7 +47,7 @@ import tempfile
 import threading
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..engine.report import SolveReport
 from ..io import solve_report_from_dict, solve_report_to_dict
@@ -50,22 +68,52 @@ class ResultStore:
     directory:
         Optional on-disk tier; created if missing.  ``None`` keeps the
         store memory-only.
+    max_disk_entries:
+        Optional budget for the disk tier: after a write pushes the tier
+        past this many entries, the oldest-written entries are evicted
+        until the budget holds again.  ``None`` (the default) leaves the
+        tier unbounded, as before.
+    shard_depth:
+        How many leading fingerprint hex characters name the disk shard
+        subdirectory (default 2: 256 shards, matching the cluster router's
+        shard space).  ``0`` writes the legacy flat layout; reads always
+        understand both.
     """
 
-    def __init__(self, capacity: int = 256, directory: Optional[_PathLike] = None):
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: Optional[_PathLike] = None,
+        max_disk_entries: Optional[int] = None,
+        shard_depth: int = 2,
+    ):
         if capacity < 1:
             raise ValueError(f"store capacity must be >= 1, got {capacity}")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError(
+                f"max_disk_entries must be >= 1 (or None), got {max_disk_entries}"
+            )
+        if shard_depth < 0:
+            raise ValueError(f"shard_depth must be >= 0, got {shard_depth}")
         self.capacity = capacity
         self.directory = Path(directory) if directory is not None else None
+        self.max_disk_entries = max_disk_entries
+        self.shard_depth = shard_depth
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        # Serializes disk-budget bookkeeping only: memory hits must never
+        # wait behind another thread's disk scan.
+        self._disk_lock = threading.Lock()
         self._memory: "OrderedDict[str, SolveReport]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._disk_hits = 0
         self._puts = 0
+        self._disk_evictions = 0
+        self._warmed = 0
+        self._disk_count: Optional[int] = None  # lazily scanned
 
     # -- lookup ---------------------------------------------------------------
 
@@ -115,25 +163,32 @@ class ResultStore:
         with self._lock:
             self._puts += 1
             self._insert(fingerprint, report)
-        if self.directory is not None:
-            doc = solve_report_to_dict(report, include_timings=False)
-            path = self.directory / f"{fingerprint}.json"
-            # A private temp file per writer + atomic rename: concurrent
-            # writers of the same fingerprint (two service processes sharing
-            # one directory) each publish a complete document, last one wins.
-            handle, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=f".{fingerprint}.", suffix=".tmp"
-            )
+        if self.directory is None:
+            return
+        doc = solve_report_to_dict(report, include_timings=False)
+        path = self._disk_path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        existed = path.exists()
+        # A private temp file per writer + atomic rename: concurrent
+        # writers of the same fingerprint (two service processes sharing
+        # one directory) each publish a complete document, last one wins.
+        # The temp file lives in the destination shard directory so the
+        # rename stays within one filesystem.
+        handle, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{fingerprint}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(json.dumps(doc, indent=2))
+            os.replace(tmp, path)
+        except BaseException:
             try:
-                with os.fdopen(handle, "w") as stream:
-                    stream.write(json.dumps(doc, indent=2))
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if not existed:
+            self._note_disk_write()
 
     def _insert(self, fingerprint: str, report: SolveReport) -> None:
         """Insert into the LRU (lock held), evicting the oldest past capacity."""
@@ -143,16 +198,131 @@ class ResultStore:
             self._memory.popitem(last=False)
             self._evictions += 1
 
+    # -- the disk tier --------------------------------------------------------
+
+    def _disk_path(self, fingerprint: str) -> Path:
+        assert self.directory is not None
+        if self.shard_depth and len(fingerprint) > self.shard_depth:
+            return self.directory / fingerprint[: self.shard_depth] / f"{fingerprint}.json"
+        return self.directory / f"{fingerprint}.json"
+
     def _read_disk(self, fingerprint: str) -> Optional[SolveReport]:
         if self.directory is None:
             return None
-        path = self.directory / f"{fingerprint}.json"
+        path = self._disk_path(fingerprint)
+        if not path.is_file():
+            # Pre-partitioning layouts (and shard_depth=0 co-writers) put
+            # the document directly under the root; honour them on reads.
+            path = self.directory / f"{fingerprint}.json"
         try:
             return solve_report_from_dict(json.loads(path.read_text()))
         except (OSError, ValueError, KeyError):
             # Missing, corrupt or version-incompatible entry: a miss, not an
             # error — the request simply re-solves and overwrites it.
             return None
+
+    def _disk_entries(self) -> List[Tuple[float, Path]]:
+        """Every disk entry as ``(mtime, path)`` (both layouts); unsorted."""
+        assert self.directory is not None
+        entries: List[Tuple[float, Path]] = []
+        for path in self.directory.glob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # concurrently evicted by a co-writer
+        if self.shard_depth:
+            for path in self.directory.glob("*/*.json"):
+                try:
+                    entries.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue
+        return entries
+
+    def _note_disk_write(self) -> None:
+        """Count one fresh disk entry and enforce the budget when set."""
+        with self._disk_lock:
+            if self._disk_count is None:
+                self._disk_count = len(self._disk_entries())
+            else:
+                self._disk_count += 1
+            if (
+                self.max_disk_entries is None
+                or self._disk_count <= self.max_disk_entries
+            ):
+                return
+            # Over budget: evict oldest-written first.  The listing is
+            # re-derived from the directory (not the counter) so several
+            # processes sharing the tier converge on the cap instead of
+            # trusting their private approximations.
+            entries = sorted(self._disk_entries())
+            excess = len(entries) - self.max_disk_entries
+            for _, path in entries[:excess]:
+                try:
+                    os.unlink(path)
+                    self._disk_evictions += 1
+                except OSError:
+                    continue  # already gone (a co-writer evicted it)
+            self._disk_count = min(len(entries), self.max_disk_entries)
+
+    def disk_entries(self) -> int:
+        """Number of entries currently in the disk tier (0 when memory-only)."""
+        if self.directory is None:
+            return 0
+        with self._disk_lock:
+            self._disk_count = len(self._disk_entries())
+            return self._disk_count
+
+    def warm(self, prefixes: Iterable[str], limit: Optional[int] = None) -> int:
+        """Pre-load disk entries for the given shard prefixes into memory.
+
+        This is the cross-worker cache-warming step: when the cluster's
+        routing table changes (a worker died or rejoined), the shards it
+        owned re-route, and their new owner calls ``warm`` so the traffic
+        that is about to arrive finds the memory tier hot instead of paying
+        a validating disk read per request.
+
+        Newest-written entries load first and at most ``limit`` (default:
+        the memory capacity) load in total; fingerprints already resident
+        are skipped without spending a read.  Returns the number of reports
+        loaded.  Unreadable entries are skipped, as everywhere else.
+        """
+        if self.directory is None:
+            return 0
+        budget = self.capacity if limit is None else limit
+        wanted: List[Tuple[float, Path]] = []
+        for prefix in prefixes:
+            shard_dir = self.directory / prefix[: self.shard_depth or None]
+            if self.shard_depth and shard_dir.is_dir():
+                for path in shard_dir.glob(f"{prefix}*.json"):
+                    try:
+                        wanted.append((path.stat().st_mtime, path))
+                    except OSError:
+                        continue
+            # Legacy flat entries participate too.
+            for path in self.directory.glob(f"{prefix}*.json"):
+                try:
+                    wanted.append((path.stat().st_mtime, path))
+                except OSError:
+                    continue
+        wanted.sort(reverse=True)
+        loaded = 0
+        for _, path in wanted:
+            if loaded >= budget:
+                break
+            fingerprint = path.stem
+            with self._lock:
+                if fingerprint in self._memory:
+                    continue
+            try:
+                report = solve_report_from_dict(json.loads(path.read_text()))
+            except (OSError, ValueError, KeyError):
+                continue
+            with self._lock:
+                if fingerprint not in self._memory:
+                    self._insert(fingerprint, report)
+                    self._warmed += 1
+                    loaded += 1
+        return loaded
 
     # -- introspection --------------------------------------------------------
 
@@ -162,7 +332,10 @@ class ResultStore:
                 return True
         if self.directory is None:
             return False
-        return (self.directory / f"{fingerprint}.json").is_file()
+        return (
+            self._disk_path(fingerprint).is_file()
+            or (self.directory / f"{fingerprint}.json").is_file()
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -175,6 +348,12 @@ class ResultStore:
 
     def stats(self) -> Dict[str, object]:
         """Hit/miss/eviction counters plus current occupancy."""
+        # disk_entries is the count when known, None when the directory has
+        # not been scanned yet (counting is deferred until a write or an
+        # explicit disk_entries() call, so stats() stays cheap) and when
+        # there is no disk tier at all.
+        with self._disk_lock:
+            disk_count = self._disk_count if self.directory else None
         with self._lock:
             total = self._hits + self._misses
             return {
@@ -187,4 +366,8 @@ class ResultStore:
                 "size": len(self._memory),
                 "capacity": self.capacity,
                 "disk": str(self.directory) if self.directory else None,
+                "disk_entries": disk_count,
+                "disk_evictions": self._disk_evictions,
+                "max_disk_entries": self.max_disk_entries,
+                "warmed": self._warmed,
             }

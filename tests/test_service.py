@@ -30,6 +30,8 @@ from busytime.service import (
     JobFailedError,
     ResultStore,
     ServiceClosedError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
     SolveService,
     canonical_request,
     canonicalize,
@@ -268,7 +270,8 @@ class TestResultStore:
         store = ResultStore(capacity=8, directory=tmp_path / "cache")
         fp, report = _canonical_report_for(dyadic_instance(random.Random(7), 8, g=2))
         store.put(fp, report)
-        path = tmp_path / "cache" / f"{fp}.json"
+        # Entries land in the shard-prefix subdirectory (fp[:2]).
+        path = tmp_path / "cache" / fp[:2] / f"{fp}.json"
         first_bytes = path.read_text()
         store.put(fp, report)
         assert path.read_text() == first_bytes  # timings excluded on disk
@@ -284,7 +287,7 @@ class TestResultStore:
         fp, report = _canonical_report_for(dyadic_instance(random.Random(10), 5, g=2))
         store.put(fp, report)
         store.clear_memory()
-        path = tmp_path / "cache" / f"{fp}.json"
+        path = tmp_path / "cache" / fp[:2] / f"{fp}.json"
         doc = json.loads(path.read_text())
         doc["version"] = 99
         path.write_text(json.dumps(doc))
@@ -293,6 +296,73 @@ class TestResultStore:
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             ResultStore(capacity=0)
+
+    def test_disk_tier_cap_evicts_oldest_entries(self, tmp_path):
+        import os
+        import time as _time
+
+        entries = [
+            _canonical_report_for(dyadic_instance(random.Random(s), 5, g=2))
+            for s in range(5)
+        ]
+        # Seed the directory uncapped, with distinct, ordered mtimes (the
+        # eviction key) so the test does not depend on filesystem timestamp
+        # resolution or put ordering.
+        seeder = ResultStore(capacity=2, directory=tmp_path / "cache")
+        for index, (fp, report) in enumerate(entries[:4]):
+            seeder.put(fp, report)
+            path = tmp_path / "cache" / fp[:2] / f"{fp}.json"
+            stamp = _time.time() - 100 + index
+            os.utime(path, (stamp, stamp))
+        # A capped store over the same directory: its next write must
+        # enforce the budget by evicting the oldest entries.
+        store = ResultStore(
+            capacity=2, directory=tmp_path / "cache", max_disk_entries=3
+        )
+        store.put(*entries[4])
+        assert store.disk_entries() <= 3
+        stats = store.stats()
+        assert stats["disk_evictions"] >= 2
+        assert stats["max_disk_entries"] == 3
+        store.clear_memory()
+        # The newest survive; the oldest were evicted.
+        assert store.get(entries[4][0]) is not None
+        assert store.get(entries[3][0]) is not None
+        assert store.get(entries[0][0]) is None
+
+    def test_warm_loads_disk_prefixes_into_memory(self, tmp_path):
+        store = ResultStore(capacity=8, directory=tmp_path / "cache")
+        entries = [
+            _canonical_report_for(dyadic_instance(random.Random(s), 5, g=2))
+            for s in range(4)
+        ]
+        for fp, report in entries:
+            store.put(fp, report)
+        store.clear_memory()
+        warmed = store.warm([fp[:2] for fp, _ in entries])
+        assert warmed == 4
+        assert len(store) == 4
+        assert store.stats()["warmed"] == 4
+        # Warmed entries are memory hits now — no disk read involved.
+        disk_hits_before = store.stats()["disk_hits"]
+        assert store.get(entries[0][0]) is not None
+        assert store.stats()["disk_hits"] == disk_hits_before
+
+    def test_two_stores_share_one_disk_directory(self, tmp_path):
+        # Two services pointed at the same disk tier (the pre-cluster way
+        # to share results): a report solved by one is a disk hit in the
+        # other, and concurrent writers do not corrupt entries (each put
+        # goes through its own tempfile + atomic rename).
+        directory = tmp_path / "shared"
+        inst = dyadic_instance(random.Random(300), 6, g=2, name="shared")
+        with SolveService(store=ResultStore(capacity=8, directory=directory)) as a:
+            first = a.solve(SolveRequest(instance=inst))
+        with SolveService(store=ResultStore(capacity=8, directory=directory)) as b:
+            second = b.solve(SolveRequest(instance=inst))
+            stats = b.stats()["store"]
+        assert stats["disk_hits"] == 1
+        assert second.cost == pytest.approx(first.cost)
+        second.schedule.validate()
 
 
 # ---------------------------------------------------------------------------
@@ -873,3 +943,312 @@ class TestHTTPFrontend:
         assert report.cost == pytest.approx(
             Engine().solve(SolveRequest(instance=inst)).cost
         )
+
+
+# ---------------------------------------------------------------------------
+# Backpressure, drain, health
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressureAndDrain:
+    def test_max_pending_sheds_beyond_the_cap(self):
+        # No worker thread: submitted jobs stay in flight, so the queue
+        # depth is fully under the test's control.
+        service = SolveService(start_worker=False, max_pending=1)
+        try:
+            a = dyadic_instance(random.Random(200), 4, g=2, name="bp-a")
+            b = dyadic_instance(random.Random(201), 4, g=2, name="bp-b")
+            service.submit(SolveRequest(instance=a))
+            with pytest.raises(ServiceOverloadedError, match="max_pending"):
+                service.submit(SolveRequest(instance=b))
+            assert service.stats()["shed"] == 1
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 1
+            assert health["max_pending"] == 1
+            assert health["shed"] == 1
+        finally:
+            service.close()
+
+    def test_duplicate_of_inflight_request_is_admitted_at_the_cap(self):
+        # Dedupe attaches add no queue depth, so shedding them would only
+        # lose a free answer.
+        service = SolveService(start_worker=False, max_pending=1)
+        try:
+            a = dyadic_instance(random.Random(202), 4, g=2, name="bp-dup")
+            service.submit(SolveRequest(instance=a))
+            service.submit(SolveRequest(instance=a))  # same fingerprint
+            assert service.queue_depth() == 1
+            assert service.stats()["shed"] == 0
+        finally:
+            service.close()
+
+    def test_drain_refuses_new_work_then_closes(self):
+        service = SolveService(start_worker=False)
+        a = dyadic_instance(random.Random(203), 4, g=2, name="dr-a")
+        b = dyadic_instance(random.Random(204), 4, g=2, name="dr-b")
+        service.submit(SolveRequest(instance=a))  # held in flight forever
+        outcome = {}
+        drainer = threading.Thread(
+            target=lambda: outcome.setdefault(
+                "drained", service.drain(timeout=1.0, poll=0.01)
+            )
+        )
+        drainer.start()
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if service.health()["status"] == "draining":
+                break
+            time.sleep(0.01)
+        assert service.health()["status"] == "draining"
+        with pytest.raises(ServiceDrainingError, match="draining"):
+            service.submit(SolveRequest(instance=b))
+        drainer.join()
+        # The held job never finished (no worker): the drain reports the
+        # truth instead of pretending, and the service still closed.
+        assert outcome["drained"] is False
+        assert service.health()["status"] == "closed"
+
+    def test_drain_of_idle_service_completes_cleanly(self):
+        service = SolveService()
+        inst = dyadic_instance(random.Random(205), 5, g=2, name="dr-idle")
+        service.solve(SolveRequest(instance=inst))
+        assert service.drain(timeout=5.0) is True
+        with pytest.raises(ServiceClosedError):
+            service.submit(SolveRequest(instance=inst))
+
+    def test_draining_error_is_a_closed_subclass(self):
+        # Callers that branch on "can this service take work" need one
+        # catch; callers that care about the retryable distinction get it.
+        assert issubclass(ServiceDrainingError, ServiceClosedError)
+        assert issubclass(ServiceOverloadedError, RuntimeError)
+        assert not issubclass(ServiceOverloadedError, ServiceClosedError)
+
+
+class TestHTTPHealthWarmAndShed:
+    def test_healthz_is_200_when_ok_and_503_when_draining(self):
+        import urllib.error
+
+        service = SolveService(start_worker=False)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            status, health = _get_json(f"{url}/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+            assert "store" in health
+            # Hold one job in flight so the drain stays in 'draining'.
+            inst = dyadic_instance(random.Random(210), 4, g=2, name="hz")
+            service.submit(SolveRequest(instance=inst))
+            drainer = threading.Thread(
+                target=service.drain, kwargs={"timeout": 2.0, "poll": 0.01}
+            )
+            drainer.start()
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if service.health()["status"] != "ok":
+                    break
+                time.sleep(0.01)
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{url}/healthz", timeout=10)
+            assert err.value.code == 503
+            assert json.loads(err.value.read())["status"] in ("draining", "closed")
+            drainer.join()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_saturated_service_answers_429_with_retry_after(self):
+        import urllib.error
+
+        service = SolveService(start_worker=False, max_pending=1)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            first = dyadic_instance(random.Random(211), 4, g=2, name="shed-a")
+            reply = submit_instance(url, bio.instance_to_dict(first), wait=False)
+            assert reply["status"] == "queued"
+            second = dyadic_instance(random.Random(212), 4, g=2, name="shed-b")
+            body = json.dumps(
+                {"instance": bio.instance_to_dict(second)}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                f"{url}/solve", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 429
+            assert err.value.headers.get("Retry-After") is not None
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_warm_endpoint_loads_disk_entries(self, tmp_path):
+        store = ResultStore(capacity=8, directory=tmp_path / "cache")
+        service = SolveService(store=store)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            inst = dyadic_instance(random.Random(213), 5, g=2, name="warm")
+            service.solve(SolveRequest(instance=inst))
+            store.clear_memory()
+            # The service resolves defaults (e.g. policy) into its cache
+            # key, so read the shard prefix off the disk entry it wrote.
+            [entry] = (tmp_path / "cache").rglob("*.json")
+            prefix = entry.stem[:2]
+            body = json.dumps({"prefixes": [prefix]}).encode("utf-8")
+            request = urllib.request.Request(
+                f"{url}/warm", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                payload = json.loads(reply.read())
+            assert payload["warmed"] == 1
+            assert len(store) == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_warm_endpoint_validates_its_body(self, http_service):
+        import urllib.error
+
+        _, url = http_service
+        for body in (b'{"prefixes": "ab"}', b'{"prefixes": ["ab"], "limit": -1}'):
+            request = urllib.request.Request(
+                f"{url}/warm", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 400
+
+    def test_keepalive_connection_survives_mixed_good_and_bad_requests(
+        self, http_service
+    ):
+        # A 400 whose body WAS drained must not cost the connection: the
+        # next request on the same socket gets a clean answer.
+        import http.client
+
+        _, url = http_service
+        host, port = url.removeprefix("http://").split(":")
+        connection = http.client.HTTPConnection(host, int(port), timeout=10)
+        good = json.dumps(
+            {
+                "instance": bio.instance_to_dict(
+                    dyadic_instance(random.Random(214), 5, g=2, name="ka")
+                ),
+                "wait": True,
+            }
+        ).encode("utf-8")
+        bad = json.dumps(
+            {
+                "instance": bio.instance_to_dict(
+                    dyadic_instance(random.Random(215), 5, g=2, name="ka2")
+                ),
+                "options": {"nope": 1},
+            }
+        ).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        connection.request("POST", "/solve", body=good, headers=headers)
+        reply = connection.getresponse()
+        assert reply.status == 200
+        reply.read()
+        socket_before = connection.sock
+        for body, expected in ((bad, 400), (good, 200)):
+            connection.request("POST", "/solve", body=body, headers=headers)
+            reply = connection.getresponse()
+            assert reply.status == expected
+            assert reply.getheader("Connection") != "close"
+            reply.read()
+        # Same socket throughout: http.client would silently reconnect if
+        # the server had dropped it, so assert identity, not just success.
+        assert connection.sock is socket_before
+        connection.close()
+
+    def test_mid_body_client_disconnect_leaves_the_service_healthy(
+        self, http_service
+    ):
+        import socket
+
+        _, url = http_service
+        host, port = url.removeprefix("http://").split(":")
+        raw = socket.create_connection((host, int(port)), timeout=10)
+        raw.sendall(
+            b"POST /solve HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 1000\r\n"
+            b"\r\n"
+            b'{"instance"'
+        )
+        raw.close()  # hang up with 989 bytes still owed
+        # The handler sees a short read, not a hung thread, and the server
+        # keeps answering other clients.
+        status, health = _get_json(f"{url}/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+
+
+class TestClientRetry:
+    def test_backoff_delays_are_bounded_and_jittered(self):
+        from busytime.service.frontend import _backoff_delay
+
+        for attempt in range(8):
+            delay = _backoff_delay(attempt, backoff=0.25, cap=10.0)
+            assert 0 <= delay <= min(10.0, 0.25 * 2**attempt)
+
+    def test_connection_refused_is_retried_then_reported(self):
+        import socket
+        import time
+
+        # Bind-then-close: a port where nothing listens, refusing connects.
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        inst = dyadic_instance(random.Random(216), 4, g=2, name="retry")
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="after 3 attempts"):
+            submit_instance(
+                f"http://127.0.0.1:{port}",
+                bio.instance_to_dict(inst),
+                retries=2,
+                backoff=0.01,
+                timeout=5,
+            )
+        assert time.monotonic() - started < 5.0  # backed off, not hung
+
+    def test_rejections_are_not_retried(self, http_service):
+        # A 400 cannot improve with time; retries=5 must not slow it down.
+        _, url = http_service
+        inst = dyadic_instance(random.Random(217), 5, g=2, name="no-retry")
+        import time
+
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="rejected"):
+            submit_instance(
+                url,
+                bio.instance_to_dict(inst),
+                options={"nope": 1},
+                retries=5,
+                backoff=5.0,
+            )
+        assert time.monotonic() - started < 4.0
