@@ -2,12 +2,25 @@
 
 Registers the ``slow`` marker and deselects slow-marked tests by default so
 tier-1 (``PYTHONPATH=src python -m pytest -x -q``) stays fast; the large
-benchmark modules opt in with ``--run-slow``.
+benchmark modules opt in with ``--run-slow`` or by setting
+``BUSYTIME_RUN_SLOW=1`` in the environment (the latter is what CI's bench
+workflow uses, where editing the pytest invocation per job is awkward).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def _env_opt_in() -> bool:
+    return os.environ.get("BUSYTIME_RUN_SLOW", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -15,23 +28,29 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--run-slow",
         action="store_true",
         default=False,
-        help="also run tests marked slow (large scaling benchmarks)",
+        help=(
+            "also run tests marked slow (large scaling benchmarks); "
+            "BUSYTIME_RUN_SLOW=1 in the environment does the same"
+        ),
     )
 
 
 def pytest_configure(config: pytest.Config) -> None:
     config.addinivalue_line(
         "markers",
-        "slow: long-running scaling benchmark; skipped unless --run-slow is given",
+        "slow: long-running scaling benchmark; skipped unless --run-slow "
+        "is given or BUSYTIME_RUN_SLOW=1 is set",
     )
 
 
 def pytest_collection_modifyitems(
     config: pytest.Config, items: list
 ) -> None:
-    if config.getoption("--run-slow"):
+    if config.getoption("--run-slow") or _env_opt_in():
         return
-    skip_slow = pytest.mark.skip(reason="slow benchmark; pass --run-slow to run")
+    skip_slow = pytest.mark.skip(
+        reason="slow benchmark; pass --run-slow (or BUSYTIME_RUN_SLOW=1) to run"
+    )
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)

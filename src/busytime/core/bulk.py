@@ -1,0 +1,384 @@
+"""Vectorized (numpy) bulk kernels for profiles, verification and FirstFit.
+
+The per-operation machine state (:class:`~busytime.core.events.SweepProfile`
+and :class:`~busytime.core.profile_index.IndexedSweepProfile`) answers one
+query at a time.  The helpers here answer *many* at once: they trade the
+incremental structure for whole-array numpy passes and are what lets the
+library reach n = 10^6 jobs (experiment E21) without leaving pure Python.
+
+Four groups of kernels:
+
+* **array extraction** (:func:`job_arrays`) — jobs to ``(starts, ends,
+  demands)`` float64/None arrays;
+* **bulk profile construction** (:func:`profile_arrays`) — the vectorized
+  twin of ``SweepProfile.from_intervals``'s rank counting, producing the
+  exact same ``point``/``seg`` (and demand-weighted) arrays;
+* **batch oracle sweeps** (:func:`machine_peaks`) — peak load, peak demand
+  and span of one machine's job set via a single lexsort + cumsum sweep;
+  used by ``verify_schedule(mode="batch")`` as the vectorized independent
+  oracle (it never reads a profile);
+* **the FirstFit saturation kernel** (:func:`first_fit_assign`) — the
+  whole longest-first FirstFit loop over coordinate-compressed breakpoints
+  with a per-breakpoint *saturation bitmask*: bit ``t`` of ``sat[p]`` is set
+  exactly when machine ``t`` already runs ``g`` jobs at breakpoint ``p``, so
+  the lowest fitting machine for a job is the lowest zero bit of the OR of
+  ``sat`` over the job's window.  Produces assignments **bit-identical** to
+  the per-job builder path (pinned by ``tests/test_profile_index.py`` and
+  the differential corpus), at ~10^5 jobs/second.
+
+Everything in this module is pure functions over arrays — no profile
+object, no feature flag.  Callers (``first_fit``, ``verify_schedule``,
+``SweepProfile.from_intervals``) decide when to route here; the
+``BUSYTIME_PROFILE_INDEX=off`` leg never does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "job_arrays",
+    "profile_arrays",
+    "merge_profile_arrays",
+    "window_maxima",
+    "machine_peaks",
+    "first_fit_assign",
+    "MAX_BITMASK_MACHINES",
+]
+
+
+def job_arrays(
+    jobs: Sequence,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """``(starts, ends, demands)`` arrays of a job sequence.
+
+    ``demands`` is ``None`` when every job has unit demand, so unit-demand
+    callers keep their unweighted fast paths without an O(n) re-check.
+    """
+    n = len(jobs)
+    starts = np.fromiter((j.start for j in jobs), dtype=np.float64, count=n)
+    ends = np.fromiter((j.end for j in jobs), dtype=np.float64, count=n)
+    demands = np.fromiter((j.demand for j in jobs), dtype=np.float64, count=n)
+    if np.all(demands == 1.0):
+        return starts, ends, None
+    return starts, ends, demands
+
+
+def profile_arrays(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    demands: Optional[np.ndarray] = None,
+) -> Tuple[List[float], List[int], List[int], Optional[list], Optional[list], float]:
+    """Vectorized sweep-profile arrays of a set of closed intervals.
+
+    Returns ``(times, point, seg, dpoint, dseg, measure)`` with exactly the
+    semantics of ``SweepProfile.from_intervals``'s rank counting: ``point[i]``
+    is the closed load at breakpoint ``times[i]``, ``seg[i]`` the load on the
+    open segment to its right, and the demand-weighted twins are ``None``
+    while all demands are 1.  Integer counts are exact; ``measure`` is the
+    covered length (Klee) of the union.
+    """
+    if len(starts) == 0:
+        return [], [], [], None, None, 0.0
+    s_sorted = np.sort(starts)
+    e_sorted = np.sort(ends)
+    times = np.unique(np.concatenate([starts, ends]))
+    s_rank = np.searchsorted(s_sorted, times, side="right")
+    point = s_rank - np.searchsorted(e_sorted, times, side="left")
+    seg = s_rank - np.searchsorted(e_sorted, times, side="right")
+    seg[-1] = 0  # nothing extends past the last breakpoint
+    gaps = np.diff(times)
+    measure = float(np.sum(gaps[seg[:-1] > 0]))
+    dpoint = dseg = None
+    if demands is not None:
+        # Demand-weighted rank counting: prefix sums of demands over the
+        # endpoint lists, sorted by (coordinate, demand) to match the
+        # sequential reference bit for bit even with float demands.
+        s_order = np.lexsort((demands, starts))
+        e_order = np.lexsort((demands, ends))
+        s_coords = starts[s_order]
+        e_coords = ends[e_order]
+        s_cum = np.concatenate([[0.0], np.cumsum(demands[s_order])])
+        e_cum = np.concatenate([[0.0], np.cumsum(demands[e_order])])
+        dpoint_arr = (
+            s_cum[np.searchsorted(s_coords, times, side="right")]
+            - e_cum[np.searchsorted(e_coords, times, side="left")]
+        )
+        dseg_arr = (
+            s_cum[np.searchsorted(s_coords, times, side="right")]
+            - e_cum[np.searchsorted(e_coords, times, side="right")]
+        )
+        dseg_arr[-1] = 0.0
+        if np.all(demands == np.floor(demands)):
+            dpoint = [int(v) for v in np.rint(dpoint_arr).tolist()]
+            dseg = [int(v) for v in np.rint(dseg_arr).tolist()]
+        else:
+            dpoint = dpoint_arr.tolist()
+            dseg = dseg_arr.tolist()
+    return (
+        times.tolist(),
+        point.tolist(),
+        seg.tolist(),
+        dpoint,
+        dseg,
+        measure,
+    )
+
+
+def merge_profile_arrays(
+    old_times: Sequence[float],
+    old_point: Sequence[int],
+    old_seg: Sequence[int],
+    starts: np.ndarray,
+    ends: np.ndarray,
+    demands: Optional[np.ndarray] = None,
+    old_dpoint: Optional[Sequence] = None,
+    old_dseg: Optional[Sequence] = None,
+) -> Tuple[List[float], List[int], List[int], Optional[list], Optional[list], float]:
+    """Merge a batch of closed intervals into existing sweep-profile arrays.
+
+    The vectorized twin of calling ``SweepProfile.add`` once per interval:
+    the old ``point``/``seg`` step function is interpolated onto the union
+    breakpoint grid (a point inside an old segment inherits that segment's
+    coverage, exactly like ``_ensure_breakpoint``), then the batch's
+    contribution is rank-counted on the same grid and added.  Requires a
+    non-empty old profile and a non-empty batch (callers special-case the
+    degenerate ends).
+
+    Demand-weighted twins are merged when ``old_dpoint``/``old_dseg`` are
+    given (pass copies of ``point``/``seg`` when upgrading a unit-demand
+    profile).  Integer demands stay exact Python ints; float demands are
+    merged in float64, which can differ from the sequential path by normal
+    accumulation-order ulps.
+    """
+    m = len(old_times)
+    ot = np.asarray(old_times, dtype=np.float64)
+    op = np.asarray(old_point)
+    osg = np.asarray(old_seg)
+    times = np.unique(np.concatenate([ot, starts, ends]))
+    u = len(times)
+    # Old contribution, interpolated onto the union grid.
+    j = np.searchsorted(ot, times, side="left")
+    jc = np.minimum(j, m - 1)
+    exact = ot[jc] == times
+    inside = (~exact) & (j > 0) & (j < m)
+    point = np.zeros(u, dtype=np.int64)
+    point[exact] = op[jc[exact]]
+    point[inside] = osg[j[inside] - 1]
+    js = np.searchsorted(ot, times, side="right")
+    seg = np.zeros(u, dtype=np.int64)
+    sv = js > 0
+    seg[sv] = osg[js[sv] - 1]  # old seg[-1] == 0 covers the past-the-end case
+    # Batch contribution by rank counting on the union grid.
+    ns = np.sort(starts)
+    ne = np.sort(ends)
+    sr = np.searchsorted(ns, times, side="right")
+    er_left = np.searchsorted(ne, times, side="left")
+    er_right = np.searchsorted(ne, times, side="right")
+    point += sr - er_left
+    seg += sr - er_right
+    seg[-1] = 0
+    gaps = np.diff(times)
+    measure = float(np.sum(gaps[seg[:-1] > 0]))
+    dpoint = dseg = None
+    if old_dpoint is not None:
+        odp = np.asarray(old_dpoint)
+        ods = np.asarray(old_dseg)
+        floaty = odp.dtype.kind == "f" or (
+            demands is not None and not bool(np.all(demands == np.floor(demands)))
+        )
+        dp = np.zeros(u, dtype=np.float64)
+        dp[exact] = odp[jc[exact]]
+        dp[inside] = ods[j[inside] - 1]
+        ds = np.zeros(u, dtype=np.float64)
+        ds[sv] = ods[js[sv] - 1]
+        if demands is None:
+            dp += sr - er_left
+            ds += sr - er_right
+        else:
+            s_order = np.lexsort((demands, starts))
+            e_order = np.lexsort((demands, ends))
+            s_coords = starts[s_order]
+            e_coords = ends[e_order]
+            s_cum = np.concatenate([[0.0], np.cumsum(demands[s_order])])
+            e_cum = np.concatenate([[0.0], np.cumsum(demands[e_order])])
+            dp += (
+                s_cum[np.searchsorted(s_coords, times, side="right")]
+                - e_cum[np.searchsorted(e_coords, times, side="left")]
+            )
+            ds += (
+                s_cum[np.searchsorted(s_coords, times, side="right")]
+                - e_cum[np.searchsorted(e_coords, times, side="right")]
+            )
+        ds[-1] = 0.0
+        if floaty:
+            dpoint = dp.tolist()
+            dseg = ds.tolist()
+        else:
+            dpoint = [int(v) for v in np.rint(dp).tolist()]
+            dseg = [int(v) for v in np.rint(ds).tolist()]
+    return times.tolist(), point.tolist(), seg.tolist(), dpoint, dseg, measure
+
+
+def window_maxima(
+    times: Sequence[float],
+    point: Sequence,
+    seg: Sequence,
+    qstarts: np.ndarray,
+    qends: np.ndarray,
+) -> np.ndarray:
+    """Per-query maximum of a sweep profile over closed windows.
+
+    ``out[k]`` is the profile's maximum over ``[qstarts[k], qends[k]]`` with
+    exactly ``SweepProfile.max_load_in``'s semantics: the left-edge segment
+    value when the window opens inside a segment, plus the maximum ``point``
+    value over the breakpoints the window contains.  Range maxima come from
+    a sparse table (one O(m log m) build per call, O(1) per query), so a
+    batch of q queries costs O((m + q) log m) instead of q linear slices.
+    """
+    nq = len(qstarts)
+    m = len(times)
+    if nq == 0:
+        return np.zeros(0, dtype=np.int64)
+    if m == 0:
+        return np.zeros(nq, dtype=np.int64)
+    t = np.asarray(times, dtype=np.float64)
+    p = np.asarray(point)
+    s = np.asarray(seg)
+    qs = np.asarray(qstarts, dtype=np.float64)
+    qe = np.asarray(qends, dtype=np.float64)
+    lo = np.searchsorted(t, qs, side="left")
+    hi = np.searchsorted(t, qe, side="right") - 1
+    loc = np.minimum(lo, m - 1)
+    exact = t[loc] == qs
+    inside = (~exact) & (lo > 0) & (lo < m)
+    out = np.zeros(nq, dtype=p.dtype)
+    out[inside] = s[lo[inside] - 1]
+    valid = hi >= lo
+    if np.any(valid):
+        levels = [p]
+        k = 1
+        while (1 << k) <= m:
+            prev = levels[-1]
+            half = 1 << (k - 1)
+            width = m - (1 << k) + 1
+            levels.append(np.maximum(prev[:width], prev[half : half + width]))
+            k += 1
+        ql = lo[valid]
+        qr = hi[valid]
+        ks = np.floor(np.log2(qr - ql + 1)).astype(np.int64)
+        res = np.empty(len(ql), dtype=p.dtype)
+        for k in range(len(levels)):
+            sel = ks == k
+            if not np.any(sel):
+                continue
+            tab = levels[k]
+            res[sel] = np.maximum(tab[ql[sel]], tab[qr[sel] - (1 << k) + 1])
+        out[valid] = np.maximum(out[valid], res)
+    return out
+
+
+def machine_peaks(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    demands: Optional[np.ndarray] = None,
+) -> Tuple[int, float, float]:
+    """``(peak_load, peak_demand, measure)`` of one machine's job set.
+
+    One lexsort + cumsum sweep over start/end events with closed-interval
+    semantics (starts before ends at equal coordinates).  This is the
+    vectorized counterpart of the :mod:`busytime.core.intervals` oracles
+    (``max_point_load``, ``max_point_demand``, ``span``) — computed from the
+    raw arrays, never from a profile — so ``verify_schedule(mode="batch")``
+    stays an independent check of the fast-path machine state.
+    """
+    n = len(starts)
+    if n == 0:
+        return 0, 0.0, 0.0
+    times = np.concatenate([starts, ends])
+    kinds = np.concatenate(
+        [np.zeros(n, dtype=np.int8), np.ones(n, dtype=np.int8)]
+    )
+    order = np.lexsort((kinds, times))
+    t_ord = times[order]
+    delta = np.where(kinds[order] == 0, 1, -1)
+    active = np.cumsum(delta)
+    peak_load = int(active.max())
+    measure = float(np.sum(np.diff(t_ord)[active[:-1] > 0]))
+    if demands is None:
+        return peak_load, float(peak_load), measure
+    ddelta = np.concatenate([demands, -demands])[order]
+    peak_demand = float(np.cumsum(ddelta).max())
+    return peak_load, peak_demand, measure
+
+
+#: A machine index the saturation kernel can still encode: masks widen from
+#: int32 to int64 once machine 31 opens; beyond 63 machines the kernel bails
+#: out (callers fall back to the per-job builder path).
+MAX_BITMASK_MACHINES = 63
+
+
+def first_fit_assign(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    ids: np.ndarray,
+    g: int,
+) -> Optional[Tuple[List[int], List[int], int]]:
+    """Longest-first FirstFit over unit-demand jobs, vectorized per query.
+
+    Returns ``(order, assign, num_machines)`` where ``order`` lists job
+    *positions* in processing order (non-increasing length, ties by start
+    then id — exactly :func:`busytime.algorithms.first_fit.first_fit_order`)
+    and ``assign[pos]`` is the machine index of the job at input position
+    ``pos``; or ``None`` when more than :data:`MAX_BITMASK_MACHINES`
+    machines open and the caller must fall back.
+
+    How it stays exact: all endpoints are coordinate-compressed to the grid
+    of distinct breakpoints.  Because every placed job's endpoints lie on
+    the grid, a job covering any part of an open segment between adjacent
+    breakpoints also covers both breakpoints, so the peak load inside a
+    job's closed window is always attained *at a breakpoint* — checking the
+    breakpoints inside the window suffices, exactly as ``SweepProfile``'s
+    ``max_load_in`` does.  Per machine the kernel keeps an int8 load row
+    over the grid; ``sat[p]`` packs "machine t is saturated (load == g) at
+    breakpoint p" bits, so the FirstFit scan over *all* machines collapses
+    to one ``bitwise_or.reduce`` over the window plus a lowest-zero-bit
+    step, independent of the machine count.
+    """
+    n = len(starts)
+    order_arr = np.lexsort((ids, starts, starts - ends))
+    coords, inv = np.unique(
+        np.concatenate([starts, ends]), return_inverse=True
+    )
+    lo = inv[:n].tolist()
+    hi = (inv[n:] + 1).tolist()  # exclusive upper breakpoint index
+    num_points = len(coords)
+    or_reduce = np.bitwise_or.reduce
+    sat = np.zeros(num_points, dtype=np.int32)
+    cap = 30  # highest machine bit an int32 mask can carry (sign bit unused)
+    rows: List[np.ndarray] = []
+    assign = [0] * n
+    num_machines = 0
+    order = order_arr.tolist()
+    for j in order:
+        left = lo[j]
+        right = hi[j]
+        mask = int(or_reduce(sat[left:right]))
+        target = (~mask & (mask + 1)).bit_length() - 1 if mask else 0
+        if target >= num_machines:
+            if target > cap:
+                if cap == 30:
+                    sat = sat.astype(np.int64)
+                    cap = MAX_BITMASK_MACHINES
+                else:
+                    return None
+            rows.append(np.zeros(num_points, dtype=np.int8))
+            num_machines += 1
+        window = rows[target][left:right]
+        window += 1
+        if window.max() == g:
+            sat[left:right] |= (window == g) * (1 << target)
+        assign[j] = target
+    return order, assign, num_machines

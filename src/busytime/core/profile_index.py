@@ -1,0 +1,658 @@
+"""Indexed machine state: a lazy segment tree over compressed breakpoints.
+
+:class:`IndexedSweepProfile` answers the same queries as the linear
+:class:`~busytime.core.events.SweepProfile` — ``add``/``remove``/``fits``/
+``load_at``/``max_load_in``/``covered_measure_in`` and their demand-weighted
+twins — from a range-add / range-max / covered-length segment tree instead
+of flat breakpoint arrays, so a mutation or a window query costs
+``O(log n)`` instead of ``O(k)``/``O(w)``.
+
+Layout
+------
+The time axis is coordinate-compressed to the sorted distinct breakpoints
+``t_0 < t_1 < ... < t_{m-1}`` (the *universe*; ideally supplied up front —
+every endpoint an algorithm will ever touch is known from its instance).
+Tree leaves interleave point and segment positions::
+
+    position 2i   <->  the point t_i            (length 0)
+    position 2i+1 <->  the open segment (t_i, t_{i+1})   (length t_{i+1}-t_i)
+
+A closed interval ``[t_a, t_b]`` with endpoints on the grid is the
+contiguous position range ``[2a, 2b]``, so ``add``/``remove`` are single
+range-adds and the feasibility query is a single range-max.  Each node ``v``
+carries:
+
+``add[v]``
+    pending count delta applied to ``v``'s whole span (never pushed down);
+``mx[v]``
+    true maximum count in ``v``'s span, *including* ``add[v]`` but not the
+    ancestors' tags (queries accumulate those on the way down);
+``cov[v]``
+    covered length of ``v``'s span (Klee): the full span length while
+    ``add[v] > 0``, else the children's sum — ``cov[root]`` *is* the
+    machine's busy time, maintained by the same updates.
+
+The demand-weighted counters of the [15] capacity model live in a second
+``(dadd, dmx)`` pair on the same nodes, materialised lazily by the first
+non-unit-demand ``add`` exactly like ``SweepProfile``'s ``dpoint``/``dseg``
+twins — unit-demand instances never touch them.
+
+Coordinates outside the universe trigger a rebuild from the live interval
+multiset (kept for this purpose); correct but ``O(k log k)``, so callers
+that mutate incrementally should pass the full endpoint universe up front
+(``ScheduleBuilder`` and the branch-and-bound searcher do).
+
+The feature flag
+----------------
+:func:`profile_index_mode` reads ``BUSYTIME_PROFILE_INDEX``:
+
+``on`` (default)
+    numpy bulk kernels active everywhere; the per-operation tree replaces
+    the linear profile only above :data:`INDEXED_UNIVERSE_MIN` breakpoints,
+    where its asymptotics beat the linear structure's C-level constant
+    factors (list inserts are memmoves, slice maxima are C loops — below
+    ~10^5 breakpoints the flat arrays win wall-clock despite the worse
+    complexity).
+``off``
+    the legacy linear path everywhere, bulk kernels included — the
+    differential baseline CI keeps testing.
+``force``
+    the indexed tree everywhere regardless of size — what the differential
+    suites run so every query is pinned against the linear profile and the
+    brute-force oracle at equal inputs.
+
+:func:`verify_schedule` deliberately never consults either profile
+implementation; it stays the independent oracle both are checked against.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .bulk import job_arrays, profile_arrays
+from .events import SweepProfile
+from .intervals import Job, _as_interval
+
+__all__ = [
+    "IndexedSweepProfile",
+    "PROFILE_INDEX_ENV",
+    "profile_index_mode",
+    "profile_index",
+    "make_profile",
+    "make_profile_from_intervals",
+    "INDEXED_UNIVERSE_MIN",
+]
+
+#: Environment variable holding the backend mode: ``on`` / ``off`` / ``force``.
+PROFILE_INDEX_ENV = "BUSYTIME_PROFILE_INDEX"
+
+_MODES = ("on", "off", "force")
+
+#: In ``on`` mode, route a profile to the indexed tree only when its
+#: breakpoint universe is at least this large; below it the linear arrays
+#: are faster in wall-clock (their per-op cost is C memmove/scan, the
+#: tree's is Python-level log-depth walks).
+INDEXED_UNIVERSE_MIN = 200_000
+
+_override_stack: List[str] = []
+
+
+def profile_index_mode() -> str:
+    """The active backend mode (runtime override > environment > ``on``)."""
+    if _override_stack:
+        return _override_stack[-1]
+    raw = os.environ.get(PROFILE_INDEX_ENV, "on").strip().lower()
+    return raw if raw in _MODES else "on"
+
+
+@contextmanager
+def profile_index(mode: str):
+    """Context manager forcing a backend mode for the enclosed block.
+
+    ``with profile_index("force"): ...`` is how the differential tests pin
+    every algorithm to the indexed tree (and ``"off"`` to the legacy path)
+    without touching the process environment.
+    """
+    if mode not in _MODES:
+        raise ValueError(
+            f"profile index mode must be one of {_MODES}, got {mode!r}"
+        )
+    _override_stack.append(mode)
+    try:
+        yield
+    finally:
+        _override_stack.pop()
+
+
+def make_profile(
+    universe: Optional[Sequence[float]] = None,
+    universe_size: Optional[int] = None,
+):
+    """A fresh machine profile honouring the backend flag.
+
+    ``universe`` is the sorted distinct breakpoint coordinates the profile
+    may ever see (pass it whenever known — the algorithms know it from
+    their instance); required for the indexed tree to avoid rebuilds.  It
+    may be a zero-argument callable producing the coordinates, so callers
+    that open many machines only materialise the universe once the size
+    gate actually selects the tree; ``universe_size`` (or an upper bound,
+    e.g. ``2 * n`` endpoints) then drives the gate without forcing the
+    callable.
+    """
+    mode = profile_index_mode()
+    if universe_size is None and universe is not None and not callable(universe):
+        universe_size = len(universe)
+    use_indexed = mode == "force" or (
+        mode == "on"
+        and universe_size is not None
+        and universe_size >= INDEXED_UNIVERSE_MIN
+    )
+    if not use_indexed:
+        return SweepProfile()
+    if callable(universe):
+        universe = universe()
+    return IndexedSweepProfile(universe=universe)
+
+
+def make_profile_from_intervals(items: Sequence):
+    """Batch-build a machine profile from intervals, honouring the flag."""
+    mode = profile_index_mode()
+    if mode == "force" or (
+        mode == "on" and 2 * len(items) >= INDEXED_UNIVERSE_MIN
+    ):
+        return IndexedSweepProfile.from_intervals(items)
+    return SweepProfile.from_intervals(items)
+
+
+class IndexedSweepProfile:
+    """Segment-tree machine state with :class:`SweepProfile` API parity.
+
+    See the module docstring for the node layout.  Query-for-query the
+    answers are identical to the linear profile's (the hypothesis suite in
+    ``tests/test_profile_index.py`` drives both plus a brute-force oracle
+    through random interleavings and asserts exact equality); the two
+    deliberate representational differences are documented on
+    :attr:`breakpoints` and :meth:`remove`.
+    """
+
+    __slots__ = (
+        "_times",
+        "_pos",
+        "_size",
+        "_num_positions",
+        "_cumlen",
+        "_add",
+        "_mx",
+        "_cov",
+        "_len",
+        "_dadd",
+        "_dmx",
+        "_count",
+        "_live",
+    )
+
+    def __init__(self, universe: Optional[Sequence[float]] = None) -> None:
+        #: Live interval multiset ``(start, end, demand) -> count`` — the
+        #: ground truth a universe rebuild reconstructs the tree from.
+        self._live: Dict[Tuple[float, float, float], int] = {}
+        self._count = 0
+        self._dadd: Optional[List] = None
+        self._dmx: Optional[List] = None
+        times = sorted(set(universe)) if universe else []
+        self._init_tree(times)
+
+    # -- tree scaffolding -----------------------------------------------------
+
+    def _init_tree(self, times: List[float]) -> None:
+        self._times = times
+        self._pos = {t: i for i, t in enumerate(times)}
+        m = len(times)
+        num_positions = 2 * m - 1 if m else 0
+        self._num_positions = num_positions
+        size = 1
+        while size < max(num_positions, 1):
+            size *= 2
+        self._size = size
+        # Position lengths: points are 0, segment 2i+1 spans t_{i+1}-t_i.
+        lengths = [0.0] * (2 * size)
+        cumlen = [0.0] * (num_positions + 1)
+        for i in range(m - 1):
+            lengths[size + 2 * i + 1] = times[i + 1] - times[i]
+        for p in range(num_positions):
+            cumlen[p + 1] = cumlen[p] + lengths[size + p]
+        for v in range(size - 1, 0, -1):
+            lengths[v] = lengths[2 * v] + lengths[2 * v + 1]
+        self._len = lengths
+        self._cumlen = cumlen
+        self._add = [0] * (2 * size)
+        self._mx = [0] * (2 * size)
+        self._cov = [0.0] * (2 * size)
+        if self._dadd is not None:
+            self._dadd = [0] * (2 * size)
+            self._dmx = [0] * (2 * size)
+
+    def _rebuild(self, extra_coords: Iterable[float]) -> None:
+        """Re-anchor the tree on an enlarged universe (coords outside it)."""
+        times = sorted(set(self._times).union(extra_coords))
+        self._init_tree(times)
+        count, live = self._count, self._live
+        self._count, self._live = 0, {}
+        for (start, end, demand), copies in live.items():
+            for _ in range(copies):
+                self.add(start, end, demand=demand)
+        assert self._count == count
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_intervals(cls, items: Sequence) -> "IndexedSweepProfile":
+        """Batch-build via the vectorized bulk kernel, then load the leaves."""
+        pairs = [
+            (_as_interval(it), it.demand if isinstance(it, Job) else 1)
+            for it in items
+        ]
+        prof = cls()
+        if not pairs:
+            return prof
+        import numpy as np
+
+        starts = np.fromiter((iv.start for iv, _ in pairs), dtype=np.float64)
+        ends = np.fromiter((iv.end for iv, _ in pairs), dtype=np.float64)
+        demands = np.fromiter((d for _, d in pairs), dtype=np.float64)
+        weighted = not bool(np.all(demands == 1.0))
+        times, point, seg, dpoint, dseg, _ = profile_arrays(
+            starts, ends, demands if weighted else None
+        )
+        prof._init_tree(times)
+        prof._load_leaves(point, seg, prof._add, prof._mx, with_cov=True)
+        if weighted:
+            prof._dadd = [0] * (2 * prof._size)
+            prof._dmx = [0] * (2 * prof._size)
+            prof._load_leaves(dpoint, dseg, prof._dadd, prof._dmx)
+        for iv, d in pairs:
+            key = (iv.start, iv.end, d)
+            prof._live[key] = prof._live.get(key, 0) + 1
+        prof._count = len(pairs)
+        return prof
+
+    def _load_leaves(self, point, seg, add, mx, with_cov: bool = False) -> None:
+        """Install per-position values as leaf maxima and pull up."""
+        size = self._size
+        for i, value in enumerate(point):
+            mx[size + 2 * i] = value
+        for i, value in enumerate(seg[:-1] if seg else []):
+            mx[size + 2 * i + 1] = value
+        cov, lengths = self._cov, self._len
+        if with_cov:
+            for p in range(self._num_positions):
+                v = size + p
+                cov[v] = lengths[v] if mx[v] > 0 else 0.0
+        for v in range(size - 1, 0, -1):
+            left, right = 2 * v, 2 * v + 1
+            mx[v] = mx[left] if mx[left] >= mx[right] else mx[right]
+            if with_cov:
+                cov[v] = cov[left] + cov[right]
+
+    def copy(self) -> "IndexedSweepProfile":
+        """An independent snapshot (flat array copies, O(size))."""
+        prof = IndexedSweepProfile.__new__(IndexedSweepProfile)
+        prof._times = self._times
+        prof._pos = self._pos
+        prof._size = self._size
+        prof._num_positions = self._num_positions
+        prof._cumlen = self._cumlen
+        prof._len = self._len
+        prof._add = self._add[:]
+        prof._mx = self._mx[:]
+        prof._cov = self._cov[:]
+        prof._dadd = None if self._dadd is None else self._dadd[:]
+        prof._dmx = None if self._dmx is None else self._dmx[:]
+        prof._count = self._count
+        prof._live = dict(self._live)
+        return prof
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of intervals currently stored."""
+        return self._count
+
+    @property
+    def measure(self) -> float:
+        """Covered length of the stored intervals — the machine's busy time.
+
+        Read straight off the root's maintained covered-length aggregate.
+        """
+        return self._cov[1] if self._num_positions else 0.0
+
+    @property
+    def breakpoints(self) -> Tuple[float, ...]:
+        """The universe coordinates (a superset of the endpoints actually
+        stored, unlike the linear profile which only learns coordinates as
+        they arrive)."""
+        return tuple(self._times)
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def has_demands(self) -> bool:
+        """True once any stored interval carried a non-unit demand."""
+        return self._dadd is not None
+
+    # -- core tree operations -------------------------------------------------
+
+    def _apply(self, v: int, delta, add, mx, with_cov: bool) -> None:
+        add[v] += delta
+        mx[v] += delta
+        if with_cov:
+            if add[v] > 0:
+                self._cov[v] = self._len[v]
+            elif v >= self._size:
+                self._cov[v] = 0.0
+            else:
+                self._cov[v] = self._cov[2 * v] + self._cov[2 * v + 1]
+
+    def _range_add(self, left: int, right: int, delta, add, mx, with_cov) -> None:
+        """Add ``delta`` on positions ``[left, right)`` (bottom-up, no push)."""
+        size = self._size
+        l = left + size
+        r = right + size
+        climb_l, climb_r = l, r - 1
+        while l < r:
+            if l & 1:
+                self._apply(l, delta, add, mx, with_cov)
+                l += 1
+            if r & 1:
+                r -= 1
+                self._apply(r, delta, add, mx, with_cov)
+            l >>= 1
+            r >>= 1
+        cov, lengths = self._cov, self._len
+        for p in (climb_l, climb_r):
+            p >>= 1
+            while p >= 1:
+                lo_child, hi_child = 2 * p, 2 * p + 1
+                child_max = (
+                    mx[lo_child] if mx[lo_child] >= mx[hi_child] else mx[hi_child]
+                )
+                mx[p] = child_max + add[p]
+                if with_cov:
+                    cov[p] = (
+                        lengths[p]
+                        if add[p] > 0
+                        else cov[lo_child] + cov[hi_child]
+                    )
+                p >>= 1
+
+    def _range_max(self, left: int, right: int, add, mx):
+        """Max count over positions ``[left, right)`` (0 on empty range)."""
+        if left >= right:
+            return 0
+        return self._range_max_node(1, 0, self._size, left, right, 0, add, mx)
+
+    def _range_max_node(self, v, node_lo, node_hi, left, right, acc, add, mx):
+        if right <= node_lo or node_hi <= left:
+            return 0
+        if left <= node_lo and node_hi <= right:
+            return mx[v] + acc
+        mid = (node_lo + node_hi) // 2
+        acc += add[v]
+        a = self._range_max_node(2 * v, node_lo, mid, left, right, acc, add, mx)
+        b = self._range_max_node(2 * v + 1, mid, node_hi, left, right, acc, add, mx)
+        return a if a >= b else b
+
+    def _point_value(self, position: int, add, mx):
+        """Count at one position: leaf value plus the ancestors' tags."""
+        v = position + self._size
+        total = mx[v]
+        v >>= 1
+        while v:
+            total += add[v]
+            v >>= 1
+        return total
+
+    def _covered_in_positions(self, left: int, right: int) -> float:
+        """Covered length over positions ``[left, right)`` (count tree)."""
+        if left >= right:
+            return 0.0
+        return self._covered_node(1, 0, self._size, left, right, 0)
+
+    def _covered_node(self, v, node_lo, node_hi, left, right, acc) -> float:
+        if right <= node_lo or node_hi <= left:
+            return 0.0
+        if acc + self._add[v] > 0:
+            lo = node_lo if node_lo > left else left
+            hi = node_hi if node_hi < right else right
+            num = self._num_positions
+            lo = lo if lo < num else num
+            hi = hi if hi < num else num
+            return self._cumlen[hi] - self._cumlen[lo]
+        if left <= node_lo and node_hi <= right:
+            return self._cov[v]  # acc == 0 and add[v] == 0 here
+        mid = (node_lo + node_hi) // 2
+        acc += self._add[v]
+        return self._covered_node(
+            2 * v, node_lo, mid, left, right, acc
+        ) + self._covered_node(2 * v + 1, mid, node_hi, left, right, acc)
+
+    # -- mutation -------------------------------------------------------------
+
+    def _upgrade_to_weighted(self) -> None:
+        """Materialise the demand twins (all prior demands were 1, so the
+        weighted tree starts as a copy of the count tree)."""
+        self._dadd = self._add[:]
+        self._dmx = self._mx[:]
+
+    def add(self, start: float, end: float, demand=1) -> None:
+        """Insert the closed interval ``[start, end]``; ``O(log n)`` when
+        both endpoints lie in the universe, else a rebuild."""
+        if end < start:
+            raise ValueError(f"interval end ({end}) precedes start ({start})")
+        pos = self._pos
+        if start not in pos or end not in pos:
+            self._rebuild((start, end))
+            pos = self._pos
+        if demand != 1 and self._dadd is None:
+            self._upgrade_to_weighted()
+        i = pos[start]
+        j = pos[end]
+        self._range_add(2 * i, 2 * j + 1, 1, self._add, self._mx, True)
+        if self._dadd is not None:
+            self._range_add(2 * i, 2 * j + 1, demand, self._dadd, self._dmx, False)
+        key = (start, end, demand)
+        self._live[key] = self._live.get(key, 0) + 1
+        self._count += 1
+
+    def remove(self, start: float, end: float, demand=1) -> None:
+        """Remove a previously added interval (for backtracking).
+
+        Stricter than the linear profile's breakpoint-existence check: the
+        exact ``(start, end, demand)`` triple must be live (the linear
+        structure cannot tell and lets mismatched removes corrupt counters
+        silently; the tree keeps the live multiset anyway, so it refuses).
+        """
+        key = (start, end, demand)
+        copies = self._live.get(key, 0)
+        if not copies:
+            if demand != 1 and self._dadd is None:
+                raise KeyError(
+                    f"interval [{start}, {end}] with demand {demand} was "
+                    f"never added (profile holds only unit demands)"
+                )
+            raise KeyError(f"interval [{start}, {end}] was never added")
+        i = self._pos[start]
+        j = self._pos[end]
+        self._range_add(2 * i, 2 * j + 1, -1, self._add, self._mx, True)
+        if self._dadd is not None:
+            self._range_add(2 * i, 2 * j + 1, -demand, self._dadd, self._dmx, False)
+        if copies == 1:
+            del self._live[key]
+        else:
+            self._live[key] = copies - 1
+        self._count -= 1
+
+    # -- window mapping -------------------------------------------------------
+
+    def _window_positions(self, start: float, end: float) -> Tuple[int, int]:
+        """Position range (inclusive) covering the closed window, or (1, 0).
+
+        The left boundary is the point position of ``start`` when it is a
+        breakpoint, else the segment position it falls in; the right
+        boundary is the last breakpoint ``<= end`` (segment loads never
+        exceed their bounding points, so stopping at the point is exact —
+        the same argument ``SweepProfile.max_load_in`` rests on).
+        """
+        times = self._times
+        m = len(times)
+        if not m:
+            return 1, 0
+        i = bisect_left(times, start)
+        if i < m and times[i] == start:
+            left = 2 * i
+        elif i == 0:
+            left = 0
+        elif i == m:
+            return 1, 0  # window entirely after the universe
+        else:
+            left = 2 * i - 1  # the open segment start falls in
+        j = bisect_right(times, end) - 1
+        if j < 0:
+            return 1, 0  # window entirely before the universe
+        right = 2 * j
+        if right < left:
+            # Window strictly inside one segment: only its position matters.
+            right = left
+        return left, right
+
+    # -- queries --------------------------------------------------------------
+
+    def load_at(self, t: float) -> int:
+        """Number of stored intervals active at instant ``t`` (closed)."""
+        return self._value_at(t, self._add, self._mx)
+
+    def _value_at(self, t: float, add, mx):
+        times = self._times
+        i = bisect_left(times, t)
+        if i < len(times) and times[i] == t:
+            return self._point_value(2 * i, add, mx)
+        if 0 < i < len(times):
+            return self._point_value(2 * i - 1, add, mx)
+        return 0
+
+    def max_load(self) -> int:
+        """Peak load over all time — the clique number of the stored set."""
+        return self._mx[1] if self._num_positions else 0
+
+    def max_load_in(self, start: float, end: float) -> int:
+        """Maximum load over the closed window ``[start, end]``."""
+        left, right = self._window_positions(start, end)
+        return self._range_max(left, right + 1, self._add, self._mx)
+
+    def covered_measure_in(self, start: float, end: float) -> float:
+        """Measure of ``[start, end]`` covered by at least one interval."""
+        times = self._times
+        m = len(times)
+        if m < 2 or end <= start:
+            return 0.0
+        total = 0.0
+        # Partial segment the window starts in.
+        i = bisect_left(times, start)
+        left_seg = -1
+        if not (i < m and times[i] == start) and 0 < i < m:
+            left_seg = i - 1
+            if self._point_value(2 * left_seg + 1, self._add, self._mx) > 0:
+                seg_end = times[i]
+                clip = seg_end if seg_end < end else end
+                total += clip - start
+        # Partial segment the window ends in (unless it is the same segment
+        # the window starts in, already fully accounted above).
+        j = bisect_right(times, end) - 1
+        if 0 <= j < m - 1 and times[j] < end and j != left_seg:
+            if self._point_value(2 * j + 1, self._add, self._mx) > 0:
+                seg_start = times[j]
+                clip = seg_start if seg_start > start else start
+                total += end - clip
+        # Whole positions inside: breakpoints i..j and the segments between
+        # them (positions 2*i .. 2*j); point positions have length 0, so
+        # only the fully contained segments contribute.
+        if m > i <= j:
+            total += self._covered_in_positions(2 * i, 2 * j + 1)
+        return total
+
+    # -- demand-weighted queries ([15] capacity model) ------------------------
+
+    def demand_at(self, t: float):
+        """Total demand of the stored intervals active at instant ``t``."""
+        if self._dadd is None:
+            return self.load_at(t)
+        return self._value_at(t, self._dadd, self._dmx)
+
+    def max_demand(self):
+        """Peak total demand over all time (== :meth:`max_load` when unit)."""
+        if self._dadd is None:
+            return self.max_load()
+        return self._dmx[1] if self._num_positions else 0
+
+    def max_demand_in(self, start: float, end: float):
+        """Maximum total demand over the closed window ``[start, end]``."""
+        if self._dadd is None:
+            return self.max_load_in(start, end)
+        left, right = self._window_positions(start, end)
+        return self._range_max(left, right + 1, self._dadd, self._dmx)
+
+    def fits(self, start: float, end: float, g: int, demand=1) -> bool:
+        """True when adding ``[start, end]`` keeps the peak demand at most
+        ``g`` — the same predicate, fast paths included, as the linear
+        profile's :meth:`SweepProfile.fits`."""
+        if self._dadd is None and demand == 1:
+            if self._count < g:
+                return True
+            return self.max_load_in(start, end) < g
+        return self.max_demand_in(start, end) + demand <= g
+
+    def bulk_add(self, starts, ends, demands=None) -> None:
+        """Batch :meth:`add` (API parity with ``SweepProfile.bulk_add``).
+
+        Endpoints outside the universe are unioned in with a *single*
+        rebuild up front, then every interval is an ``O(log n)`` range-add —
+        the loop never degenerates to per-interval rebuilds.
+        """
+        starts = list(starts)
+        ends = list(ends)
+        for s, e in zip(starts, ends):
+            if e < s:
+                raise ValueError(f"interval end ({e}) precedes start ({s})")
+        pos = self._pos
+        fresh = [c for c in starts if c not in pos]
+        fresh += [c for c in ends if c not in pos]
+        if fresh:
+            self._rebuild(fresh)
+        if demands is None:
+            for s, e in zip(starts, ends):
+                self.add(s, e)
+        else:
+            for s, e, d in zip(starts, ends, demands):
+                self.add(s, e, demand=d)
+
+    def fits_many(self, starts, ends, g: int, demands=None) -> List[bool]:
+        """Batch :meth:`fits` (API parity with ``SweepProfile.fits_many``)."""
+        if demands is None:
+            return [self.fits(s, e, g) for s, e in zip(starts, ends)]
+        return [
+            self.fits(s, e, g, demand=d)
+            for s, e, d in zip(starts, ends, demands)
+        ]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IndexedSweepProfile(count={self._count}, "
+            f"measure={self.measure:g}, universe={len(self._times)})"
+        )

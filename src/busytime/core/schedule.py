@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .events import SweepProfile
 from .instance import Instance
+from .profile_index import make_profile, make_profile_from_intervals
 from .intervals import (
     Interval,
     Job,
@@ -91,16 +92,19 @@ class Machine:
         return Interval(min(j.start for j in self.jobs), max(j.end for j in self.jobs))
 
     @property
-    def profile(self) -> SweepProfile:
+    def profile(self):
         """The machine's sweep-line load profile, built once and cached.
 
         ``Machine`` is immutable, so the profile is derived lazily from the
         job tuple on first access and reused by every subsequent query
         (``busy_time``, ``peak_parallelism``, ``can_accommodate``, ...).
+        The backend — linear :class:`~busytime.core.events.SweepProfile` or
+        the indexed tree — follows the ``BUSYTIME_PROFILE_INDEX`` flag; both
+        answer the same API.
         """
         prof = self.__dict__.get("_profile")
         if prof is None:
-            prof = SweepProfile.from_intervals(self.jobs)
+            prof = make_profile_from_intervals(self.jobs)
             object.__setattr__(self, "_profile", prof)
         return prof
 
@@ -297,7 +301,7 @@ class Schedule:
         )
 
 
-def verify_schedule(schedule: Schedule) -> None:
+def verify_schedule(schedule: Schedule, mode: str = "full") -> None:
     """Validate a schedule against its instance (module-level helper).
 
     This is the deliberate *slow path*: it recomputes feasibility with
@@ -307,7 +311,17 @@ def verify_schedule(schedule: Schedule) -> None:
     path — and then asserts the profile-backed answers agree, so every
     validated schedule cross-checks the sweep-line machine state against
     the brute-force oracle.
+
+    ``mode="batch"`` keeps exactly the same checks but computes the
+    per-machine oracle quantities with one vectorized lexsort + cumsum
+    sweep per machine (:func:`~busytime.core.bulk.machine_peaks`) instead
+    of the pure-python event sweeps — the same numbers from the same raw
+    job arrays, never from a profile, so independence from both profile
+    backends is preserved.  It is what makes validating the n = 10^6
+    trajectory point tractable.
     """
+    if mode not in ("full", "batch"):
+        raise ValueError(f"verify mode must be 'full' or 'batch', got {mode!r}")
     instance = schedule.instance
     expected_ids = set(instance.job_ids)
     seen: Dict[int, int] = {}
@@ -326,14 +340,26 @@ def verify_schedule(schedule: Schedule) -> None:
     if missing:
         raise InfeasibleScheduleError(f"jobs never scheduled: {sorted(missing)}")
     for m in schedule.machines:
-        peak = max_point_load(m.jobs)
-        demanding = any(j.demand != 1 for j in m.jobs)
-        # Demand-aware capacity constraint ([15]): total demand <= g at every
-        # instant.  On unit-demand machines the demand peak *is* the
-        # cardinality peak, so the oracle sweep below is skipped and the
-        # error message keeps the paper's wording.
-        demand_peak = max_point_demand(m.jobs) if demanding else peak
-        if demand_peak > instance.g:
+        if mode == "batch":
+            from .bulk import job_arrays, machine_peaks
+
+            b_starts, b_ends, b_demands = job_arrays(m.jobs)
+            demanding = b_demands is not None
+            peak, demand_peak, oracle_busy = machine_peaks(
+                b_starts, b_ends, b_demands
+            )
+            if not demanding:
+                demand_peak = peak
+        else:
+            peak = max_point_load(m.jobs)
+            demanding = any(j.demand != 1 for j in m.jobs)
+            # Demand-aware capacity constraint ([15]): total demand <= g at
+            # every instant.  On unit-demand machines the demand peak *is*
+            # the cardinality peak, so the oracle sweep below is skipped and
+            # the error message keeps the paper's wording.
+            demand_peak = max_point_demand(m.jobs) if demanding else peak
+            oracle_busy = None
+        if demand_peak > instance.g + (1e-9 if mode == "batch" and demanding else 0):
             if demanding:
                 raise InfeasibleScheduleError(
                     f"machine {m.index} reaches total demand {demand_peak} "
@@ -349,12 +375,14 @@ def verify_schedule(schedule: Schedule) -> None:
                 f"machine {m.index}: profile peak {m.peak_parallelism} "
                 f"disagrees with oracle peak {peak}"
             )
-        if m.peak_demand != demand_peak:
+        demand_tol = 1e-9 if (mode == "batch" and demanding) else 0
+        if abs(m.peak_demand - demand_peak) > demand_tol:
             raise ProfileOracleMismatchError(
                 f"machine {m.index}: profile demand peak {m.peak_demand} "
                 f"disagrees with oracle demand peak {demand_peak}"
             )
-        oracle_busy = span(m.jobs)
+        if oracle_busy is None:
+            oracle_busy = span(m.jobs)
         if abs(m.busy_time - oracle_busy) > 1e-9 * max(1.0, abs(oracle_busy)):
             raise ProfileOracleMismatchError(
                 f"machine {m.index}: profile busy time {m.busy_time!r} "
@@ -378,9 +406,23 @@ class ScheduleBuilder:
         self.instance = instance
         self.algorithm = algorithm
         self._machines: List[List[Job]] = []
-        self._profiles: List[SweepProfile] = []
+        self._profiles: List = []
         self._assigned: Dict[int, int] = {}
+        self._universe: Optional[List[float]] = None
         self.meta: Dict[str, object] = {}
+
+    def _endpoint_universe(self) -> List[float]:
+        """All distinct endpoint coordinates of the instance (computed once).
+
+        Every interval a machine profile will ever store has its endpoints
+        here, so handing this to :func:`make_profile` lets the indexed
+        backend build its tree once instead of rebuilding per coordinate.
+        """
+        if self._universe is None:
+            self._universe = sorted(
+                {c for j in self.instance.jobs for c in (j.start, j.end)}
+            )
+        return self._universe
 
     # -- queries --------------------------------------------------------------
 
@@ -391,7 +433,7 @@ class ScheduleBuilder:
     def jobs_on(self, machine_index: int) -> Sequence[Job]:
         return tuple(self._machines[machine_index])
 
-    def profile_of(self, machine_index: int) -> SweepProfile:
+    def profile_of(self, machine_index: int):
         """The maintained sweep profile of one machine (read-only use)."""
         return self._profiles[machine_index]
 
@@ -467,7 +509,12 @@ class ScheduleBuilder:
     def open_machine(self) -> int:
         """Open a new, empty machine; returns its index."""
         self._machines.append([])
-        self._profiles.append(SweepProfile())
+        self._profiles.append(
+            make_profile(
+                universe=self._endpoint_universe,
+                universe_size=2 * self.instance.n,
+            )
+        )
         return len(self._machines) - 1
 
     def assign(self, machine_index: int, job: Job) -> None:

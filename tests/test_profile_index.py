@@ -1,0 +1,407 @@
+"""Differential suite for the indexed profile kernel.
+
+Random add/remove/query interleavings are driven *simultaneously* through
+
+* the indexed segment-tree profile (:class:`IndexedSweepProfile`),
+* the legacy linear :class:`SweepProfile`, and
+* a brute-force oracle over the live interval list,
+
+asserting exact equality at every step — for the cardinality queries and
+the demand-weighted ([15]) twins.  Coordinates are integers so covered
+measures and float comparisons are exact, not approximate.
+
+The bulk kernels (``bulk_add``, ``fits_many``, the vectorized
+``from_intervals``) are pinned against the sequential paths the same way.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import busytime.core.events as events_module
+from busytime.core.events import BULK_FROM_INTERVALS_MIN, SweepProfile
+from busytime.core.intervals import Interval, Job
+from busytime.core.profile_index import (
+    INDEXED_UNIVERSE_MIN,
+    IndexedSweepProfile,
+    make_profile,
+    make_profile_from_intervals,
+    profile_index,
+    profile_index_mode,
+)
+
+# ---------------------------------------------------------------------------
+# Brute-force oracle
+# ---------------------------------------------------------------------------
+
+COORD_MAX = 40
+
+
+class BruteProfile:
+    """The definition, executed literally: a list of live intervals."""
+
+    def __init__(self):
+        self.live = []
+
+    def add(self, start, end, demand=1):
+        self.live.append((start, end, demand))
+
+    def remove(self, start, end, demand=1):
+        self.live.remove((start, end, demand))
+
+    @property
+    def count(self):
+        return len(self.live)
+
+    def load_at(self, t):
+        return sum(1 for s, e, _ in self.live if s <= t <= e)
+
+    def demand_at(self, t):
+        return sum(d for s, e, d in self.live if s <= t <= e)
+
+    def _candidates(self, a, b):
+        pts = {a, b}
+        for s, e, _ in self.live:
+            if a <= s <= b:
+                pts.add(s)
+            if a <= e <= b:
+                pts.add(e)
+        return sorted(pts)
+
+    def max_load_in(self, a, b):
+        return max((self.load_at(t) for t in self._candidates(a, b)), default=0)
+
+    def max_demand_in(self, a, b):
+        return max((self.demand_at(t) for t in self._candidates(a, b)), default=0)
+
+    def max_load(self):
+        return self.max_load_in(-1, COORD_MAX + 2)
+
+    def max_demand(self):
+        return self.max_demand_in(-1, COORD_MAX + 2)
+
+    @property
+    def measure(self):
+        return self.covered_measure_in(-1, COORD_MAX + 2)
+
+    def covered_measure_in(self, a, b):
+        if b <= a:
+            return 0.0
+        pts = self._candidates(a, b)
+        total = 0.0
+        for lo, hi in zip(pts, pts[1:]):
+            mid = (lo + hi) / 2.0
+            if any(s <= mid <= e for s, e, _ in self.live):
+                total += hi - lo
+        return total
+
+    def fits(self, a, b, g, demand=1):
+        return self.max_demand_in(a, b) + demand <= g
+
+
+# ---------------------------------------------------------------------------
+# Strategies: op sequences over an integer grid
+# ---------------------------------------------------------------------------
+
+coords = st.integers(min_value=0, max_value=COORD_MAX - 10)
+lengths = st.integers(min_value=0, max_value=10)
+unit_demands = st.just(1)
+mixed_demands = st.sampled_from([1, 1, 1, 2, 4])
+
+
+def op_sequences(demand_strategy):
+    # Each entry: (kind, start, length, demand).  kind 0 = add, 1 = remove
+    # (removes target the i-th oldest live interval, modulo the live count).
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            coords,
+            lengths,
+            demand_strategy,
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+
+def run_differential(ops, with_universe):
+    universe = list(range(COORD_MAX + 1)) if with_universe else None
+    idx = IndexedSweepProfile(universe=universe)
+    legacy = SweepProfile()
+    brute = BruteProfile()
+    for kind, start, length, demand in ops:
+        if kind == 1 and brute.live:
+            s, e, d = brute.live[start % len(brute.live)]
+            idx.remove(s, e, demand=d)
+            legacy.remove(s, e, demand=d)
+            brute.remove(s, e, demand=d)
+        else:
+            s, e = float(start), float(start + length)
+            idx.add(s, e, demand=demand)
+            legacy.add(s, e, demand=demand)
+            brute.add(s, e, demand=demand)
+        assert idx.count == legacy.count == brute.count
+        assert idx.max_load() == legacy.max_load() == brute.max_load()
+        assert idx.max_demand() == legacy.max_demand() == brute.max_demand()
+        assert idx.measure == legacy.measure == brute.measure
+        probe = (start - 1, start, start + 0.5, start + length, COORD_MAX)
+        for t in probe:
+            assert idx.load_at(t) == legacy.load_at(t) == brute.load_at(t)
+            assert idx.demand_at(t) == legacy.demand_at(t) == brute.demand_at(t)
+        windows = (
+            (start, start + length),
+            (start - 2, start + length + 2),
+            (0, COORD_MAX),
+            (start + 0.5, start + length + 0.5),
+        )
+        for a, b in windows:
+            if b < a:
+                continue
+            assert (
+                idx.max_load_in(a, b)
+                == legacy.max_load_in(a, b)
+                == brute.max_load_in(a, b)
+            )
+            assert (
+                idx.max_demand_in(a, b)
+                == legacy.max_demand_in(a, b)
+                == brute.max_demand_in(a, b)
+            )
+            assert (
+                idx.covered_measure_in(a, b)
+                == legacy.covered_measure_in(a, b)
+                == brute.covered_measure_in(a, b)
+            )
+            for g in (1, 3, 8):
+                for d in (1, 2):
+                    assert (
+                        idx.fits(a, b, g, demand=d)
+                        == legacy.fits(a, b, g, demand=d)
+                        == brute.fits(a, b, g, demand=d)
+                    )
+
+
+FUZZ = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@FUZZ
+@given(ops=op_sequences(unit_demands), with_universe=st.booleans())
+def test_differential_unit_demand(ops, with_universe):
+    run_differential(ops, with_universe)
+
+
+@FUZZ
+@given(ops=op_sequences(mixed_demands), with_universe=st.booleans())
+def test_differential_weighted_demand(ops, with_universe):
+    run_differential(ops, with_universe)
+
+
+# ---------------------------------------------------------------------------
+# Batch construction / bulk kernels vs the sequential paths
+# ---------------------------------------------------------------------------
+
+jobs_strategy = st.lists(
+    st.tuples(coords, lengths, mixed_demands), min_size=0, max_size=30
+).map(
+    lambda triples: [
+        Job(id=i, interval=Interval(float(s), float(s + l)), demand=d)
+        for i, (s, l, d) in enumerate(triples)
+    ]
+)
+
+
+@FUZZ
+@given(jobs=jobs_strategy)
+def test_from_intervals_and_copy_parity(jobs):
+    # Force the numpy fast path regardless of batch size, then disable it.
+    try:
+        events_module.BULK_FROM_INTERVALS_MIN = 1
+        fast = SweepProfile.from_intervals(jobs)
+        events_module.BULK_FROM_INTERVALS_MIN = 10**9
+        slow = SweepProfile.from_intervals(jobs)
+    finally:
+        events_module.BULK_FROM_INTERVALS_MIN = BULK_FROM_INTERVALS_MIN
+    indexed = IndexedSweepProfile.from_intervals(jobs)
+    snapshot = indexed.copy()
+    assert fast.breakpoints == slow.breakpoints
+    assert fast.count == slow.count == indexed.count == snapshot.count
+    assert fast.measure == slow.measure == indexed.measure
+    for t in range(-1, COORD_MAX + 2):
+        assert (
+            fast.load_at(t)
+            == slow.load_at(t)
+            == indexed.load_at(t)
+            == snapshot.load_at(t)
+        )
+        assert fast.demand_at(t) == slow.demand_at(t) == indexed.demand_at(t)
+    # Mutating the copy leaves the original untouched.
+    snapshot.add(0.0, 5.0)
+    assert snapshot.load_at(1.0) == indexed.load_at(1.0) + 1
+
+
+@FUZZ
+@given(
+    jobs=jobs_strategy,
+    batch=st.lists(st.tuples(coords, lengths, mixed_demands), min_size=1, max_size=15),
+)
+def test_bulk_add_parity(jobs, batch):
+    bulk = SweepProfile.from_intervals(jobs)
+    ref = SweepProfile.from_intervals(jobs)
+    indexed = IndexedSweepProfile.from_intervals(jobs)
+    starts = [float(s) for s, _, _ in batch]
+    ends = [float(s + l) for s, l, _ in batch]
+    demands = [d for _, _, d in batch]
+    bulk.bulk_add(starts, ends, demands)
+    indexed.bulk_add(starts, ends, demands)
+    for s, e, d in zip(starts, ends, demands):
+        ref.add(s, e, demand=d)
+    assert bulk.count == ref.count == indexed.count
+    assert bulk.measure == ref.measure == indexed.measure
+    for t in range(-1, COORD_MAX + 2):
+        assert bulk.load_at(t) == ref.load_at(t) == indexed.load_at(t)
+        assert bulk.demand_at(t) == ref.demand_at(t) == indexed.demand_at(t)
+    for a in range(0, COORD_MAX, 5):
+        b = a + 7
+        assert bulk.max_demand_in(a, b) == ref.max_demand_in(a, b)
+        assert bulk.covered_measure_in(a, b) == ref.covered_measure_in(a, b)
+
+
+@FUZZ
+@given(
+    jobs=jobs_strategy,
+    queries=st.lists(st.tuples(coords, lengths), min_size=1, max_size=25),
+    g=st.integers(min_value=1, max_value=8),
+    weighted_queries=st.booleans(),
+)
+def test_fits_many_parity(jobs, queries, g, weighted_queries):
+    prof = SweepProfile.from_intervals(jobs)
+    indexed = IndexedSweepProfile.from_intervals(jobs)
+    qs = [float(a) for a, _ in queries]
+    qe = [float(a + l) for a, l in queries]
+    qd = [1 + (i % 3) for i in range(len(queries))] if weighted_queries else None
+    want = [
+        prof.fits(a, b, g, demand=(qd[i] if qd else 1))
+        for i, (a, b) in enumerate(zip(qs, qe))
+    ]
+    assert prof.fits_many(qs, qe, g, demands=qd) == want
+    assert indexed.fits_many(qs, qe, g, demands=qd) == want
+
+
+# ---------------------------------------------------------------------------
+# API contracts: errors, flag plumbing, factories
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [SweepProfile, IndexedSweepProfile])
+def test_reversed_interval_rejected(cls):
+    prof = cls()
+    with pytest.raises(ValueError, match="precedes"):
+        prof.add(5.0, 3.0)
+    with pytest.raises(ValueError, match="precedes"):
+        prof.bulk_add([1.0, 5.0], [2.0, 3.0])
+
+
+@pytest.mark.parametrize("cls", [SweepProfile, IndexedSweepProfile])
+def test_remove_never_added_raises(cls):
+    prof = cls()
+    prof.add(0.0, 4.0)
+    with pytest.raises(KeyError, match="never added"):
+        prof.remove(1.0, 3.0)
+    with pytest.raises(KeyError, match="unit demands"):
+        prof.remove(0.0, 4.0, demand=2)
+
+
+def test_indexed_remove_is_strict():
+    # Documented divergence: the tree keeps the live multiset and refuses a
+    # remove whose exact (start, end, demand) triple was never added, even
+    # when both endpoints are known breakpoints.
+    prof = IndexedSweepProfile()
+    prof.add(0.0, 2.0)
+    prof.add(2.0, 4.0)
+    with pytest.raises(KeyError):
+        prof.remove(0.0, 4.0)
+
+
+def test_mode_default_and_context_nesting():
+    assert profile_index_mode() in ("on", "off", "force")
+    with profile_index("off"):
+        assert profile_index_mode() == "off"
+        with profile_index("force"):
+            assert profile_index_mode() == "force"
+        assert profile_index_mode() == "off"
+    with pytest.raises(ValueError):
+        with profile_index("sideways"):
+            pass  # pragma: no cover
+
+
+def test_mode_env_var_reaches_subprocess():
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from busytime.core.profile_index import profile_index_mode;"
+            "print(profile_index_mode())",
+        ],
+        env={**os.environ, "BUSYTIME_PROFILE_INDEX": "force", "PYTHONPATH": "src"},
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    assert out.stdout.strip() == "force"
+
+
+def test_make_profile_backend_selection():
+    with profile_index("force"):
+        assert isinstance(make_profile(), IndexedSweepProfile)
+        assert isinstance(make_profile_from_intervals([]), IndexedSweepProfile)
+    with profile_index("off"):
+        assert isinstance(make_profile(universe_size=INDEXED_UNIVERSE_MIN), SweepProfile)
+        assert isinstance(make_profile_from_intervals([]), SweepProfile)
+    with profile_index("on"):
+        assert isinstance(make_profile(universe_size=10), SweepProfile)
+        called = []
+
+        def universe():
+            called.append(True)
+            return [0.0, 1.0]
+
+        # Small gate: the callable universe is never materialised.
+        assert isinstance(
+            make_profile(universe=universe, universe_size=10), SweepProfile
+        )
+        assert not called
+        prof = make_profile(universe=universe, universe_size=INDEXED_UNIVERSE_MIN)
+        assert isinstance(prof, IndexedSweepProfile)
+        assert called
+
+
+def test_indexed_breakpoints_expose_universe():
+    # Documented divergence: the tree reports its full universe (a superset
+    # of the endpoints actually stored).
+    prof = IndexedSweepProfile(universe=[0.0, 1.0, 2.0])
+    prof.add(0.0, 1.0)
+    assert prof.breakpoints == (0.0, 1.0, 2.0)
+
+
+def test_off_mode_falls_back_everywhere():
+    from busytime.algorithms.first_fit import first_fit
+    from busytime.generators import uniform_random_instance
+
+    inst = uniform_random_instance(n=200, g=4, seed=5)
+    with profile_index("off"):
+        base = first_fit(inst)
+    with profile_index("force"):
+        forced = first_fit(inst)
+    assert base.assignment() == forced.assignment()
+    # Identical partitions; the busy-time sums may differ by accumulation-
+    # order ulps (tree covered-length aggregation vs linear running sum).
+    assert abs(base.cost - forced.cost) <= 1e-9 * max(1.0, base.cost)
