@@ -1,0 +1,93 @@
+"""E22 — streaming-session soak: throughput, decision latency, fidelity.
+
+The session layer (:mod:`busytime.service.sessions`) claims it can hold
+many concurrent live sessions while keeping three promises at once:
+
+* per-event decision latency stays interactive even with checkpoint-
+  every-batch durability in the loop;
+* concurrent posting threads never lose or double-apply an event
+  (the manager-wide accepted counter must land exactly on the workload
+  size);
+* a streamed session is *bit-identical* to the offline
+  :class:`busytime.extensions.dynamic.Simulator` replay of its trace.
+
+This module regenerates those claims with the soak machinery from
+``scripts/bench_sessions.py`` (the same harness behind
+``BENCH_sessions.json``, at CI scale).
+
+The module is marked ``slow`` and skipped by default so tier-1 stays fast;
+run it with ``pytest benchmarks/test_bench_sessions.py --run-slow``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_sessions  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+SESSIONS = 200
+THREADS = 8
+# Generous ceiling: the decision path must stay interactive, not win races.
+MAX_P99_MS = 250.0
+
+
+def test_session_soak_throughput_latency_and_fidelity(benchmark, attach_rows):
+    specs = bench_sessions.build_workload(SESSIONS)
+    manager, report = bench_sessions.run_soak(specs, threads=THREADS)
+
+    # No lost updates, no double-applies: the accepted-event counter lands
+    # exactly on the workload size across all posting threads.
+    total_events = sum(len(s["rows"]) for s in specs)
+    assert report["events_applied"] == total_events
+    assert report["events_total"] == total_events
+
+    # Durability rode along: the default cadence checkpoints every batch.
+    assert report["checkpoints"] >= report["batches"]
+
+    # Decision latency stays interactive with the engine-replanning slice
+    # of the policy mix included.
+    assert report["decision_p99_ms"] <= MAX_P99_MS, report
+
+    # Bit-identical fidelity on a closed sample (raises on divergence).
+    checked = bench_sessions.verify_sample(manager, specs, sample_every=20)
+    assert checked == SESSIONS // 20
+
+    # Time the steady-state decision path itself: one batch through a
+    # dedicated live session, each round a fresh arrive/depart pair so the
+    # live set stays bounded and no event is ever a duplicate.
+    from busytime.core.events import ARRIVE, DEPART, TraceEvent
+    from busytime.core.intervals import Interval, Job
+    from busytime.io import trace_event_to_dict
+    from busytime.service.sessions import SessionConfig
+
+    manager.create(
+        SessionConfig(g=3, horizon=(0.0, 1e12)), session_id="bench-live"
+    )
+    cursor = {"t": 0.0, "id": 0}
+
+    def one_batch() -> None:
+        rows = []
+        for _ in range(2):
+            t, job_id = cursor["t"], cursor["id"]
+            job = Job(id=job_id, interval=Interval(t, t + 1.0))
+            rows.append(trace_event_to_dict(TraceEvent(time=t, kind=ARRIVE, job=job)))
+            rows.append(
+                trace_event_to_dict(TraceEvent(time=t + 0.5, kind=DEPART, job=job))
+            )
+            cursor["t"], cursor["id"] = t + 1.0, job_id + 1
+        manager.apply_events("bench-live", rows)
+
+    benchmark(one_batch)
+    attach_rows(
+        benchmark,
+        [report],
+        sessions=SESSIONS,
+        verified_against_offline=checked,
+    )

@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Streaming-session soak harness (experiment E22).
+
+Drives >= 1000 concurrent streaming sessions through one
+:class:`busytime.service.sessions.SessionManager` — the same decision path
+``POST /sessions/<id>/events`` serves — and records sustained event
+throughput plus p50/p95/p99 *decision latency* (wall time per applied
+event, measured around the incremental re-optimization step) into
+``BENCH_sessions.json``.
+
+The workload is the session layer's reason to exist: many small live
+sessions, each receiving its arrive/depart stream in short batches, with
+interleaving arrivals across sessions (a thread pool round-robins the
+sessions, one batch at a time, so no session's stream ever reorders but
+every session is always in flight).  The policy mix leans on the cheap
+path (``never_migrate``) with a slice of engine-replanning sessions
+(``rolling_horizon``, ``migration_budget``), because that is what a
+multi-tenant deployment looks like: most tenants stream, a few re-plan.
+
+Every session is checkpointed through the shared :class:`ResultStore` at
+the default cadence (every batch), so the measured throughput *includes*
+the durability cost that makes the failover drill honest.  At the end the
+harness closes a sample of sessions and replays their traces offline
+through :class:`busytime.extensions.dynamic.Simulator` — realized costs
+must agree bit-for-bit, or the numbers describe a broken implementation.
+
+Usage::
+
+    python scripts/bench_sessions.py               # default: 1000 sessions
+    python scripts/bench_sessions.py --quick       # CI smoke (~128 sessions)
+    python scripts/bench_sessions.py --sessions 2000 --threads 16
+
+``benchmarks/test_bench_sessions.py`` imports the workload and soak
+machinery from here, so the pytest gate and this script measure the same
+thing at different scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import queue
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from busytime.extensions.dynamic import Simulator  # noqa: E402
+from busytime.generators.dynamic_traces import uniform_dynamic_trace  # noqa: E402
+from busytime.io import trace_event_to_dict  # noqa: E402
+from busytime.service.sessions import (  # noqa: E402
+    SessionConfig,
+    SessionLimits,
+    SessionManager,
+    session_policy,
+)
+
+SESSIONS = 1000
+JOBS_PER_SESSION = 10  # -> 20 events per session stream
+BATCH = 5
+THREADS = 8
+#: (policy, replan_period, budget, weight) — mostly streaming tenants,
+#: a re-planning slice to keep the engine path honest in the numbers.
+POLICY_MIX: Sequence[Tuple[str, Optional[float], int, int]] = (
+    ("never_migrate", None, 4, 8),
+    ("rolling_horizon", 25.0, 4, 1),
+    ("migration_budget", 25.0, 2, 1),
+)
+
+
+def build_workload(
+    sessions: int, jobs_per_session: int = JOBS_PER_SESSION, seed: int = 2009
+) -> List[Dict[str, object]]:
+    """One spec per session: its trace, serialized rows and policy triple."""
+    mix: List[Tuple[str, Optional[float], int]] = []
+    for policy, period, budget, weight in POLICY_MIX:
+        mix.extend([(policy, period, budget)] * weight)
+    specs: List[Dict[str, object]] = []
+    for index in range(sessions):
+        trace = uniform_dynamic_trace(
+            n=jobs_per_session, g=3, seed=seed + index
+        )
+        policy, period, budget = mix[index % len(mix)]
+        specs.append(
+            {
+                "session_id": f"soak-{index:05d}",
+                "trace": trace,
+                "rows": [trace_event_to_dict(e) for e in trace.events],
+                "policy": policy,
+                "period": period,
+                "budget": budget,
+            }
+        )
+    return specs
+
+
+def run_soak(
+    specs: Sequence[Dict[str, object]],
+    batch: int = BATCH,
+    threads: int = THREADS,
+) -> Tuple[SessionManager, Dict[str, object]]:
+    """Create every session, stream every batch, report the measured soak."""
+    manager = SessionManager(
+        limits=SessionLimits(max_sessions=None, max_sessions_per_tenant=None)
+    )
+    create_started = time.perf_counter()
+    for spec in specs:
+        trace = spec["trace"]
+        manager.create(
+            SessionConfig(
+                g=trace.g,
+                horizon=trace.horizon,
+                policy=spec["policy"],
+                replan_period=spec["period"],
+                budget=spec["budget"],
+            ),
+            session_id=spec["session_id"],
+        )
+    create_seconds = time.perf_counter() - create_started
+
+    # Round-robin work queue: a thread pops a session, posts its *next*
+    # batch, and re-enqueues it — per-session order preserved, all
+    # sessions concurrently in flight.
+    work: "queue.Queue[Dict[str, object]]" = queue.Queue()
+    for spec in specs:
+        work.put({"spec": spec, "offset": 0})
+    latencies: List[Tuple[float, int]] = []  # (batch wall seconds, events)
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            try:
+                item = work.get_nowait()
+            except queue.Empty:
+                return
+            spec, offset = item["spec"], item["offset"]
+            rows = spec["rows"]
+            chunk = rows[offset:offset + batch]
+            try:
+                batch_started = time.perf_counter()
+                manager.apply_events(
+                    spec["session_id"], chunk, first_offset=offset
+                )
+                elapsed = time.perf_counter() - batch_started
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                with lock:
+                    errors.append(exc)
+                return
+            with lock:
+                latencies.append((elapsed, len(chunk)))
+            if offset + batch < len(rows):
+                work.put({"spec": spec, "offset": offset + batch})
+
+    started = time.perf_counter()
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise RuntimeError(f"soak lost batches: {errors[:3]}")
+
+    total_events = sum(events for _, events in latencies)
+    per_event = sorted(seconds / events for seconds, events in latencies)
+
+    def pct(q: float) -> float:
+        return per_event[min(len(per_event) - 1, int(q * len(per_event)))]
+
+    stats = manager.stats()
+    report = {
+        "sessions": len(specs),
+        "events_total": total_events,
+        "batches": len(latencies),
+        "batch_size": batch,
+        "threads": threads,
+        "create_seconds": round(create_seconds, 3),
+        "wall_seconds": round(wall, 3),
+        "throughput_events_per_s": round(total_events / wall, 1),
+        "decision_p50_ms": round(pct(0.50) * 1e3, 3),
+        "decision_p95_ms": round(pct(0.95) * 1e3, 3),
+        "decision_p99_ms": round(pct(0.99) * 1e3, 3),
+        "decision_max_ms": round(per_event[-1] * 1e3, 3),
+        "checkpoints": stats["checkpoints"],
+        "events_applied": stats["events_applied"],
+    }
+    return manager, report
+
+
+def verify_sample(
+    manager: SessionManager,
+    specs: Sequence[Dict[str, object]],
+    sample_every: int = 100,
+) -> int:
+    """Close a sample of sessions; each must match its offline replay bit-for-bit."""
+    checked = 0
+    for spec in specs[::sample_every]:
+        trace = spec["trace"]
+        policy = session_policy(
+            spec["policy"], spec["period"], spec["budget"],
+            "first_fit", "first_fit",
+        )
+        offline = Simulator(
+            trace, policy, oracle_check_every=None, compare_offline=False
+        ).run()
+        final = manager.close_session(spec["session_id"])
+        if final["realized_cost"] != offline.realized_cost:
+            raise AssertionError(
+                f"session {spec['session_id']} diverged from offline replay: "
+                f"{final['realized_cost']} != {offline.realized_cost}"
+            )
+        checked += 1
+    return checked
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=SESSIONS)
+    parser.add_argument("--jobs-per-session", type=int, default=JOBS_PER_SESSION)
+    parser.add_argument("--batch", type=int, default=BATCH)
+    parser.add_argument("--threads", type=int, default=THREADS)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale: 128 sessions"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_sessions.json"
+    )
+    args = parser.parse_args()
+    sessions = 128 if args.quick else args.sessions
+
+    specs = build_workload(sessions, args.jobs_per_session)
+    total_events = sum(len(s["rows"]) for s in specs)
+    print(
+        f"session soak: {sessions} concurrent sessions, "
+        f"{total_events} events in batches of {args.batch}, "
+        f"{args.threads} posting threads"
+    )
+    manager, report = run_soak(specs, args.batch, args.threads)
+    print(
+        f"throughput={report['throughput_events_per_s']} events/s, "
+        f"decision p50={report['decision_p50_ms']}ms "
+        f"p95={report['decision_p95_ms']}ms p99={report['decision_p99_ms']}ms "
+        f"({report['checkpoints']} checkpoints)"
+    )
+    checked = verify_sample(manager, specs)
+    print(f"differential spot-check: {checked} sessions match offline replay")
+
+    payload = {
+        "experiment": "E22-streaming-sessions",
+        "description": (
+            "Sustained event throughput and per-event decision latency for "
+            ">= 1000 concurrent streaming sessions on one SessionManager "
+            "(checkpoint-every-batch durability included); a closed sample "
+            "must match the offline Simulator replay bit-for-bit"
+        ),
+        "generated_by": "scripts/bench_sessions.py"
+        + (" --quick" if args.quick else f" --sessions {sessions}"),
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "policy_mix": [
+            {"policy": p, "replan_period": period, "budget": b, "weight": w}
+            for p, period, b, w in POLICY_MIX
+        ],
+        "soak": report,
+        "verified_against_offline": checked,
+    }
+    args.output.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -643,6 +643,80 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Create a streaming session, feed a trace in batches, read it back."""
+    from .service.frontend import SessionHTTPError, session_call
+
+    if args.trace:
+        trace = bio.load_dynamic_trace(args.trace)
+    else:
+        maker = DYNAMIC_TRACE_FAMILIES[args.family]
+        trace = maker(args.n, args.g if args.g is not None else 3, args.seed, args.churn)
+    config: Dict[str, object] = {
+        "g": trace.g,
+        "horizon": list(trace.horizon),
+        "policy": args.policy,
+        "name": trace.name,
+    }
+    if args.period is not None:
+        config["replan_period"] = args.period
+    if args.policy == "migration_budget":
+        config["budget"] = args.budget
+    if args.tenant != "default":
+        config["tenant"] = args.tenant
+    rows = [bio.trace_event_to_dict(e) for e in trace.events]
+    try:
+        created = session_call(args.url, "/sessions", config, retries=args.retries)
+        sid = created["session_id"]
+        offset = 0
+        while offset < len(rows):
+            chunk = rows[offset:offset + args.batch]
+            try:
+                ack = session_call(
+                    args.url,
+                    f"/sessions/{sid}/events",
+                    {"events": chunk, "first_offset": offset},
+                    retries=args.retries,
+                )
+                offset = int(ack["applied"])  # duplicates skip; ack is truth
+            except SessionHTTPError as exc:
+                if exc.status == 409 and "expected_offset" in exc.payload:
+                    # A retried batch landed out of step (e.g. after a
+                    # failover); resync to the offset the server expects.
+                    offset = int(exc.payload["expected_offset"])
+                    continue
+                raise
+        assignment = session_call(args.url, f"/sessions/{sid}/assignment")
+        final = None
+        if not args.keep_open:
+            final = session_call(args.url, f"/sessions/{sid}/close", {})
+    except (SessionHTTPError, RuntimeError) as exc:
+        raise CliError(str(exc)) from None
+    row: Dict[str, object] = {
+        "session": sid[:12],
+        "policy": args.policy,
+        "events": len(rows),
+        "applied": assignment["applied"],
+        "machines": assignment["machines"],
+        "live jobs": assignment["live_jobs"],
+        "realized_cost": round(
+            float((final or assignment)["realized_cost"]), 3
+        ),
+    }
+    title = (
+        f"streamed {trace.name or 'trace'} "
+        f"({trace.num_events} events, g={trace.g}) to {args.url}"
+    )
+    print(format_table([row], title=title))
+    if args.output:
+        payload = {"created": created, "assignment": assignment}
+        if final is not None:
+            payload["final"] = final
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"session transcript written to {args.output}")
+    return 0
+
+
 def _cmd_algorithms(args: argparse.Namespace) -> int:
     rows = []
     for info in algorithm_table():
@@ -981,6 +1055,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p_cluster.set_defaults(func=_cmd_cluster)
+
+    p_session = sub.add_parser(
+        "session",
+        help="stream a dynamic trace through a server-side solve session",
+    )
+    p_session.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="service or cluster-router base url",
+    )
+    p_session.add_argument(
+        "--trace", default=None,
+        help="busytime-trace JSON file to stream (default: generate one)",
+    )
+    p_session.add_argument(
+        "--family", choices=sorted(DYNAMIC_TRACE_FAMILIES), default="uniform",
+        help="generated-trace family when --trace is not given",
+    )
+    p_session.add_argument("--n", type=int, default=64, help="generated-trace jobs")
+    p_session.add_argument("--g", type=int, default=None)
+    p_session.add_argument("--seed", type=int, default=0)
+    p_session.add_argument(
+        "--churn", type=float, default=0.25,
+        help="generated-trace early-departure fraction",
+    )
+    p_session.add_argument(
+        "--policy",
+        choices=["never_migrate", "rolling_horizon", "migration_budget"],
+        default="never_migrate",
+    )
+    p_session.add_argument(
+        "--period", type=float, default=None,
+        help="replan period (required by the replanning policies)",
+    )
+    p_session.add_argument(
+        "--budget", type=int, default=4,
+        help="migrations per replan (migration_budget only)",
+    )
+    p_session.add_argument(
+        "--batch", type=int, default=32, help="events per POST batch"
+    )
+    p_session.add_argument("--tenant", default="default")
+    p_session.add_argument(
+        "--keep-open", action="store_true",
+        help="leave the session open instead of settling it",
+    )
+    p_session.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget for 429/503/transport failures per call",
+    )
+    p_session.add_argument("--output", default=None, help="write the transcript JSON here")
+    p_session.set_defaults(func=_cmd_session)
 
     return parser
 

@@ -58,6 +58,7 @@ __all__ = [
     "BULK_FROM_INTERVALS_MIN",
     "TraceEvent",
     "DynamicTrace",
+    "TraceValidator",
     "TraceValidationError",
     "ARRIVE",
     "DEPART",
@@ -268,37 +269,85 @@ class DynamicTrace:
         every job arrives exactly once and departs exactly once, arrival at
         the job's start time, and departure inside ``[start, end]``.
         """
-        arrived: Dict[int, TraceEvent] = {}
-        departed: Dict[int, TraceEvent] = {}
-        prev: Optional[TraceEvent] = None
+        validator = TraceValidator()
         for e in self.events:
-            if prev is not None and e.sort_key < prev.sort_key:
+            validator.feed(e)
+        validator.finish()
+
+
+class TraceValidator:
+    """Incremental form of :meth:`DynamicTrace.validate`.
+
+    Feeds one event at a time and raises :class:`TraceValidationError` the
+    moment an invariant breaks: events must stay in ``(time, kind, job id)``
+    order, each job arrives exactly once (at its start time) and departs at
+    most once (inside ``[start, end]``).  :meth:`finish` adds the final
+    whole-trace check — every arrived job departed.
+
+    This is the admission gate streaming sessions
+    (:mod:`busytime.service.sessions`) run each incoming event through
+    *before* mutating machine state, so a malformed batch is refused without
+    partially applying; :meth:`DynamicTrace.validate` is exactly
+    feed-everything-then-finish, keeping the offline and streaming paths on
+    one shared rule set.
+    """
+
+    __slots__ = ("_arrived", "_departed", "_prev_key")
+
+    def __init__(self) -> None:
+        self._arrived: set = set()
+        self._departed: set = set()
+        self._prev_key: Optional[Tuple[float, int, int]] = None
+
+    @property
+    def live_job_ids(self) -> frozenset:
+        """Ids of jobs that arrived but have not departed yet."""
+        return frozenset(self._arrived - self._departed)
+
+    @property
+    def events_seen(self) -> int:
+        return len(self._arrived) + len(self._departed)
+
+    def copy(self) -> "TraceValidator":
+        """An independent snapshot (used to probe a batch before applying)."""
+        twin = TraceValidator()
+        twin._arrived = set(self._arrived)
+        twin._departed = set(self._departed)
+        twin._prev_key = self._prev_key
+        return twin
+
+    def feed(self, e: TraceEvent) -> None:
+        """Accept one event or raise :class:`TraceValidationError`."""
+        if self._prev_key is not None and e.sort_key < self._prev_key:
+            raise TraceValidationError(
+                f"events out of order at t={e.time} (job {e.job.id})"
+            )
+        if e.is_arrival:
+            if e.job.id in self._arrived:
+                raise TraceValidationError(f"job {e.job.id} arrives twice")
+            if e.time != e.job.start:
                 raise TraceValidationError(
-                    f"events out of order at t={e.time} (job {e.job.id})"
+                    f"job {e.job.id} arrives at {e.time} but starts at {e.job.start}"
                 )
-            prev = e
-            if e.is_arrival:
-                if e.job.id in arrived:
-                    raise TraceValidationError(f"job {e.job.id} arrives twice")
-                if e.time != e.job.start:
-                    raise TraceValidationError(
-                        f"job {e.job.id} arrives at {e.time} but starts at {e.job.start}"
-                    )
-                arrived[e.job.id] = e
-            else:
-                if e.job.id not in arrived:
-                    raise TraceValidationError(
-                        f"job {e.job.id} departs before arriving"
-                    )
-                if e.job.id in departed:
-                    raise TraceValidationError(f"job {e.job.id} departs twice")
-                if not (e.job.start <= e.time <= e.job.end):
-                    raise TraceValidationError(
-                        f"job {e.job.id} departs at {e.time}, outside "
-                        f"[{e.job.start}, {e.job.end}]"
-                    )
-                departed[e.job.id] = e
-        missing = set(arrived) - set(departed)
+            self._arrived.add(e.job.id)
+        else:
+            if e.job.id not in self._arrived:
+                raise TraceValidationError(
+                    f"job {e.job.id} departs before arriving"
+                )
+            if e.job.id in self._departed:
+                raise TraceValidationError(f"job {e.job.id} departs twice")
+            if not (e.job.start <= e.time <= e.job.end):
+                raise TraceValidationError(
+                    f"job {e.job.id} departs at {e.time}, outside "
+                    f"[{e.job.start}, {e.job.end}]"
+                )
+            self._departed.add(e.job.id)
+        self._prev_key = e.sort_key
+
+    def finish(self) -> None:
+        """The whole-trace closing check: every arrived job departed."""
+        missing = self._arrived - self._departed
         if missing:
             raise TraceValidationError(
                 f"jobs never depart: {sorted(missing)}"

@@ -167,7 +167,7 @@ class RollingHorizon(SimulationPolicy):
 
     def propose(self, sim: "Simulator", t: float) -> Optional[Schedule]:
         """Engine solution over the live job set (``None`` when it is empty)."""
-        live = sim.live_instance(name=f"{sim.trace.name or 'trace'}@t={t:g}")
+        live = sim.live_instance(name=f"{sim.name}@t={t:g}")
         if live.n == 0:
             return None
         from ..engine import Engine, SolveRequest
@@ -334,44 +334,115 @@ class Simulator:
     placements and replans through the ``assign``/``unassign`` mutation
     path.  One simulator instance is single-use: construct, :meth:`run`,
     read the report.
+
+    :meth:`run` is a thin loop over the stepwise replay core —
+    :meth:`begin`, one :meth:`feed` per event, :meth:`settle` — which is
+    also the engine behind *streaming* replay: :meth:`streaming` builds a
+    simulator with no trace at all, and a long-lived caller (the service
+    layer's session manager, :mod:`busytime.service.sessions`) feeds events
+    as they arrive over the wire.  Offline and streaming replay therefore
+    share every decision — placements, replan instants, migration planning,
+    cost accrual — by construction, which is what the session differential
+    suite pins bit-for-bit.
     """
 
     def __init__(
         self,
-        trace: DynamicTrace,
+        trace: Optional[DynamicTrace],
         policy: SimulationPolicy,
         oracle_check_every: Optional[int] = 256,
         compare_offline: bool = True,
         offline: Optional[Tuple[Optional[float], float]] = None,
+        engine=None,
+        horizon: Optional[Tuple[float, float]] = None,
+        g: Optional[int] = None,
+        name: str = "",
     ) -> None:
-        trace.validate()
+        if trace is not None:
+            trace.validate()
+            jobs = tuple(e.job for e in trace.events if e.is_arrival)
+            g = trace.g
+            horizon = trace.horizon
+            name = name or trace.name or "trace"
+        else:
+            # Streaming mode (see :meth:`streaming`): the job set is
+            # revealed event by event, so the builder starts over an empty
+            # instance and the replay horizon must be supplied up front —
+            # replan scheduling anchors at its start and cost settlement
+            # truncates coverage at its end, exactly as the trace's own
+            # horizon does offline.
+            if g is None or horizon is None:
+                raise ValueError("streaming replay needs explicit g and horizon")
+            jobs = ()
+            name = name or "stream"
         self.trace = trace
         self.policy = policy
+        self.name = name
         self.oracle_check_every = oracle_check_every
         self.compare_offline = compare_offline
         #: precomputed :func:`offline_reference` result (multi-policy panels
-        #: share one); computed lazily in :meth:`run` when absent
+        #: share one); computed lazily in :meth:`settle` when absent
         self._offline = offline
-        full = Instance(
-            jobs=tuple(e.job for e in trace.events if e.is_arrival),
-            g=trace.g,
-            name=trace.name or "trace",
-        )
+        self.g = g
+        full = Instance(jobs=jobs, g=g, name=name)
         self.builder = ScheduleBuilder(full, algorithm=policy.name)
-        from ..engine import Engine
+        if engine is None:
+            from ..engine import Engine
 
-        self.engine = Engine()
+            engine = Engine()
+        self.engine = engine
         #: exclusive upper end of the simulated clock (last event time)
-        self.horizon_end = trace.horizon[1]
+        self.horizon_end = horizon[1]
         self._cost = 0.0
         self._last_accrued: List[float] = []
-        self._start_time = trace.horizon[0]
+        self._start_time = horizon[0]
         self._clock = self._start_time
         self._migrations = 0
         self._replans = 0
         self._oracle_checks = 0
         self._early_departures = 0
+        self._arrivals = 0
+        self._departures = 0
+        self._events_fed = 0
+        self._next_replan = float("inf")
+        self._began = False
+        self._settled = False
         self._ran = False
+        self._started_wall = 0.0
+
+    @classmethod
+    def streaming(
+        cls,
+        g: int,
+        policy: SimulationPolicy,
+        horizon: Tuple[float, float],
+        oracle_check_every: Optional[int] = None,
+        engine=None,
+        name: str = "stream",
+    ) -> "Simulator":
+        """A trace-less simulator fed one event at a time (:meth:`feed`).
+
+        ``horizon`` plays the role the trace's own horizon plays offline:
+        replans fire at ``horizon[0] + k * period`` and final settlement
+        truncates coverage at ``horizon[1]``.  Feeding the events of a trace
+        with ``horizon == trace.horizon`` therefore reproduces the offline
+        replay's decisions and realized cost exactly.  The caller is
+        responsible for event validity (sessions run a
+        :class:`~busytime.core.events.TraceValidator` in front); the replay
+        core only assumes monotone event order.
+        """
+        sim = cls(
+            None,
+            policy,
+            oracle_check_every=oracle_check_every,
+            compare_offline=False,
+            engine=engine,
+            horizon=horizon,
+            g=g,
+            name=name,
+        )
+        sim.begin()
+        return sim
 
     # -- machine-state helpers (the policy-facing mutation API) --------------
 
@@ -383,7 +454,7 @@ class Simulator:
                 for i in range(self.builder.num_machines)
                 for job in self.builder.jobs_on(i)
             ),
-            g=self.trace.g,
+            g=self.g,
             name=name or "live",
         )
 
@@ -528,65 +599,110 @@ class Simulator:
 
     # -- replay ---------------------------------------------------------------
 
-    def run(self) -> SimulationReport:
-        if self._ran:
-            raise RuntimeError("Simulator instances are single-use; build a new one")
-        self._ran = True
-        started = time.monotonic()
-        trace = self.trace
+    def begin(self) -> None:
+        """Arm the stepwise replay (idempotent until the first :meth:`feed`)."""
+        if self._began:
+            raise RuntimeError("Simulator replay already begun")
+        self._began = True
+        self._started_wall = time.monotonic()
         period = self.policy.replan_period
-        next_replan = (
+        self._next_replan = (
             self._start_time + period if period is not None else float("inf")
         )
         self._clock = self._start_time
-        arrivals = departures = 0
+
+    def feed(self, event: TraceEvent) -> None:
+        """Advance the replay through one arrive/depart event.
+
+        Exactly the per-event body of the offline loop: scheduled replans
+        that fall at or before the event's instant fire first (so cost
+        accrual splits at the replan mark), then the event itself is
+        applied through the policy's placement or the unassign path.
+        """
+        if not self._began or self._settled:
+            raise RuntimeError("feed() outside an active begin()/settle() window")
+        self._events_fed += 1
+        period = self.policy.replan_period
+        # Replans fire at their scheduled instant, between the events
+        # that straddle it, so cost accrual splits exactly at the mark.
+        while self._next_replan <= event.time:
+            self._clock = self._next_replan
+            self._replans += 1
+            self.policy.replan(self, self._next_replan)
+            self._oracle_check()
+            self._next_replan += period
+        self._clock = event.time
+        if event.is_arrival:
+            self._arrivals += 1
+            choice = self.policy.place(self.builder, event.job)
+            if choice is not None and not self.builder.fits(choice, event.job):
+                raise ValueError(
+                    f"policy {self.policy.name} chose machine {choice}, "
+                    f"which cannot host job {event.job.id}"
+                )
+            self._assign(choice, event.job, event.time)
+        else:
+            self._departures += 1
+            if event.time < event.job.end:
+                self._early_departures += 1
+            self._unassign(event.job, event.time)
         cadence = self.oracle_check_every
-        for count, event in enumerate(trace.events, start=1):
-            # Replans fire at their scheduled instant, between the events
-            # that straddle it, so cost accrual splits exactly at the mark.
-            while next_replan <= event.time:
-                self._clock = next_replan
-                self._replans += 1
-                self.policy.replan(self, next_replan)
-                self._oracle_check()
-                next_replan += period
-            self._clock = event.time
-            if event.is_arrival:
-                arrivals += 1
-                choice = self.policy.place(self.builder, event.job)
-                if choice is not None and not self.builder.fits(choice, event.job):
-                    raise ValueError(
-                        f"policy {self.policy.name} chose machine {choice}, "
-                        f"which cannot host job {event.job.id}"
-                    )
-                self._assign(choice, event.job, event.time)
-            else:
-                departures += 1
-                if event.time < event.job.end:
-                    self._early_departures += 1
-                self._unassign(event.job, event.time)
-            if cadence and count % cadence == 0:
-                self._oracle_check()
+        if cadence and self._events_fed % cadence == 0:
+            self._oracle_check()
+
+    def realized_cost_so_far(self) -> float:
+        """Realized busy time accrued through the current clock (read-only).
+
+        Machines whose accrual lags the clock are integrated virtually —
+        no state is mutated, so this is safe to call between events.
+        """
+        cost = self._cost
+        t = self._clock
+        for i in range(self.builder.num_machines):
+            last = self._last_accrued[i]
+            if t > last:
+                cost += self.builder.profile_of(i).covered_measure_in(last, t)
+        return cost
+
+    def live_assignment(self) -> Dict[str, int]:
+        """Current ``job id -> machine index`` map for every live job."""
+        return {
+            job.id: i
+            for i in range(self.builder.num_machines)
+            for job in self.builder.jobs_on(i)
+        }
+
+    def settle(self) -> SimulationReport:
+        """Close the books: final accrual to the horizon end plus the report."""
+        if not self._began:
+            raise RuntimeError("settle() before begin()")
+        if self._settled:
+            raise RuntimeError("Simulator already settled")
+        self._settled = True
         # Settle every machine's outstanding coverage and close the books.
         for i in range(self.builder.num_machines):
             self._touch(i, self.horizon_end)
         self._oracle_check()
 
+        trace = self.trace
         if self._offline is not None:
             offline_cost, lb = self._offline
-        elif self.compare_offline:
+        elif self.compare_offline and trace is not None:
             offline_cost, lb = offline_reference(trace, self.engine)
-        else:
+        elif trace is not None:
             offline_cost = None
             effective = trace.effective_instance()
             lb = best_lower_bound(effective) if effective.n else 0.0
+        else:
+            offline_cost = None
+            lb = 0.0
 
         return SimulationReport(
             policy=self.policy.name,
-            trace=trace.name,
-            num_events=trace.num_events,
-            arrivals=arrivals,
-            departures=departures,
+            trace=trace.name if trace is not None else self.name,
+            num_events=self._events_fed,
+            arrivals=self._arrivals,
+            departures=self._departures,
             early_departures=self._early_departures,
             migrations=self._migrations,
             replans=self._replans,
@@ -595,8 +711,19 @@ class Simulator:
             offline_cost=offline_cost,
             lower_bound=lb,
             oracle_checks=self._oracle_checks,
-            wall_time_seconds=time.monotonic() - started,
+            wall_time_seconds=time.monotonic() - self._started_wall,
         )
+
+    def run(self) -> SimulationReport:
+        if self._ran:
+            raise RuntimeError("Simulator instances are single-use; build a new one")
+        if self.trace is None:
+            raise RuntimeError("streaming simulators are driven via feed()/settle()")
+        self._ran = True
+        self.begin()
+        for event in self.trace.events:
+            self.feed(event)
+        return self.settle()
 
 
 def standard_policies(

@@ -65,6 +65,7 @@ import math
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from .core.events import ARRIVE, DEPART, DynamicTrace, TraceEvent
 from .core.instance import Instance
 from .core.intervals import Interval, Job
 from .core.schedule import Machine, Schedule
@@ -89,6 +90,12 @@ __all__ = [
     "traffic_from_dict",
     "save_traffic",
     "load_traffic",
+    "trace_event_to_dict",
+    "trace_event_from_dict",
+    "dynamic_trace_to_dict",
+    "dynamic_trace_from_dict",
+    "save_dynamic_trace",
+    "load_dynamic_trace",
     "jobs_to_csv",
     "jobs_from_csv",
 ]
@@ -107,6 +114,7 @@ _SUPPORTED_VERSIONS: Dict[str, tuple] = {
     "busytime-schedule": (1, 2),
     "busytime-solve-report": (1, 2),
     "busytime-traffic": (1,),
+    "busytime-trace": (1,),
 }
 
 
@@ -385,6 +393,85 @@ def save_traffic(traffic: Traffic, path: _PathLike) -> None:
 
 def load_traffic(path: _PathLike) -> Traffic:
     return traffic_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Dynamic traces (arrive/depart event sequences)
+# ---------------------------------------------------------------------------
+
+
+def trace_event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """One arrive/depart event as a JSON-serialisable row.
+
+    This is also the wire shape the service's session endpoints accept —
+    one row per streamed event, carrying the full job description on the
+    arrival (departures only need the id, but echoing the job keeps rows
+    self-contained and lets the server re-validate interval membership).
+    """
+    j = event.job
+    return {
+        "time": event.time,
+        "kind": "arrive" if event.kind == ARRIVE else "depart",
+        "job": {
+            "id": j.id,
+            "start": j.start,
+            "end": j.end,
+            "weight": j.weight,
+            "tag": j.tag,
+            "demand": j.demand,
+        },
+    }
+
+
+def trace_event_from_dict(row: Mapping[str, object]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from :func:`trace_event_to_dict` output."""
+    kind_field = row.get("kind")
+    if kind_field not in ("arrive", "depart"):
+        raise ValueError(f"event kind must be 'arrive' or 'depart', got {kind_field!r}")
+    job_row = row.get("job")
+    if not isinstance(job_row, Mapping):
+        raise ValueError("event row is missing its 'job' object")
+    job = Job(
+        id=int(job_row["id"]),
+        interval=Interval(float(job_row["start"]), float(job_row["end"])),
+        weight=float(job_row.get("weight", 1.0)),
+        tag=str(job_row.get("tag", "")),
+        demand=_demand_from_field(job_row.get("demand", 1)),
+    )
+    return TraceEvent(
+        time=float(row["time"]),
+        kind=ARRIVE if kind_field == "arrive" else DEPART,
+        job=job,
+    )
+
+
+def dynamic_trace_to_dict(trace: DynamicTrace) -> Dict[str, object]:
+    """A JSON-serialisable dict describing the full trace."""
+    return {
+        "format": "busytime-trace",
+        "version": 1,
+        "name": trace.name,
+        "g": trace.g,
+        "events": [trace_event_to_dict(e) for e in trace.events],
+    }
+
+
+def dynamic_trace_from_dict(data: Mapping[str, object]) -> DynamicTrace:
+    """Rebuild a :class:`DynamicTrace` from :func:`dynamic_trace_to_dict` output."""
+    _check_header(data, "busytime-trace")
+    events = tuple(
+        trace_event_from_dict(row)
+        for row in data["events"]  # type: ignore[index]
+    )
+    return DynamicTrace(events=events, g=int(data["g"]), name=str(data.get("name", "")))
+
+
+def save_dynamic_trace(trace: DynamicTrace, path: _PathLike) -> None:
+    Path(path).write_text(json.dumps(dynamic_trace_to_dict(trace), indent=2))
+
+
+def load_dynamic_trace(path: _PathLike) -> DynamicTrace:
+    return dynamic_trace_from_dict(json.loads(Path(path).read_text()))
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,13 @@ traffic-serving subsystem, in five layers:
 * :mod:`~busytime.service.cluster` — :class:`ShardMap` +
   :class:`ClusterRouter`, the consistent-hash router that shards the
   fingerprint space over N workers (failover, load shedding, cache
-  warming on topology change) behind ``busytime cluster``.
+  warming on topology change) behind ``busytime cluster``;
+* :mod:`~busytime.service.sessions` — :class:`SessionManager` +
+  :class:`Session`, stateful streaming sessions over the dynamic
+  simulator's mutation path: arrive/depart event batches with idempotent
+  offsets, live assignment + realized-cost reads, event-sourced
+  checkpoints through the store, and per-tenant admission caps, behind
+  ``POST /sessions`` and ``busytime session``.
 
 Typical in-process use::
 
@@ -49,7 +55,7 @@ from .cluster import (
     ShardMap,
     make_cluster_router,
 )
-from .frontend import make_server, serve, submit_instance
+from .frontend import make_server, serve, session_call, submit_instance
 from .service import (
     AdmissionError,
     AdmissionLimits,
@@ -58,6 +64,16 @@ from .service import (
     ServiceDrainingError,
     ServiceOverloadedError,
     SolveService,
+)
+from .sessions import (
+    Session,
+    SessionConfig,
+    SessionConflictError,
+    SessionLimitError,
+    SessionLimits,
+    SessionManager,
+    SessionNotFoundError,
+    SessionValidationError,
 )
 from .store import ResultStore
 
@@ -77,9 +93,18 @@ __all__ = [
     "SolveService",
     "make_server",
     "serve",
+    "session_call",
     "submit_instance",
     "ShardMap",
     "ClusterRouter",
     "LocalCluster",
     "make_cluster_router",
+    "Session",
+    "SessionConfig",
+    "SessionConflictError",
+    "SessionLimitError",
+    "SessionLimits",
+    "SessionManager",
+    "SessionNotFoundError",
+    "SessionValidationError",
 ]

@@ -32,6 +32,14 @@ Job ids returned by the router are prefixed with the worker index
 (``w2-job-000017``) so ``GET /jobs/<id>`` can be routed back without any
 router-side job table.
 
+Streaming sessions (:mod:`busytime.service.sessions`) route through the
+same shard space, keyed on the session id instead of a fingerprint — the
+router mints the id on ``POST /sessions`` so a session's whole event
+stream pins to one worker.  A dead or draining owner fails over along the
+ring; the successor resumes the session from the shared checkpoint store
+(the handoff), and event-offset idempotency makes replaying an
+unacknowledged batch safe.
+
 :class:`LocalCluster` spins the whole topology up in one process (N
 workers on loopback ports plus a router) for tests, benchmarks, and the
 ``busytime cluster`` command.
@@ -45,6 +53,7 @@ import http.client
 import json
 import re
 import threading
+import uuid
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
@@ -57,6 +66,7 @@ from .frontend import (
 )
 from .canonical import request_fingerprint
 from .service import SolveService
+from .sessions import SessionManager
 from .store import ResultStore
 
 __all__ = [
@@ -187,7 +197,17 @@ class _RouterHandler(JsonRequestHandler):
     server: "ClusterRouter"
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path.rstrip("/") != "/solve":
+        path = self.path.rstrip("/")
+        if path == "/sessions" or path.startswith("/sessions/"):
+            raw = self._read_body(self.server.max_body_bytes)
+            if raw is None:
+                return
+            status, payload, retry_after = self.server.route_session(
+                "POST", path, raw
+            )
+            self._send_json(status, payload, retry_after=retry_after)
+            return
+        if path != "/solve":
             self.close_connection = True
             self._send_error_json(404, f"no such endpoint: POST {self.path}")
             return
@@ -219,6 +239,11 @@ class _RouterHandler(JsonRequestHandler):
             self._send_json(200, self.server.cluster_stats())
         elif path == "/shards":
             self._send_json(200, self.server.shard_table())
+        elif path == "/sessions" or path.startswith("/sessions/"):
+            status, payload, retry_after = self.server.route_session(
+                "GET", path, None
+            )
+            self._send_json(status, payload, retry_after=retry_after)
         elif path.startswith("/jobs/"):
             status, payload = self.server.route_job(path[len("/jobs/"):])
             self._send_json(status, payload)
@@ -275,6 +300,7 @@ class ClusterRouter(ThreadingHTTPServer):
         }
         self._counters = {
             "routed": 0,
+            "session_routes": 0,
             "failovers": 0,
             "shed": 0,
             "worker_failures": 0,
@@ -498,6 +524,96 @@ class ClusterRouter(ThreadingHTTPServer):
             )
         return 503, {"error": last_error}, RETRY_AFTER_SECONDS
 
+    def route_session(
+        self, method: str, path: str, raw_body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        """Route a session request to its shard owner (pinned by session id).
+
+        Sessions shard exactly like fingerprints — on the first two
+        characters of the session id — so one session's whole event stream
+        lands on one worker, whose in-memory :class:`SessionManager` holds
+        the live simulator.  ``POST /sessions`` without a client-chosen
+        ``session_id`` gets a router-generated one *before* routing, which
+        is what makes the pinning possible.
+
+        Failover is the checkpoint handoff: when the pinned owner is
+        unreachable (killed worker) or draining (503), the request moves to
+        the next replica in ring order, whose manager resumes the session
+        from the shared checkpoint store — event-offset idempotency on the
+        session makes the replay of an unacknowledged batch safe.
+        Definitive answers (200/201, 400, 404, 409, 429) return verbatim:
+        a per-tenant 429 in particular must not be laundered through a
+        replica that has not seen the tenant's traffic.
+        """
+        with self._lock:
+            self._counters["session_routes"] += 1
+        if method == "POST" and path == "/sessions":
+            try:
+                doc = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+                if not isinstance(doc, dict):
+                    raise ValueError("body must be a JSON object")
+            except ValueError as exc:
+                return 400, {"error": str(exc)}, None
+            session_id = doc.get("session_id")
+            if session_id is None:
+                session_id = uuid.uuid4().hex
+                doc["session_id"] = session_id
+                raw_body = json.dumps(doc).encode("utf-8")
+            elif not isinstance(session_id, str) or not session_id:
+                return 400, {"error": '"session_id" must be a non-empty string'}, None
+            key = session_id
+        elif path == "/sessions":
+            return self._aggregate_sessions()
+        else:
+            parts = path.split("/")
+            key = parts[2] if len(parts) > 2 and parts[2] else ""
+            if not key:
+                return 404, {"error": f"no such endpoint: {method} {path}"}, None
+        last_error = "no live worker owns this session's shard"
+        for url in self.shard_map.owners(key):
+            with self._lock:
+                if not self._alive[url]:
+                    continue
+            try:
+                status, payload = self._forward(url, method, path, body=raw_body)
+            except WorkerUnavailableError as exc:
+                last_error = str(exc)
+                self.mark_dead(url)
+                with self._lock:
+                    self._counters["failovers"] += 1
+                continue
+            if status == 503:
+                # Draining owner: hand the session over to the next replica
+                # (it resumes from the shared checkpoint store).
+                last_error = f"worker {url} answered {status}"
+                with self._lock:
+                    self._counters["failovers"] += 1
+                continue
+            retry_after = RETRY_AFTER_SECONDS if status == 429 else None
+            return status, payload, retry_after
+        return 503, {"error": last_error}, RETRY_AFTER_SECONDS
+
+    def _aggregate_sessions(self) -> Tuple[int, Dict[str, object], Optional[float]]:
+        """``GET /sessions`` cluster-wide: per-worker listings, merged totals."""
+        workers = []
+        totals: Dict[str, float] = {}
+        for url in self.workers:
+            with self._lock:
+                if not self._alive[url]:
+                    continue
+            try:
+                status, payload = self._forward(url, "GET", "/sessions", timeout=5.0)
+            except WorkerUnavailableError:
+                self.mark_dead(url)
+                continue
+            if status != 200:
+                continue
+            workers.append({"url": url, **payload})
+            for name, value in (payload.get("stats") or {}).items():
+                if isinstance(value, (int, float)):
+                    totals[name] = totals.get(name, 0) + value
+        return 200, {"workers": workers, "totals": totals}, None
+
     def route_job(self, prefixed_id: str) -> Tuple[int, Dict[str, object]]:
         """``GET /jobs/w<i>-<id>``: ask the worker that issued the id."""
         match = _PREFIXED_JOB_RE.match(prefixed_id)
@@ -638,12 +754,22 @@ class LocalCluster:
         wait_timeout: float = 300.0,
         router_port: int = 0,
         router_kwargs: Optional[Mapping[str, object]] = None,
+        session_limits=None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.services: List[SolveService] = []
         self.servers = []
         self._threads: List[threading.Thread] = []
+        # Unlike the per-worker result caches, the session *checkpoint*
+        # store is one shared tier: failover handoff requires the new owner
+        # to read the old owner's last checkpoint.  With a disk directory
+        # the sharing is the filesystem (document reads always hit disk);
+        # memory-only clusters share the store object itself.
+        self.session_store = ResultStore(
+            capacity=store_capacity,
+            directory=f"{store_dir}/sessions" if store_dir is not None else None,
+        )
         try:
             for index in range(workers):
                 directory = None
@@ -655,8 +781,11 @@ class LocalCluster:
                     max_disk_entries=max_disk_entries,
                 )
                 service = SolveService(store=store, max_pending=max_pending)
+                sessions = SessionManager(
+                    service, store=self.session_store, limits=session_limits
+                )
                 server = make_server(service, host=host, port=0,
-                                     wait_timeout=wait_timeout)
+                                     wait_timeout=wait_timeout, sessions=sessions)
                 self.services.append(service)
                 self.servers.append(server)
             self.worker_urls = [

@@ -29,6 +29,15 @@ to install):
     disk entries under those fingerprint prefixes into the memory tier
     (the cluster's cross-worker cache warming; see
     :meth:`~busytime.service.store.ResultStore.warm`).
+``POST /sessions`` / ``POST /sessions/<id>/events`` / ``.../close`` and
+``GET /sessions[/<id>[/assignment]]``
+    the streaming-session API (:mod:`busytime.service.sessions`): create a
+    stateful session, stream arrive/depart event batches through it with
+    idempotent offsets (duplicate batches skip, gaps answer **409** with
+    the expected offset), read the live assignment + realized cost, and
+    settle it.  Per-tenant admission caps answer **429** with
+    ``Retry-After``; a draining service refuses new sessions/events with
+    **503**.
 
 Overload and shutdown map onto status codes clients can act on: a service
 at its ``max_pending`` queue-depth cap sheds the request with **429** and
@@ -69,8 +78,21 @@ from .service import (
     ServiceOverloadedError,
     SolveService,
 )
+from .sessions import (
+    SessionConflictError,
+    SessionLimitError,
+    SessionManager,
+    SessionNotFoundError,
+    SessionValidationError,
+)
 
-__all__ = ["make_server", "serve", "submit_instance"]
+__all__ = [
+    "SessionHTTPError",
+    "make_server",
+    "serve",
+    "session_call",
+    "submit_instance",
+]
 
 #: Hint clients receive with a 429 (shed) or draining 503: short, because
 #: overload is bursty and drains precede an imminent replacement worker.
@@ -247,6 +269,9 @@ class _ServiceHandler(JsonRequestHandler):
         if path == "/warm":
             self._do_warm()
             return
+        if path == "/sessions" or path.startswith("/sessions/"):
+            self._do_sessions_post(path)
+            return
         if path != "/solve":
             # The body (if any) is never drained on this path, so the
             # keep-alive connection must close with the refusal — stale
@@ -312,6 +337,92 @@ class _ServiceHandler(JsonRequestHandler):
             payload["report"] = bio.solve_report_to_dict(report)
         self._send_json(200, payload)
 
+    # -- streaming sessions ---------------------------------------------------
+
+    def _do_sessions_post(self, path: str) -> None:
+        """``POST /sessions`` (create), ``/sessions/<id>/events``, ``.../close``."""
+        raw = self._read_body(self.server.max_body_bytes)
+        if raw is None:
+            return
+        sessions = self.server.sessions
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+            if not isinstance(doc, dict):
+                raise ValueError("body must be a JSON object")
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        try:
+            if path == "/sessions":
+                from .sessions import SessionConfig
+
+                session_id = doc.pop("session_id", None)
+                if session_id is not None and not isinstance(session_id, str):
+                    raise SessionValidationError('"session_id" must be a string')
+                config = SessionConfig.from_dict(doc)
+                session = sessions.create(config, session_id=session_id)
+                self._send_json(201, session.status())
+                return
+            parts = path.split("/")
+            # /sessions/<id>/events | /sessions/<id>/close
+            if len(parts) == 4 and parts[3] == "events":
+                rows = doc.get("events")
+                if not isinstance(rows, list):
+                    raise SessionValidationError('"events" must be a list of event rows')
+                first_offset = doc.get("first_offset")
+                if first_offset is not None and (
+                    not isinstance(first_offset, int) or isinstance(first_offset, bool)
+                    or first_offset < 0
+                ):
+                    raise SessionValidationError(
+                        '"first_offset" must be a non-negative integer'
+                    )
+                ack = sessions.apply_events(parts[2], rows, first_offset=first_offset)
+                self._send_json(200, ack)
+                return
+            if len(parts) == 4 and parts[3] == "close":
+                self._send_json(200, sessions.close_session(parts[2]))
+                return
+            self._send_error_json(404, f"no such endpoint: POST {self.path}")
+        except SessionNotFoundError as exc:
+            self._send_error_json(404, f"unknown session id: {exc.args[0]}")
+        except SessionConflictError as exc:
+            self._send_json(
+                409, {"error": str(exc), "expected_offset": exc.expected_offset}
+            )
+        except SessionLimitError as exc:
+            self._send_error_json(429, str(exc), retry_after=exc.retry_after)
+        except ServiceDrainingError as exc:
+            self._send_error_json(503, str(exc), retry_after=RETRY_AFTER_SECONDS)
+        except SessionValidationError as exc:
+            self._send_error_json(400, str(exc))
+
+    def _do_sessions_get(self, path: str) -> None:
+        """``GET /sessions``, ``/sessions/<id>``, ``/sessions/<id>/assignment``."""
+        sessions = self.server.sessions
+        try:
+            if path == "/sessions":
+                self._send_json(
+                    200,
+                    {
+                        "sessions": sessions.list_sessions(),
+                        "stats": sessions.stats(),
+                    },
+                )
+                return
+            parts = path.split("/")
+            if len(parts) == 3:
+                self._send_json(200, sessions.status(parts[2]))
+                return
+            if len(parts) == 4 and parts[3] == "assignment":
+                self._send_json(200, sessions.assignment(parts[2]))
+                return
+            self._send_error_json(404, f"no such endpoint: GET {self.path}")
+        except SessionNotFoundError as exc:
+            self._send_error_json(404, f"unknown session id: {exc.args[0]}")
+        except SessionValidationError as exc:
+            self._send_error_json(400, str(exc))
+
     def _do_warm(self) -> None:
         """``POST /warm``: pre-load disk-tier shard prefixes into memory."""
         raw = self._read_body(self.server.max_body_bytes)
@@ -361,6 +472,8 @@ class _ServiceHandler(JsonRequestHandler):
                     ]
                 },
             )
+        elif path == "/sessions" or path.startswith("/sessions/"):
+            self._do_sessions_get(path)
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             try:
@@ -383,9 +496,14 @@ class ServiceServer(ThreadingHTTPServer):
         verbose: bool = False,
         wait_timeout: Optional[float] = 300.0,
         max_body_bytes: int = 32 * 1024 * 1024,
+        sessions: Optional[SessionManager] = None,
     ):
         super().__init__(address, _ServiceHandler)
         self.service = service
+        # The session manager shares the service's engine, store and drain
+        # state unless the caller wires a custom one (the cluster harness
+        # does, to share one checkpoint store across workers).
+        self.sessions = sessions if sessions is not None else SessionManager(service)
         self.verbose = verbose
         self.wait_timeout = wait_timeout
         self.max_body_bytes = max_body_bytes
@@ -398,13 +516,15 @@ def make_server(
     verbose: bool = False,
     max_body_bytes: int = 32 * 1024 * 1024,
     wait_timeout: Optional[float] = 300.0,
+    sessions: Optional[SessionManager] = None,
 ) -> ServiceServer:
     """Bind the JSON API (``port=0`` picks a free port) without serving.
 
     The caller owns the loop: ``server.serve_forever()`` to serve,
     ``server.shutdown(); server.server_close()`` to stop.  The bound port is
     ``server.server_address[1]``.  ``wait_timeout`` caps how long a
-    ``"wait": true`` solve may block before a 504.
+    ``"wait": true`` solve may block before a 504.  ``sessions`` overrides
+    the default :class:`SessionManager` built over the service.
     """
     return ServiceServer(
         (host, port),
@@ -412,6 +532,7 @@ def make_server(
         verbose=verbose,
         max_body_bytes=max_body_bytes,
         wait_timeout=wait_timeout,
+        sessions=sessions,
     )
 
 
@@ -442,6 +563,80 @@ _RETRYABLE_STATUSES = frozenset({429, 503})
 def _backoff_delay(attempt: int, backoff: float, cap: float = 10.0) -> float:
     """Exponential backoff with full jitter (the standard AWS recipe)."""
     return random.uniform(0, min(cap, backoff * (2.0 ** attempt)))
+
+
+class SessionHTTPError(RuntimeError):
+    """A non-retryable session API refusal, carrying status + parsed payload.
+
+    A 409 conflict's payload includes ``expected_offset``, which streaming
+    clients use to resync and resend (see ``busytime session stream``).
+    """
+
+    def __init__(self, status: int, payload: Mapping[str, object]):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = dict(payload)
+
+
+def session_call(
+    url: str,
+    path: str,
+    body: Optional[Mapping[str, object]] = None,
+    timeout: float = 60.0,
+    retries: int = 0,
+    backoff: float = 0.25,
+) -> Dict[str, object]:
+    """One session API call: POST when ``body`` is given, GET otherwise.
+
+    Returns the parsed JSON payload on 2xx.  429/503 answers and transport
+    failures are retried up to ``retries`` times with jittered exponential
+    backoff (a server ``Retry-After`` hint takes precedence); every other
+    refusal raises :class:`SessionHTTPError` immediately with the parsed
+    payload attached — a 409 conflict carries ``expected_offset`` there.
+    """
+    full = url.rstrip("/") + path
+    data = None if body is None else json.dumps(dict(body)).encode("utf-8")
+    method = "GET" if body is None else "POST"
+    attempts = max(0, retries) + 1
+    last_error = "no attempt made"
+    for attempt in range(attempts):
+        request = urllib.request.Request(
+            full,
+            data=data,
+            headers={"Content-Type": "application/json"} if data is not None else {},
+            method=method,
+        )
+        delay = _backoff_delay(attempt, backoff)
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except Exception:  # noqa: BLE001 - surface the original HTTP error
+                payload = {"error": str(exc)}
+            if exc.code not in _RETRYABLE_STATUSES:
+                raise SessionHTTPError(exc.code, payload) from None
+            last_error = f"HTTP {exc.code}: {payload.get('error', payload)}"
+            hint = exc.headers.get("Retry-After") if exc.headers else None
+            if hint:
+                try:
+                    delay = min(float(hint), 10.0)
+                except ValueError:
+                    pass
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            reason = getattr(exc, "reason", exc)
+            if isinstance(exc, urllib.error.URLError) and not isinstance(
+                reason, (ConnectionError, OSError)
+            ):
+                raise RuntimeError(f"service unreachable: {reason}") from None
+            last_error = f"connection failed: {reason}"
+        if attempt + 1 < attempts:
+            time.sleep(delay)
+    raise RuntimeError(
+        f"session call {method} {path} failed after {attempts} attempts; "
+        f"last error: {last_error}"
+    )
 
 
 def submit_instance(

@@ -609,6 +609,16 @@ class SolveService:
         with self._lock:
             return len(self._inflight)
 
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun (new work is being refused).
+
+        Layered components (the session manager) consult this so their own
+        admission tracks the service's lifecycle instead of duplicating it.
+        """
+        with self._lock:
+            return self._draining or self._closed
+
     def health(self) -> Dict[str, object]:
         """Cheap liveness snapshot (the ``GET /healthz`` payload).
 

@@ -35,6 +35,17 @@ private temp file and an atomic rename — and the budget is enforced by each
 writer against the directory's actual contents, so co-writers converge on
 the cap instead of double-counting.
 
+Beyond solve reports, the store also carries small free-form JSON
+**documents** (:meth:`put_document` / :meth:`get_document`), keyed by
+caller-chosen strings.  The session layer checkpoints its event-sourced
+state through this API: documents live under a separate ``docs/``
+namespace on disk (two-level sharded, atomic-rename published, exempt from
+the report tier's ``max_disk_entries`` budget — a cache eviction must never
+eat a session checkpoint) and, for memory-only stores, in a plain dict.
+When a directory is configured, document reads always go to disk so that
+several workers sharing the directory observe each other's latest writes —
+exactly the property cluster failover handoff relies on.
+
 All operations are thread-safe (one lock for the memory tier and counters;
 disk I/O happens outside it so a slow disk never serializes memory hits).
 """
@@ -114,6 +125,10 @@ class ResultStore:
         self._disk_evictions = 0
         self._warmed = 0
         self._disk_count: Optional[int] = None  # lazily scanned
+        # Free-form JSON documents (session checkpoints).  Only authoritative
+        # when the store is memory-only; with a disk tier the docs/ namespace
+        # is the source of truth (see get_document).
+        self._documents: Dict[str, dict] = {}
 
     # -- lookup ---------------------------------------------------------------
 
@@ -323,6 +338,89 @@ class ResultStore:
                     self._warmed += 1
                     loaded += 1
         return loaded
+
+    # -- free-form documents (session checkpoints) ----------------------------
+
+    _DOC_KEY_OK = staticmethod(
+        lambda key: bool(key) and all(c.isalnum() or c in "-_." for c in key)
+    )
+
+    def _document_path(self, key: str) -> Path:
+        assert self.directory is not None
+        # Always two-level sharded under docs/: never collides with either
+        # report layout and never matches the report tier's eviction globs.
+        return self.directory / "docs" / key[:2] / f"{key}.json"
+
+    def put_document(self, key: str, document: dict) -> None:
+        """Durably store a JSON document under ``key`` (atomic publication).
+
+        With a disk tier the document is published via temp-file +
+        ``os.replace`` so co-readers only ever see complete checkpoints;
+        memory-only stores keep a private copy in-process.  Keys are
+        restricted to ``[A-Za-z0-9._-]`` so they map safely onto file names.
+        """
+        if not self._DOC_KEY_OK(key):
+            raise ValueError(f"invalid document key: {key!r}")
+        if self.directory is None:
+            with self._lock:
+                self._documents[key] = json.loads(json.dumps(document))
+            return
+        path = self._document_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(json.dumps(document, indent=2))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_document(self, key: str) -> Optional[dict]:
+        """The document stored under ``key``, or ``None``.
+
+        Disk-tier stores read the directory every time — staleness is not
+        acceptable for checkpoints shared across workers, unlike for the
+        content-addressed (hence immutable) report cache.
+        """
+        if not self._DOC_KEY_OK(key):
+            return None
+        if self.directory is None:
+            with self._lock:
+                doc = self._documents.get(key)
+            return json.loads(json.dumps(doc)) if doc is not None else None
+        try:
+            return json.loads(self._document_path(key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def delete_document(self, key: str) -> None:
+        """Forget the document under ``key`` (missing keys are a no-op)."""
+        if not self._DOC_KEY_OK(key):
+            return
+        with self._lock:
+            self._documents.pop(key, None)
+        if self.directory is not None:
+            try:
+                os.unlink(self._document_path(key))
+            except OSError:
+                pass
+
+    def list_documents(self, prefix: str = "") -> List[str]:
+        """Keys of all stored documents, optionally filtered by prefix."""
+        keys: set = set()
+        with self._lock:
+            keys.update(k for k in self._documents if k.startswith(prefix))
+        if self.directory is not None:
+            for path in (self.directory / "docs").glob("*/*.json"):
+                if path.stem.startswith(prefix):
+                    keys.add(path.stem)
+        return sorted(keys)
 
     # -- introspection --------------------------------------------------------
 
