@@ -1,0 +1,77 @@
+"""E23 — anytime portfolio racing and the learned selector.
+
+The portfolio layer (:mod:`busytime.portfolio`) makes three claims:
+
+* racing is *anytime*: the winner's cost is non-increasing in the race
+  budget, and every incumbent improvement the racer books is real
+  (strictly decreasing timeline);
+* the learned selector, trained offline on result-store history at seeds
+  disjoint from the evaluation corpus, strictly beats the static
+  ``best_ratio`` single pick in aggregate — without ever being worse on an
+  instance or changing a proven-ratio certificate;
+* every race winner passes the independent ``verify_schedule`` oracle and
+  never loses to the static single pick it subsumes.
+
+This module regenerates those claims with the corpus and runners from
+``scripts/bench_portfolio.py`` (the same harness behind
+``BENCH_portfolio.json``, at CI scale).
+
+The module is marked ``slow`` and skipped by default so tier-1 stays fast;
+run it with ``pytest benchmarks/test_bench_portfolio.py --run-slow``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_portfolio  # noqa: E402
+
+from busytime.engine import Engine, SolveRequest
+
+pytestmark = pytest.mark.slow
+
+
+def test_portfolio_claims_hold_at_ci_scale(benchmark, attach_rows):
+    engine = Engine()
+    selector, train_stats = bench_portfolio.train_history_selector(
+        engine, seeds_per_family=2
+    )
+    assert train_stats["samples"] > 0
+    assert train_stats["skipped_corrupt"] == 0
+
+    # The runners raise SystemExit on any claim violation, so reaching the
+    # assertions below *is* the reproduction check.
+    anytime = bench_portfolio.run_anytime(engine)
+    comparison = bench_portfolio.run_selector_comparison(engine, selector)
+    racing = bench_portfolio.run_racing_vs_static(engine)
+
+    assert len(anytime) == len(bench_portfolio.eval_corpus())
+    for row in anytime:
+        costs = row["costs"]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    assert comparison["learned_total"] < comparison["static_total"]
+    assert comparison["instances_improved"] >= 1
+    for row in comparison["rows"]:
+        assert row["learned_cost"] <= row["static_cost"] + 1e-9
+
+    assert all(r["raced_cost"] <= r["static_cost"] + 1e-9 for r in racing)
+    assert all(r["decisive"] for r in racing)
+
+    # Time one representative race (the whole-corpus runners above are the
+    # reproduction; this is the perf datapoint).
+    instance = bench_portfolio.eval_corpus()[0][1]
+    request = SolveRequest(instance=instance, race=4)
+    benchmark(lambda: engine.solve(request))
+    attach_rows(
+        benchmark,
+        comparison["rows"],
+        anytime=anytime,
+        racing=racing,
+        improvement=comparison["improvement"],
+    )

@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Anytime portfolio racing + learned selector benchmark (experiment E23).
+
+Regenerates the portfolio layer's three claims into ``BENCH_portfolio.json``
+and exits non-zero if any of them fails to hold:
+
+* **anytime** — the race winner's cost is non-increasing in the race budget
+  (candidate width), and within a single race the incumbent timeline is
+  strictly decreasing: more budget never hurts, and every improvement the
+  racer books is a real one;
+* **learned > static** — a selector trained offline on result-store history
+  (disjoint seeds from the evaluation corpus) strictly beats the static
+  ``best_ratio`` single pick in *aggregate* cost over the differential
+  corpus, while per-instance costs are never worse and every proven-ratio
+  certificate is identical (the learned policy reorders only within a
+  guarantee class);
+* **racing is safe** — every race winner passes the independent
+  :func:`verify_schedule` oracle and costs no more than the static single
+  pick on the same instance.
+
+The evaluation corpus mirrors ``tests/test_differential_corpus.py`` (one
+entry per generator family); the training history is built from the same
+families at disjoint seeds, solved through the engine and mined back out of
+a :class:`ResultStore` exactly the way ``busytime train-selector`` does.
+
+Usage::
+
+    python scripts/bench_portfolio.py                 # full training set
+    python scripts/bench_portfolio.py --quick         # CI smoke scale
+    python scripts/bench_portfolio.py --output BENCH_portfolio.json
+
+``benchmarks/test_bench_portfolio.py`` imports the corpus and runners from
+here, so the pytest gate and this script measure the same thing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from busytime.core.instance import Instance  # noqa: E402
+from busytime.core.schedule import verify_schedule  # noqa: E402
+from busytime.engine import Engine, SolveRequest  # noqa: E402
+from busytime.generators import (  # noqa: E402
+    bounded_length_instance,
+    bursty_instance,
+    clique_instance,
+    firstfit_lower_bound_instance,
+    laminar_instance,
+    poisson_arrivals_instance,
+    proper_instance,
+    ranked_shift_proper_instance,
+    stairs_instance,
+    uniform_random_instance,
+    uniform_traffic,
+)
+from busytime.optical import traffic_to_instance  # noqa: E402
+from busytime.portfolio import learned_policy, train_from_store  # noqa: E402
+from busytime.service import ResultStore  # noqa: E402
+
+_EPS = 1e-9
+
+#: Race widths swept for the anytime claim.
+WIDTHS = (2, 3, 4)
+
+#: Training-history seeds start here — disjoint from every corpus seed.
+TRAIN_SEED_BASE = 100
+
+
+def eval_corpus() -> List[Tuple[str, Instance]]:
+    """The differential corpus: one entry per (family, construction)."""
+    return [
+        ("random-uniform", uniform_random_instance(40, 3, seed=0)),
+        ("random-poisson", poisson_arrivals_instance(40, 3, seed=1)),
+        ("random-bursty", bursty_instance(40, 4, seed=2)),
+        ("structured-proper", proper_instance(30, 3, seed=3)),
+        ("structured-clique", clique_instance(18, 3, seed=4)),
+        ("structured-bounded", bounded_length_instance(30, 3, d=3.0, seed=5)),
+        ("structured-laminar", laminar_instance(25, 3, seed=6)),
+        ("structured-stairs", stairs_instance(24, 3)),
+        ("adversarial-fig4", firstfit_lower_bound_instance(4)),
+        ("adversarial-ranked-shift", ranked_shift_proper_instance(4)),
+        ("optical-uniform", traffic_to_instance(uniform_traffic(10, 30, 3, seed=7))),
+    ]
+
+
+def train_history_selector(engine: Engine, seeds_per_family: int = 4):
+    """Train a selector from a store history built at disjoint seeds.
+
+    The history is real: each training instance is solved through the
+    engine, the canonical report is put into a (memory-tier) ResultStore,
+    and the trainer mines it back out with ``scan_history`` — the exact
+    path ``busytime train-selector`` takes over a served store directory.
+    """
+    makers = (
+        (uniform_random_instance, 3, 30),
+        (poisson_arrivals_instance, 3, 30),
+        (bursty_instance, 4, 30),
+        (proper_instance, 3, 25),
+        (bounded_length_instance, 3, 25),
+    )
+    store = ResultStore(capacity=max(64, len(makers) * seeds_per_family))
+    index = 0
+    for maker, g, n in makers:
+        for seed in range(TRAIN_SEED_BASE, TRAIN_SEED_BASE + seeds_per_family):
+            instance = maker(n, g, seed=seed)
+            report = engine.solve(SolveRequest(instance=instance))
+            store.put(f"{index:064x}", report)
+            index += 1
+    return train_from_store(store)
+
+
+def run_anytime(engine: Engine) -> List[Dict[str, object]]:
+    """Sweep race widths per corpus instance; assert the anytime shape."""
+    rows = []
+    for label, instance in eval_corpus():
+        costs = []
+        for width in WIDTHS:
+            report = engine.solve(SolveRequest(instance=instance, race=width))
+            verify_schedule(report.schedule)
+            costs.append(report.cost)
+        for narrow, wide in zip(costs, costs[1:]):
+            if wide > narrow + _EPS:
+                raise SystemExit(
+                    f"anytime violation on {label}: widening the race budget "
+                    f"raised the cost ({narrow} -> {wide})"
+                )
+        widest = engine.solve(SolveRequest(instance=instance, race=WIDTHS[-1]))
+        timeline = list(widest.race.incumbent_timeline)
+        for (_, before), (_, after) in zip(timeline, timeline[1:]):
+            if after >= before - _EPS:
+                raise SystemExit(
+                    f"incumbent timeline on {label} is not strictly "
+                    f"decreasing: {timeline}"
+                )
+        rows.append(
+            {
+                "instance": label,
+                "n": instance.n,
+                "g": instance.g,
+                "widths": list(WIDTHS),
+                "costs": costs,
+                "lower_bound": widest.lower_bound,
+                "winner": widest.algorithm,
+                "incumbent_timeline": [[t, c] for t, c in timeline],
+            }
+        )
+    return rows
+
+
+def run_selector_comparison(engine: Engine, selector) -> Dict[str, object]:
+    """Static best_ratio single pick vs the learned single pick.
+
+    Both solves run ``portfolio=False`` so the policy's top pick carries the
+    whole answer — this is the selection decision the learned layer claims
+    to improve.  Certificates must match per instance; aggregate learned
+    cost must be strictly lower.
+    """
+    policy = learned_policy()
+    rows = []
+    policy.set_selector(selector)
+    try:
+        for label, instance in eval_corpus():
+            static = engine.solve(SolveRequest(instance=instance, portfolio=False))
+            learned = engine.solve(
+                SolveRequest(instance=instance, portfolio=False, policy="learned")
+            )
+            if learned.cost > static.cost + _EPS:
+                raise SystemExit(
+                    f"learned pick on {label} is worse than best_ratio "
+                    f"({learned.cost} > {static.cost})"
+                )
+            if learned.proven_ratio != static.proven_ratio:
+                raise SystemExit(
+                    f"learned pick on {label} changed the certificate "
+                    f"({static.proven_ratio} -> {learned.proven_ratio})"
+                )
+            rows.append(
+                {
+                    "instance": label,
+                    "static_cost": static.cost,
+                    "learned_cost": learned.cost,
+                    "proven_ratio": static.proven_ratio,
+                    "improved": learned.cost < static.cost - _EPS,
+                }
+            )
+    finally:
+        policy.set_selector(None)
+    static_total = sum(r["static_cost"] for r in rows)
+    learned_total = sum(r["learned_cost"] for r in rows)
+    if not learned_total < static_total - _EPS:
+        raise SystemExit(
+            f"learned selector does not strictly beat best_ratio in "
+            f"aggregate ({learned_total} vs {static_total})"
+        )
+    return {
+        "rows": rows,
+        "static_total": static_total,
+        "learned_total": learned_total,
+        "improvement": 1.0 - learned_total / static_total,
+        "instances_improved": sum(1 for r in rows if r["improved"]),
+    }
+
+
+def run_racing_vs_static(engine: Engine) -> List[Dict[str, object]]:
+    """A race must never lose to the static single pick it subsumes."""
+    rows = []
+    for label, instance in eval_corpus():
+        static = engine.solve(SolveRequest(instance=instance, portfolio=False))
+        raced = engine.solve(SolveRequest(instance=instance, race=WIDTHS[-1]))
+        verify_schedule(raced.schedule)
+        if raced.cost > static.cost + _EPS:
+            raise SystemExit(
+                f"race on {label} lost to the static single pick "
+                f"({raced.cost} > {static.cost})"
+            )
+        rows.append(
+            {
+                "instance": label,
+                "static_cost": static.cost,
+                "raced_cost": raced.cost,
+                "raced": len(raced.race.candidates),
+                "decisive": raced.race.decisive,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: a smaller training history",
+    )
+    parser.add_argument("--output", default="BENCH_portfolio.json")
+    args = parser.parse_args(argv)
+
+    engine = Engine()
+    seeds = 2 if args.quick else 6
+    selector, train_stats = train_history_selector(engine, seeds_per_family=seeds)
+    anytime = run_anytime(engine)
+    comparison = run_selector_comparison(engine, selector)
+    racing = run_racing_vs_static(engine)
+
+    doc = {
+        "experiment": "E23",
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "training": train_stats,
+        "anytime": anytime,
+        "selector": comparison,
+        "racing": racing,
+    }
+    Path(args.output).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(
+        f"E23: learned total {comparison['learned_total']:.3f} < "
+        f"static total {comparison['static_total']:.3f} "
+        f"({comparison['improvement']:.2%} better, "
+        f"{comparison['instances_improved']} instances strictly improved); "
+        f"anytime sweep clean on {len(anytime)} instances; "
+        f"racing never lost on {len(racing)}"
+    )
+    print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,12 @@ The package provides:
   of the engine — canonical request fingerprints (invariant under job
   relabeling and time translation), a content-addressed result cache,
   in-flight dedupe, micro-batching, and a stdlib HTTP frontend behind
-  ``busytime serve`` / ``busytime submit``.
+  ``busytime serve`` / ``busytime submit``;
+* the portfolio layer (:mod:`busytime.portfolio`): anytime racing of the
+  top ranked candidates under a shared deadline (``SolveRequest(race=…,
+  deadline=…)``), versioned instance features, and the ``"learned"``
+  selection policy — per-algorithm cost/time regressors trained offline
+  from result-store history via ``busytime train-selector``.
 
 Quick start::
 
@@ -107,6 +112,11 @@ from .optical import (
     traffic_to_instance,
 )
 
+# Importing the portfolio package registers the "learned" selection policy;
+# keep it after the engine import (it ranks through the policy registry).
+from . import portfolio  # noqa: E402  isort: skip
+from .portfolio import LearnedSelector, extract_features, race_candidates
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -157,6 +167,11 @@ __all__ = [
     "exact_optimal_cost",
     "branch_and_bound_optimum",
     "brute_force_optimum",
+    # portfolio
+    "portfolio",
+    "LearnedSelector",
+    "extract_features",
+    "race_candidates",
     # optical
     "PathNetwork",
     "Lightpath",

@@ -15,7 +15,9 @@ and renders the returned :class:`~busytime.engine.SolveReport`.
 ``solve``
     batch mode: solve one or more instance JSONs (or a whole directory via
     ``--batch``) through the engine, optionally across a process pool
-    (``--workers``), and write per-instance SolveReport JSONs.
+    (``--workers``), and write per-instance SolveReport JSONs.  With
+    ``--deadline``/``--race`` each solve races the policy's top candidates
+    under the shared budget (anytime mode).
 ``compare``
     run several algorithms on one instance and print the head-to-head table
     with lower bounds (and the exact optimum for small instances).
@@ -43,6 +45,11 @@ and renders the returned :class:`~busytime.engine.SolveReport`.
     workers plus the consistent-hash router (``--workers N``), or bind
     just the router over externally started ``busytime serve`` processes
     (repeated ``--worker URL``).
+``train-selector``
+    fit the learned algorithm selector offline from a result store's
+    history (``--store-dir``) and write the model JSON; point
+    ``--selector`` (or ``BUSYTIME_SELECTOR``) at the file to activate the
+    ``learned`` selection policy.
 
 Every command accepts ``--seed`` where randomness is involved, so runs are
 reproducible.  User-facing failures — a missing file, an unknown algorithm
@@ -146,6 +153,28 @@ def _request_for(instance: Instance, algorithm: str, **options) -> SolveRequest:
     return SolveRequest(instance=instance, algorithm=forced, **options)
 
 
+def _apply_selector(path: Optional[str]) -> None:
+    """Install a trained selector for the ``learned`` policy.
+
+    Loads the model into this process's policy singleton *and* exports it
+    via ``BUSYTIME_SELECTOR`` so pool workers (which re-import the package)
+    pick it up too.  A missing or malformed file is a one-line error, not a
+    silent static fallback: the user asked for this model by name.
+    """
+    if path is None:
+        return
+    import os
+
+    from .portfolio import SELECTOR_ENV_VAR, learned_policy, load_selector
+
+    selector_path = Path(path)
+    try:
+        learned_policy().set_selector(load_selector(selector_path))
+    except (OSError, ValueError, KeyError) as exc:
+        raise CliError(f"could not load selector {path}: {exc}") from None
+    os.environ[SELECTOR_ENV_VAR] = str(selector_path.resolve())
+
+
 # ---------------------------------------------------------------------------
 # Sub-command implementations
 # ---------------------------------------------------------------------------
@@ -221,6 +250,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if not paths:
         raise SystemExit("nothing to solve: pass instance files and/or --batch DIR")
 
+    _apply_selector(args.selector)
     engine = Engine()
     requests = []
     for path in paths:
@@ -234,6 +264,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 portfolio=not args.no_portfolio,
                 time_limit=args.time_limit,
                 compute_optimum=args.exact,
+                race=args.race,
+                deadline=args.deadline,
                 tags={"file": path.name},
             )
         )
@@ -246,6 +278,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         row["proven_ratio"] = report.proven_ratio
         if report.optimum is not None:
             row["optimum"] = round(report.optimum, 3)
+        if report.race is not None:
+            row["raced"] = len(report.race.candidates)
+            row["decisive"] = report.race.decisive
         row["time_s"] = round(report.wall_time_seconds, 4)
         rows.append(row)
     workers_note = f", workers={args.workers}" if args.workers else ""
@@ -449,6 +484,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - blocks
 
     from .service import AdmissionLimits, ResultStore, SolveService, make_server
 
+    _apply_selector(args.selector)
     service = SolveService(
         store=ResultStore(
             capacity=args.cache_capacity,
@@ -600,6 +636,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         options["portfolio"] = False
     if args.time_limit is not None:
         options["time_limit"] = args.time_limit
+    if args.race:
+        options["race"] = args.race
+    if args.deadline_ms is not None:
+        options["deadline_ms"] = args.deadline_ms
     instance_doc = bio.instance_to_dict(instance)
     # Pre-compute the canonical fingerprint and send it as a routing hint:
     # a cluster router then picks the shard straight from the header
@@ -636,6 +676,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     report = bio.solve_report_from_dict(reply["report"])
     row = _report_row(report.algorithm, report)
     row["cached"] = reply.get("cached", False)
+    if report.race is not None:
+        row["raced"] = len(report.race.candidates)
+        row["decisive"] = report.race.decisive
     print(format_table([row], title=f"served solve of {instance.name or args.instance}"))
     if args.output:
         Path(args.output).write_text(json.dumps(reply["report"], indent=2))
@@ -714,6 +757,57 @@ def _cmd_session(args: argparse.Namespace) -> int:
             payload["final"] = final
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"session transcript written to {args.output}")
+    return 0
+
+
+def _cmd_train_selector(args: argparse.Namespace) -> int:
+    """Fit the learned selector from a result store's disk history."""
+    from .portfolio import train_from_store
+    from .service import ResultStore
+
+    store_dir = Path(args.store_dir)
+    if not store_dir.is_dir():
+        raise CliError(f"--store-dir expects a directory, got {args.store_dir}")
+    store = ResultStore(capacity=1, directory=str(store_dir))
+    import warnings as _warnings
+
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always")
+        try:
+            selector, stats = train_from_store(
+                store,
+                limit=args.limit,
+                max_jobs=args.max_jobs,
+                ridge_lambda=args.ridge_lambda,
+                min_samples=args.min_samples,
+            )
+        except ValueError as exc:
+            raise CliError(str(exc)) from None
+    for warning in caught:
+        # The skip-counter warning is operator-facing output here, not noise.
+        print(f"warning: {warning.message}", file=sys.stderr)
+    selector.save(args.output)
+    rows = [
+        {
+            "algorithm": name,
+            "samples": head["samples"],
+        }
+        for name, head in sorted(selector.heads.items())
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"selector trained on {stats['samples']} samples from "
+                f"{stats['usable_entries']} store entries "
+                f"({stats['scanned']} scanned, "
+                f"{stats['skipped_corrupt']} corrupt, "
+                f"{stats['skipped_version']} old-version, "
+                f"{stats['skipped_large']} too large)"
+            ),
+        )
+    )
+    print(f"selector written to {args.output}")
     return 0
 
 
@@ -805,6 +899,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-limit", type=float, default=None,
         help="soft per-instance budget in seconds (dispatched solves only; "
         "ignored with a forced --algorithm)",
+    )
+    p_solve.add_argument(
+        "--race", type=int, default=0,
+        help="race the policy's top N candidates per instance (0 disables; "
+        "incompatible with a forced --algorithm)",
+    )
+    p_solve.add_argument(
+        "--deadline", type=float, default=None,
+        help="shared race budget in seconds (requires --race >= 2); the "
+        "best finished candidate wins when the budget runs out",
+    )
+    p_solve.add_argument(
+        "--selector", default=None, metavar="MODEL",
+        help="trained selector JSON (from `busytime train-selector`) to "
+        "activate for the 'learned' policy",
     )
     p_solve.add_argument(
         "--exact", action="store_true",
@@ -949,6 +1058,11 @@ def build_parser() -> argparse.ArgumentParser:
         "before answering 504 (seconds)",
     )
     p_serve.add_argument(
+        "--selector", default=None, metavar="MODEL",
+        help="trained selector JSON (from `busytime train-selector`) to "
+        "activate for the 'learned' policy",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p_serve.set_defaults(func=_cmd_serve)
@@ -977,6 +1091,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--time-limit", type=float, default=None,
         help="soft per-request budget in seconds",
+    )
+    p_submit.add_argument(
+        "--race", type=int, default=0,
+        help="ask the service to race the top N candidates (0 disables)",
+    )
+    p_submit.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="race deadline budget in milliseconds (implies a default race "
+        "width when --race is not given)",
     )
     p_submit.add_argument(
         "--no-wait", action="store_true",
@@ -1106,6 +1229,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_session.add_argument("--output", default=None, help="write the transcript JSON here")
     p_session.set_defaults(func=_cmd_session)
+
+    p_train = sub.add_parser(
+        "train-selector",
+        help="fit the learned algorithm selector from result-store history",
+    )
+    p_train.add_argument(
+        "--store-dir", required=True,
+        help="result-store directory a `busytime serve --store-dir` wrote",
+    )
+    p_train.add_argument(
+        "--output", required=True, help="write the selector model JSON here"
+    )
+    p_train.add_argument(
+        "--limit", type=int, default=None,
+        help="train on at most this many (newest) store entries",
+    )
+    p_train.add_argument(
+        "--max-jobs", type=int, default=2000,
+        help="skip stored instances larger than this (replay cost cap)",
+    )
+    p_train.add_argument(
+        "--ridge-lambda", type=float, default=1e-3,
+        help="ridge regularization strength",
+    )
+    p_train.add_argument(
+        "--min-samples", type=int, default=3,
+        help="observations an algorithm needs before it gets a trained head",
+    )
+    p_train.set_defaults(func=_cmd_train_selector)
 
     return parser
 

@@ -19,7 +19,7 @@ from .policy import (
     get_policy,
     register_policy,
 )
-from .report import ComponentDecision, SolveReport
+from .report import ComponentDecision, RaceCandidate, RaceOutcome, SolveReport
 from .request import RequestValidationError, SolveRequest
 
 
@@ -41,6 +41,8 @@ __all__ = [
     "SolveRequest",
     "SolveReport",
     "ComponentDecision",
+    "RaceCandidate",
+    "RaceOutcome",
     "RequestValidationError",
     "OBJECTIVES",
     "SelectionPolicy",

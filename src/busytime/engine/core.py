@@ -149,13 +149,32 @@ class Engine:
         self,
         request: SolveRequest,
         scheduler: Optional[Callable[[Instance], Schedule]] = None,
+        *,
+        deadline: Optional[float] = None,
+        race: Optional[int] = None,
+        executor=None,
     ) -> SolveReport:
         """Solve one request.
 
         ``scheduler`` optionally supplies the scheduling callable out of
         band (the experiment harness measures arbitrary callables this way);
         ``request.algorithm`` then only labels the report.
+
+        ``deadline`` and ``race`` override the request's corresponding
+        fields (convenience for callers holding a plain request):
+        ``race >= 2`` races the policy's top candidates on the whole
+        instance (see :mod:`busytime.portfolio.racer`) under the shared
+        wall-clock ``deadline``.  ``executor`` optionally supplies a
+        ``concurrent.futures`` executor for the race's candidates; without
+        one they run serially in rank order (same winner either way —
+        racing is deterministic except under deadline truncation).
         """
+        if race is not None or deadline is not None:
+            request = replace(
+                request,
+                race=request.race if race is None else race,
+                deadline=request.deadline if deadline is None else deadline,
+            )
         request.validate(check_algorithm=scheduler is None)
         started = time.monotonic()
         timings: Dict[str, float] = {}
@@ -173,6 +192,8 @@ class Engine:
             forced = False
         if forced:
             report = self._solve_forced(request, scheduler, policy_name, timings, model)
+        elif request.race >= 2 and request.instance.n > 0:
+            report = self._solve_raced(request, policy_name, timings, model, executor)
         else:
             report = self._solve_dispatched(request, policy_name, timings, model)
 
@@ -250,6 +271,28 @@ class Engine:
             lower_bound=0.0,
             proven_ratio=proven,
         )
+
+    def _solve_raced(
+        self,
+        request: SolveRequest,
+        policy_name: str,
+        timings: Dict[str, float],
+        model: CostModel,
+        executor,
+    ) -> SolveReport:
+        """Portfolio race on the whole instance (see the racer's contracts).
+
+        The racer validates every finished candidate and runs the winning
+        schedule through :func:`~busytime.core.schedule.verify_schedule`
+        (the independent oracle), so no extra validation pass is needed
+        here even with ``validate_schedule=False``.
+        """
+        from ..portfolio.racer import race_candidates
+
+        started = time.monotonic()
+        report = race_candidates(request, policy_name, model, executor=executor)
+        timings["schedule"] = time.monotonic() - started
+        return report
 
     def _solve_dispatched(
         self,
@@ -357,6 +400,17 @@ class Engine:
     ) -> List[SolveReport]:
         """Solve a batch of requests, preserving input order.
 
+        **Order is part of the contract**: ``reports[i]`` answers
+        ``requests[i]``, always.  This holds on the serial path, on the
+        process-pool path (``pool.map`` is order-preserving regardless of
+        task completion order), and for *mixed* batches where some
+        requests race (``race >= 2``) and others dispatch a single
+        candidate — a racing request that outlives its slower neighbours
+        never shifts anyone's slot.  Raced requests run their candidates
+        serially inside their worker (no pool-in-pool); their winners are
+        the same as an executor-backed race would pick, because race
+        winners are timing-independent by construction.
+
         ``max_workers`` > 1 fans the batch out across a process pool (one
         request per task, ``chunksize`` tunable for many small instances).
         Callers that batch repeatedly submit :func:`_pool_worker` tasks to
@@ -424,9 +478,15 @@ def _default_engine() -> Engine:
 def solve(
     request: SolveRequest,
     scheduler: Optional[Callable[[Instance], Schedule]] = None,
+    *,
+    deadline: Optional[float] = None,
+    race: Optional[int] = None,
+    executor=None,
 ) -> SolveReport:
     """Module-level convenience: solve one request with the default engine."""
-    return _default_engine().solve(request, scheduler=scheduler)
+    return _default_engine().solve(
+        request, scheduler=scheduler, deadline=deadline, race=race, executor=executor
+    )
 
 
 def solve_many(

@@ -17,7 +17,81 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from ..core.schedule import Schedule
 
-__all__ = ["ComponentDecision", "SolveReport"]
+__all__ = ["ComponentDecision", "RaceCandidate", "RaceOutcome", "SolveReport"]
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """One candidate's fate in a portfolio race.
+
+    ``status`` is one of ``"finished"`` (produced a feasible schedule),
+    ``"failed"`` (raised or returned an infeasible schedule — the slot is
+    lost, nothing else), or ``"cancelled"`` (never resolved: either its
+    task was revoked before running, or its result was deliberately
+    discarded to keep winners timing-independent).  ``started`` records
+    whether it began executing at all; ``wall_time``/``cost`` are ``None``
+    unless it ran to completion.
+    """
+
+    algorithm: str
+    rank: int
+    status: str
+    started: bool
+    wall_time: Optional[float] = None
+    cost: Optional[float] = None
+    winner: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "rank": self.rank,
+            "status": self.status,
+            "started": self.started,
+            "wall_time": self.wall_time,
+            "cost": self.cost,
+            "winner": self.winner,
+        }
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    """The full outcome table of one portfolio race.
+
+    ``decisive`` is the determinism flag: ``True`` means the winner was
+    resolved by the timing-independent rules (first acceptable candidate
+    in rank order, or minimum ``(cost, rank)`` over a complete race), so
+    repeating the race reproduces it bit for bit; ``False`` means the
+    shared deadline truncated the race and the winner is merely the best
+    candidate that had finished — the report is also flagged
+    ``budget_exhausted`` and the service layer never caches it.
+    ``incumbent_timeline`` is the anytime trace: ``(elapsed_seconds,
+    cost)`` pairs recorded whenever the best-so-far schedule improved
+    (non-increasing in cost by construction).
+    """
+
+    candidates: Tuple[RaceCandidate, ...]
+    deadline: Optional[float]
+    accept_factor: float
+    decisive: bool
+    fallback: bool = False
+    incumbent_timeline: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def winner(self) -> Optional[RaceCandidate]:
+        for candidate in self.candidates:
+            if candidate.winner:
+                return candidate
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "candidates": [c.as_dict() for c in self.candidates],
+            "deadline": self.deadline,
+            "accept_factor": self.accept_factor,
+            "decisive": self.decisive,
+            "fallback": self.fallback,
+            "incumbent_timeline": [list(point) for point in self.incumbent_timeline],
+        }
 
 
 @dataclass(frozen=True)
@@ -84,7 +158,14 @@ class SolveReport:
         applies.
     budget_exhausted:
         True when the request's ``time_limit`` expired mid-solve and the
-        engine fell back to FirstFit for the remaining components.
+        engine fell back to FirstFit for the remaining components, or when
+        a race's shared ``deadline`` truncated it before the
+        timing-independent winner could be resolved.
+    race:
+        The per-candidate outcome table and incumbent timeline when the
+        solve was a portfolio race (``None`` otherwise).  Telemetry, like
+        ``timings``: serialisation strips it together with timings, so
+        cached report bytes stay deterministic.
     timings:
         Wall-clock telemetry in seconds: ``schedule`` (algorithm time),
         ``lower_bound``, optional ``optimum``, and ``total``.
@@ -101,6 +182,7 @@ class SolveReport:
     components: Tuple[ComponentDecision, ...] = ()
     proven_ratio: Optional[float] = None
     budget_exhausted: bool = False
+    race: Optional[RaceOutcome] = None
     objective: str = "busy_time"
     objective_value: Optional[float] = None
     timings: Mapping[str, float] = field(default_factory=dict)
@@ -166,6 +248,9 @@ class SolveReport:
         if self.objective != "busy_time":
             out["objective"] = self.objective
             out["objective_value"] = self.value
+        if self.race is not None:
+            out["raced"] = len(self.race.candidates)
+            out["race_decisive"] = self.race.decisive
         return out
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

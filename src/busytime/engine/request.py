@@ -73,6 +73,20 @@ class SolveRequest:
         guarantee algorithm (FirstFit) and the report is flagged
         ``budget_exhausted``.  Ignored when ``algorithm`` is forced: a single
         running algorithm cannot be preempted mid-flight.
+    race:
+        Race the policy's top-``race`` ranked candidates on the whole
+        instance instead of dispatching per component (see
+        :mod:`busytime.portfolio.racer`): incumbent tracking, early
+        acceptance against the lower bound, deterministic winners.  ``0``
+        (the default) disables racing; values ``>= 2`` enable it
+        (racing one candidate is just a slower single dispatch).
+        Incompatible with a forced ``algorithm``.
+    deadline:
+        Shared wall-clock budget in seconds for a race: candidates still
+        unresolved at the deadline are cancelled and the best finished
+        schedule is returned (``budget_exhausted``, non-decisive).
+        Requires ``race >= 2``; plain dispatched solves budget with
+        ``time_limit`` instead.
     compute_optimum:
         Also compute the exact optimum (branch and bound) when the instance
         has at most ``max_jobs_for_optimum`` jobs.
@@ -92,6 +106,8 @@ class SolveRequest:
     policy: Optional[str] = None
     portfolio: bool = True
     time_limit: Optional[float] = None
+    race: int = 0
+    deadline: Optional[float] = None
     compute_optimum: bool = False
     max_jobs_for_optimum: int = 16
     validate_schedule: bool = True
@@ -138,6 +154,26 @@ class SolveRequest:
             raise RequestValidationError(
                 f"time_limit must be non-negative, got {self.time_limit}"
             )
+        if self.race < 0 or self.race == 1:
+            raise RequestValidationError(
+                f"race must be 0 (disabled) or >= 2 (candidates to race), "
+                f"got {self.race}"
+            )
+        if self.race and self.algorithm is not None:
+            raise RequestValidationError(
+                "race and a forced algorithm are incompatible: racing asks "
+                "the selection policy for candidates"
+            )
+        if self.deadline is not None:
+            if self.deadline < 0:
+                raise RequestValidationError(
+                    f"deadline must be non-negative, got {self.deadline}"
+                )
+            if self.race < 2:
+                raise RequestValidationError(
+                    "deadline requires race >= 2 (plain dispatched solves "
+                    "budget with time_limit)"
+                )
         if self.max_jobs_for_optimum < 0:
             raise RequestValidationError(
                 f"max_jobs_for_optimum must be non-negative, got {self.max_jobs_for_optimum}"
@@ -190,6 +226,8 @@ class SolveRequest:
             "policy": self.policy,
             "portfolio": self.portfolio,
             "time_limit": self.time_limit,
+            "race": self.race,
+            "deadline": self.deadline,
             "compute_optimum": self.compute_optimum,
             "max_jobs_for_optimum": self.max_jobs_for_optimum,
             "validate_schedule": self.validate_schedule,

@@ -69,7 +69,7 @@ from .core.events import ARRIVE, DEPART, DynamicTrace, TraceEvent
 from .core.instance import Instance
 from .core.intervals import Interval, Job
 from .core.schedule import Machine, Schedule
-from .engine.report import ComponentDecision, SolveReport
+from .engine.report import ComponentDecision, RaceCandidate, RaceOutcome, SolveReport
 from .optical.lightpath import Lightpath, Traffic
 from .optical.network import PathNetwork
 
@@ -109,10 +109,13 @@ _PathLike = Union[str, Path]
 #: added the problem-model axis (per-job demands; objective + objective
 #: value on reports); version-1 documents load with the defaults that *are*
 #: the version-1 semantics (demand 1, objective "busy_time").
+#: Solve-report version 3 added the optional portfolio-race outcome table
+#: (telemetry, carried only when timings are); versions 1/2 load with
+#: ``race=None``, which *is* their semantics (racing did not exist).
 _SUPPORTED_VERSIONS: Dict[str, tuple] = {
     "busytime-instance": (1, 2),
     "busytime-schedule": (1, 2),
-    "busytime-solve-report": (1, 2),
+    "busytime-solve-report": (1, 2, 3),
     "busytime-traffic": (1,),
     "busytime-trace": (1,),
 }
@@ -282,12 +285,16 @@ def solve_report_to_dict(
 ) -> Dict[str, object]:
     """A JSON-serialisable dict for a :class:`~busytime.engine.SolveReport`.
 
-    ``include_timings=False`` drops the wall-clock telemetry, leaving only
-    the deterministic fields (see the module docstring's schema notes).
+    ``include_timings=False`` drops the wall-clock telemetry — both the
+    ``timings`` map and the race outcome table, whose per-candidate wall
+    times and incumbent timestamps vary run to run — leaving only the
+    deterministic fields (see the module docstring's schema notes).  The
+    service result store serialises with ``include_timings=False``, so
+    cached bytes for the same canonical request are identical across runs.
     """
     doc: Dict[str, object] = {
         "format": "busytime-solve-report",
-        "version": 2,
+        "version": 3,
         "algorithm": report.algorithm,
         "policy": report.policy,
         "portfolio": report.portfolio,
@@ -303,7 +310,37 @@ def solve_report_to_dict(
     }
     if include_timings:
         doc["timings"] = dict(report.timings)
+        if report.race is not None:
+            doc["race"] = report.race.as_dict()
     return doc
+
+
+def _race_outcome_from_dict(data: Mapping[str, object]) -> RaceOutcome:
+    deadline = data.get("deadline")
+    return RaceOutcome(
+        candidates=tuple(
+            RaceCandidate(
+                algorithm=str(row["algorithm"]),
+                rank=int(row["rank"]),
+                status=str(row["status"]),
+                started=bool(row.get("started", False)),
+                wall_time=(
+                    None if row.get("wall_time") is None else float(row["wall_time"])
+                ),
+                cost=None if row.get("cost") is None else float(row["cost"]),
+                winner=bool(row.get("winner", False)),
+            )
+            for row in data.get("candidates", ())  # type: ignore[union-attr]
+        ),
+        deadline=None if deadline is None else float(deadline),
+        accept_factor=float(data.get("accept_factor", 1.0)),
+        decisive=bool(data.get("decisive", True)),
+        fallback=bool(data.get("fallback", False)),
+        incumbent_timeline=tuple(
+            (float(point[0]), float(point[1]))
+            for point in data.get("incumbent_timeline", ())  # type: ignore[union-attr]
+        ),
+    )
 
 
 def solve_report_from_dict(data: Mapping[str, object]) -> SolveReport:
@@ -335,6 +372,11 @@ def solve_report_from_dict(data: Mapping[str, object]) -> SolveReport:
         components=components,
         proven_ratio=None if proven is None else float(proven),
         budget_exhausted=bool(data.get("budget_exhausted", False)),
+        race=(
+            None
+            if data.get("race") is None
+            else _race_outcome_from_dict(data["race"])  # type: ignore[arg-type]
+        ),
         # Version-1 documents predate the cost-model axis; their implied
         # model is the default.
         objective=str(data.get("objective", "busy_time")),

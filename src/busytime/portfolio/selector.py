@@ -1,0 +1,518 @@
+"""The learned algorithm selector: ridge regressors over instance features.
+
+:class:`LearnedSelector` holds one tiny linear model per registered
+algorithm — a *cost head* predicting the algorithm's cost as a multiple of
+the Observation 1.1 lower bound, and a *time head* predicting its
+``log1p`` wall time — fit by ridge least squares over the feature vectors
+of :mod:`busytime.portfolio.features`.  Training happens offline
+(``busytime train-selector``) from :class:`~busytime.service.store.ResultStore`
+history: the store's disk tier is the instance distribution the service
+actually saw, and the trainer replays every applicable candidate on each
+historical instance to label it with measured cost and time.
+
+:class:`LearnedPolicy` (registered as ``"learned"``) turns the selector
+into a :class:`~busytime.engine.policy.SelectionPolicy`.  Its ranking is
+**guarantee-first**: among the applicable candidates, those carrying the
+*best available* approximation ratio are ranked first (ordered by predicted
+cost), the rest follow (same order).  The engine's proven-ratio machinery
+takes the best guarantee among the candidates that ran, so a learned
+single pick carries exactly the certificate the static
+:class:`~busytime.engine.policy.BestRatioPolicy` pick would — the learned
+layer reorders *within* a guarantee class, it never trades a certificate
+for a prediction.  Proven-ratio claims themselves still come only from the
+capability metadata and :mod:`busytime.analysis.certificates`; the selector
+asserts nothing.
+
+Everything degrades safely: an untrained policy, a feature-version
+mismatch, or a cost model that does not preserve busy-time ratios all fall
+back to the static ``best_ratio`` ranking.  Scoring needs no third-party
+code at all (plain-python dot products over stored weights); only
+*fitting* uses numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..algorithms.base import all_schedulers, get_scheduler
+from ..core.bounds import best_lower_bound
+from ..core.instance import Instance
+from ..engine.policy import (
+    BestRatioPolicy,
+    SelectionPolicy,
+    _structural_shortcut,
+    get_policy,
+    register_policy,
+)
+from .features import FEATURE_VERSION, extract_features, feature_names
+
+__all__ = [
+    "SELECTOR_ENV_VAR",
+    "TrainingSample",
+    "LearnedSelector",
+    "LearnedPolicy",
+    "gather_training_samples",
+    "train_selector",
+    "train_from_store",
+    "load_selector",
+]
+
+#: Environment variable naming a saved selector JSON.  Worker processes
+#: (service pools, ``solve_many`` fan-out on spawn platforms) re-import the
+#: package from scratch, so a trained model must travel out of band; the
+#: ``learned`` policy loads this lazily on first use.
+SELECTOR_ENV_VAR = "BUSYTIME_SELECTOR"
+
+#: Predicted cost ratio assumed for an algorithm with no trained head and
+#: no approximation ratio to fall back on (worse than every proven ratio
+#: in the registry, so unknown algorithms rank last, not first).
+_UNKNOWN_COST_PRIOR = 8.0
+
+_FORMAT = "busytime-selector"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One labelled observation: algorithm ``algorithm`` on an instance."""
+
+    fingerprint: str
+    features: Tuple[float, ...]
+    algorithm: str
+    cost_ratio: float  # measured cost / max(lower bound, eps)
+    wall_time: float  # measured seconds
+
+
+def _fit_ridge(rows: Sequence[Sequence[float]], targets: Sequence[float], lam: float) -> List[float]:
+    """Ridge least squares (bias folded in as the trailing weight)."""
+    import numpy as np
+
+    x = np.asarray(rows, dtype=np.float64)
+    x = np.hstack([x, np.ones((x.shape[0], 1))])
+    y = np.asarray(targets, dtype=np.float64)
+    gram = x.T @ x + lam * np.eye(x.shape[1])
+    return np.linalg.solve(gram, x.T @ y).tolist()
+
+
+def _predict(weights: Sequence[float], scaled: Sequence[float]) -> float:
+    """Plain-python dot product with the folded-in bias term."""
+    total = weights[-1]
+    for w, v in zip(weights, scaled):
+        total += w * v
+    return total
+
+
+class LearnedSelector:
+    """Per-algorithm cost/time regressors over the versioned feature vector.
+
+    Instances are immutable in practice (fit once, score many); weights and
+    the feature standardization (per-feature mean/std from the training
+    set) are plain lists so the whole model round-trips through JSON.
+    """
+
+    def __init__(
+        self,
+        heads: Mapping[str, Mapping[str, object]],
+        scale_mean: Sequence[float],
+        scale_std: Sequence[float],
+        feature_version: int = FEATURE_VERSION,
+        names: Optional[Sequence[str]] = None,
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.heads: Dict[str, Dict[str, object]] = {
+            name: dict(head) for name, head in heads.items()
+        }
+        self.scale_mean = [float(v) for v in scale_mean]
+        self.scale_std = [float(v) if v else 1.0 for v in scale_std]
+        self.feature_version = int(feature_version)
+        self.names = tuple(names) if names is not None else feature_names()
+        self.meta = dict(meta) if meta is not None else {}
+
+    # -- scoring --------------------------------------------------------------
+
+    def _scaled(self, features: Sequence[float]) -> List[float]:
+        return [
+            (v - m) / s
+            for v, m, s in zip(features, self.scale_mean, self.scale_std)
+        ]
+
+    def predict_cost_ratio(
+        self, algorithm: str, features: Sequence[float]
+    ) -> Optional[float]:
+        """Predicted cost / lower-bound ratio, or ``None`` without a head."""
+        head = self.heads.get(algorithm)
+        if head is None:
+            return None
+        return _predict(head["cost"], self._scaled(features))
+
+    def predict_time(self, algorithm: str, features: Sequence[float]) -> Optional[float]:
+        """Predicted wall time in seconds, or ``None`` without a head."""
+        head = self.heads.get(algorithm)
+        if head is None or "time" not in head:
+            return None
+        # The head predicts log1p(seconds); a linear model extrapolating far
+        # out of distribution can push expm1 past the float range, and any
+        # prediction beyond ~e^50 seconds means "effectively never" anyway.
+        raw = min(_predict(head["time"], self._scaled(features)), 50.0)
+        return max(0.0, math.expm1(raw))
+
+    def compatible(self) -> bool:
+        """Whether this model scores the *current* feature vector."""
+        return (
+            self.feature_version == FEATURE_VERSION
+            and self.names == feature_names()
+            and len(self.scale_mean) == len(self.names)
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "feature_version": self.feature_version,
+            "feature_names": list(self.names),
+            "scale_mean": list(self.scale_mean),
+            "scale_std": list(self.scale_std),
+            "heads": {name: dict(head) for name, head in self.heads.items()},
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LearnedSelector":
+        if not isinstance(data, Mapping) or data.get("format") != _FORMAT:
+            raise ValueError(f"not a {_FORMAT} document")
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported {_FORMAT} version {data.get('version')!r}; "
+                f"this reader understands version {_FORMAT_VERSION}"
+            )
+        return cls(
+            heads={
+                str(name): dict(head)
+                for name, head in dict(data.get("heads", {})).items()
+            },
+            scale_mean=list(data["scale_mean"]),
+            scale_std=list(data["scale_std"]),
+            feature_version=int(data.get("feature_version", -1)),
+            names=[str(n) for n in data.get("feature_names", [])],
+            meta=dict(data.get("meta", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LearnedSelector":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def load_selector(path: Union[str, Path]) -> LearnedSelector:
+    """Load a saved selector (convenience wrapper over :meth:`~LearnedSelector.load`)."""
+    return LearnedSelector.load(path)
+
+
+# ---------------------------------------------------------------------------
+# Training
+# ---------------------------------------------------------------------------
+
+
+def _training_candidates(instance: Instance, objective: str = "busy_time"):
+    """The schedulers a sample is gathered for: what a policy could rank."""
+    return [
+        s
+        for s in all_schedulers()
+        if not s.composite and s.deterministic and s.handles(instance, objective)
+    ]
+
+
+def gather_training_samples(
+    store,
+    limit: Optional[int] = None,
+    max_jobs: int = 2000,
+    min_version: int = 2,
+) -> Tuple[List[TrainingSample], object, int]:
+    """Mine a :class:`ResultStore`'s history into labelled training samples.
+
+    Each stored report contributes its canonical instance; every applicable
+    deterministic candidate is replayed on it and labelled with measured
+    cost (as a multiple of the lower bound) and wall time.  Corrupt or
+    pre-v``min_version`` store entries are *skipped and counted* by
+    :meth:`~busytime.service.store.ResultStore.scan_history` — mining
+    never aborts on bad history.  Returns ``(samples, scan, skipped_large)``
+    where ``scan`` carries the skip counters and ``skipped_large`` counts
+    instances above ``max_jobs`` (replaying every candidate on a huge
+    instance is the trainer's cost, not the service's).
+    """
+    scan = store.scan_history(limit=limit, min_version=min_version)
+    samples: List[TrainingSample] = []
+    skipped_large = 0
+    for fingerprint, report in scan.reports:
+        instance = report.schedule.instance
+        if instance.n == 0:
+            continue
+        if instance.n > max_jobs:
+            skipped_large += 1
+            continue
+        features = extract_features(instance)
+        lb = max(best_lower_bound(instance), 1e-12)
+        for scheduler in _training_candidates(instance):
+            started = time.perf_counter()
+            try:
+                schedule = scheduler(instance)
+            except Exception:  # noqa: BLE001 - one bad candidate, not the run
+                continue
+            elapsed = time.perf_counter() - started
+            samples.append(
+                TrainingSample(
+                    fingerprint=fingerprint,
+                    features=features,
+                    algorithm=scheduler.name,
+                    cost_ratio=schedule.total_busy_time / lb,
+                    wall_time=elapsed,
+                )
+            )
+    return samples, scan, skipped_large
+
+
+def train_selector(
+    samples: Sequence[TrainingSample],
+    ridge_lambda: float = 1e-3,
+    min_samples: int = 3,
+    meta: Optional[Mapping[str, object]] = None,
+) -> LearnedSelector:
+    """Fit one cost/time head per algorithm from gathered samples.
+
+    Algorithms with fewer than ``min_samples`` observations get no head
+    (the policy then falls back to their approximation ratio as a prior).
+    Raises ``ValueError`` on an empty sample set: a selector trained on
+    nothing is the static policy wearing a costume.
+    """
+    if not samples:
+        raise ValueError("no training samples: the store history is empty")
+    dim = len(feature_names())
+    for sample in samples:
+        if len(sample.features) != dim:
+            raise ValueError(
+                f"sample for {sample.algorithm!r} has {len(sample.features)} "
+                f"features; the version-{FEATURE_VERSION} vector has {dim}"
+            )
+    import numpy as np
+
+    matrix = np.asarray([s.features for s in samples], dtype=np.float64)
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0.0] = 1.0
+    scaled = (matrix - mean) / std
+
+    by_algorithm: Dict[str, List[int]] = {}
+    for index, sample in enumerate(samples):
+        by_algorithm.setdefault(sample.algorithm, []).append(index)
+
+    heads: Dict[str, Dict[str, object]] = {}
+    for name, indices in sorted(by_algorithm.items()):
+        if len(indices) < min_samples:
+            continue
+        rows = scaled[indices].tolist()
+        heads[name] = {
+            "cost": _fit_ridge(rows, [samples[i].cost_ratio for i in indices], ridge_lambda),
+            "time": _fit_ridge(
+                rows, [math.log1p(samples[i].wall_time) for i in indices], ridge_lambda
+            ),
+            "samples": len(indices),
+        }
+    if not heads:
+        raise ValueError(
+            f"no algorithm reached min_samples={min_samples} "
+            f"({len(samples)} samples across {len(by_algorithm)} algorithms)"
+        )
+    doc_meta = {"samples": len(samples), "ridge_lambda": ridge_lambda}
+    if meta:
+        doc_meta.update(meta)
+    return LearnedSelector(
+        heads=heads,
+        scale_mean=mean.tolist(),
+        scale_std=std.tolist(),
+        meta=doc_meta,
+    )
+
+
+def train_from_store(
+    store,
+    limit: Optional[int] = None,
+    max_jobs: int = 2000,
+    ridge_lambda: float = 1e-3,
+    min_samples: int = 3,
+) -> Tuple[LearnedSelector, Dict[str, object]]:
+    """End-to-end offline training: scan history, gather, fit.
+
+    Emits a *counted* ``UserWarning`` when the history scan skipped corrupt
+    or pre-v2 entries — training always proceeds on what remains.  Returns
+    the selector and a stats dict (scan counters, sample counts) for the
+    CLI to print.
+    """
+    samples, scan, skipped_large = gather_training_samples(
+        store, limit=limit, max_jobs=max_jobs
+    )
+    if scan.skipped:
+        warnings.warn(
+            f"selector training skipped {scan.skipped} unusable store "
+            f"entries ({scan.skipped_corrupt} corrupt, "
+            f"{scan.skipped_version} pre-v2/unknown-version) out of "
+            f"{scan.scanned} scanned",
+            UserWarning,
+            stacklevel=2,
+        )
+    selector = train_selector(
+        samples,
+        ridge_lambda=ridge_lambda,
+        min_samples=min_samples,
+        meta={"store_entries": len(scan.reports), "skipped_large": skipped_large},
+    )
+    stats = {
+        "scanned": scan.scanned,
+        "usable_entries": len(scan.reports),
+        "skipped_corrupt": scan.skipped_corrupt,
+        "skipped_version": scan.skipped_version,
+        "skipped_large": skipped_large,
+        "samples": len(samples),
+        "heads": {name: head["samples"] for name, head in selector.heads.items()},
+    }
+    return selector, stats
+
+
+# ---------------------------------------------------------------------------
+# The registered policy
+# ---------------------------------------------------------------------------
+
+
+class LearnedPolicy(SelectionPolicy):
+    """Selection policy scoring candidates with a :class:`LearnedSelector`.
+
+    Ranking is guarantee-first (see the module docstring): candidates whose
+    approximation ratio equals the best available one come first, ordered
+    by predicted cost (tie-broken by predicted time, then the static
+    ``(selection_priority, name)`` key, so rankings are deterministic);
+    the remaining candidates follow in the same order.  The engine runs
+    the top pick plus the FirstFit guarantee of last resort, so the proven
+    ratio of a learned single pick equals the static policy's — the
+    learned layer can only improve cost, never weaken a certificate.
+
+    Falls back to the static ``best_ratio`` ranking whenever it cannot
+    honestly score: no selector loaded, a feature-version mismatch, or a
+    cost model that does not preserve busy-time ratios (the heads predict
+    busy-time multiples of the busy-time lower bound).
+    """
+
+    name = "learned"
+
+    def __init__(self, selector: Optional[LearnedSelector] = None) -> None:
+        self._selector = selector
+        self._env_checked = selector is not None
+
+    # -- model management -----------------------------------------------------
+
+    @property
+    def selector(self) -> Optional[LearnedSelector]:
+        self._maybe_load_env()
+        return self._selector
+
+    def set_selector(self, selector: Optional[LearnedSelector]) -> None:
+        """Install (or clear) the model; clears the env-var memo."""
+        self._selector = selector
+        self._env_checked = selector is not None
+
+    def _maybe_load_env(self) -> None:
+        if self._env_checked:
+            return
+        self._env_checked = True
+        path = os.environ.get(SELECTOR_ENV_VAR)
+        if not path:
+            return
+        try:
+            self._selector = LearnedSelector.load(path)
+        except (OSError, ValueError, KeyError) as exc:
+            # An unreadable model must not take the policy down: rank
+            # statically and say why, once.
+            warnings.warn(
+                f"could not load selector from {SELECTOR_ENV_VAR}={path!r}: "
+                f"{exc}; the 'learned' policy falls back to 'best_ratio'",
+                UserWarning,
+                stacklevel=2,
+            )
+
+    # -- ranking --------------------------------------------------------------
+
+    def rank(
+        self,
+        instance: Instance,
+        objective: str = "busy_time",
+        model=None,
+    ) -> List[str]:
+        shortcut = _structural_shortcut(instance)
+        if shortcut:
+            return shortcut
+        from ..core.objectives import get_cost_model
+
+        if model is None:
+            model = get_cost_model(objective)
+        selector = self.selector
+        if (
+            selector is None
+            or not selector.compatible()
+            or not model.preserves_busy_time_ratios
+        ):
+            return BestRatioPolicy().rank(instance, objective, model=model)
+
+        candidates = [
+            s
+            for s in all_schedulers()
+            if not s.composite
+            and s.deterministic
+            and s.approximation_ratio is not None
+            and s.handles(instance, objective)
+        ]
+        if not candidates:
+            return BestRatioPolicy().rank(instance, objective, model=model)
+        best_ratio = min(s.approximation_ratio for s in candidates)
+        features = extract_features(instance)
+
+        def key(s):
+            predicted = selector.predict_cost_ratio(s.name, features)
+            if predicted is None:
+                # No trained head: the proven ratio is an honest prior on
+                # the cost multiple (it upper-bounds it).
+                predicted = float(s.approximation_ratio or _UNKNOWN_COST_PRIOR)
+            predicted_time = selector.predict_time(s.name, features)
+            return (
+                0 if s.approximation_ratio == best_ratio else 1,
+                predicted,
+                predicted_time if predicted_time is not None else float("inf"),
+                s.selection_priority,
+                s.name,
+            )
+
+        return [s.name for s in sorted(candidates, key=key)]
+
+
+def learned_policy() -> LearnedPolicy:
+    """The registered ``"learned"`` policy singleton."""
+    policy = get_policy(LearnedPolicy.name)
+    assert isinstance(policy, LearnedPolicy)
+    return policy
+
+
+# Registered at import time so `available_policies()` (and therefore CLI
+# argument choices and re-importing pool workers) always includes it; with
+# no model installed it ranks exactly like best_ratio.
+try:
+    register_policy(LearnedPolicy())
+except KeyError:  # pragma: no cover - double import under exotic reloads
+    pass

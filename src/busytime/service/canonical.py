@@ -66,8 +66,12 @@ __all__ = [
 #: document shape can never collide with fingerprints minted before it.
 #: Version 2 added the problem-model axis: per-job demands in the rows and
 #: the resolved cost model in the options (version-1 store entries degrade
-#: to misses, as the store guarantees for unknown versions).
-CANONICAL_VERSION = 2
+#: to misses, as the store guarantees for unknown versions).  Version 3
+#: added the portfolio-racing options (``race``/``deadline``) to the option
+#: document: a raced solve and a single-dispatch solve of the same instance
+#: may legitimately return different (equally feasible) schedules, so they
+#: must never share a cache line.
+CANONICAL_VERSION = 3
 
 #: Instance sizes from which :func:`canonicalize` sorts with ``np.lexsort``
 #: over column arrays instead of python tuple sorting.  Same keys, same

@@ -108,9 +108,14 @@ _REQUEST_OPTIONS = {
     "objective": (str,),
     "portfolio": (bool,),
     "time_limit": (int, float, type(None)),
+    "race": (int,),
     "compute_optimum": (bool,),
     "max_jobs_for_optimum": (int,),
 }
+
+#: Default race width when a client sets ``deadline_ms`` without ``race``:
+#: a deadline asks for anytime behaviour, which needs candidates to race.
+_DEFAULT_RACE_WIDTH = 4
 
 
 def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
@@ -121,11 +126,13 @@ def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
     options = doc.get("options") or {}
     if not isinstance(options, Mapping):
         raise ValueError('"options" must be a JSON object')
-    unknown = set(options) - set(_REQUEST_OPTIONS) - {"tags", "cost_model"}
+    unknown = (
+        set(options) - set(_REQUEST_OPTIONS) - {"tags", "cost_model", "deadline_ms"}
+    )
     if unknown:
         raise ValueError(
             f"unknown options: {sorted(unknown)}; supported: "
-            f"{sorted(_REQUEST_OPTIONS) + ['cost_model', 'tags']}"
+            f"{sorted(_REQUEST_OPTIONS) + ['cost_model', 'deadline_ms', 'tags']}"
         )
     kwargs = {}
     for key, allowed in _REQUEST_OPTIONS.items():
@@ -141,6 +148,19 @@ def _request_from_document(doc: Mapping[str, object]) -> SolveRequest:
                 f'option "{key}" must be {names}, got {type(value).__name__}'
             )
         kwargs[key] = value
+    if "deadline_ms" in options and options["deadline_ms"] is not None:
+        # Wire clients speak milliseconds (the natural unit for request
+        # deadlines); the engine's SolveRequest speaks seconds.
+        deadline_ms = options["deadline_ms"]
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)):
+            raise ValueError(
+                f'option "deadline_ms" must be int/float/null, '
+                f"got {type(deadline_ms).__name__}"
+            )
+        kwargs["deadline"] = float(deadline_ms) / 1000.0
+        # A deadline implies racing: default the width when the client did
+        # not pick one (SolveRequest.validate rejects deadline without it).
+        kwargs.setdefault("race", _DEFAULT_RACE_WIDTH)
     if "cost_model" in options and options["cost_model"] is not None:
         # CostModel.from_dict validates keys and numeric types; its
         # ValueError surfaces as a 400 like every other option error.  A

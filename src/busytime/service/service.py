@@ -106,6 +106,10 @@ class AdmissionLimits:
     ``max_jobs`` caps the instance size; ``max_time_limit`` caps (and, for
     dispatched solves that did not set one, supplies) the per-request soft
     time budget, so no single request can hold a batch slot indefinitely.
+    Racing requests budget with their shared ``deadline`` instead of
+    ``time_limit``; the same ``max_time_limit`` cap applies to it, and a
+    race submitted without a deadline gets ``max_time_limit`` as one —
+    racing runs *behind* admission control, never around it.
     Forced-algorithm solves cannot be preempted by a time budget at all
     (see :class:`~busytime.engine.request.SolveRequest`), so they get the
     tighter ``max_forced_jobs`` size cap instead — otherwise one huge
@@ -121,7 +125,8 @@ class AdmissionLimits:
         """Validate ``request`` and return it with limits applied.
 
         Raises :class:`AdmissionError` on violation.  Dispatched requests
-        without a ``time_limit`` get ``max_time_limit`` as their budget.
+        without a ``time_limit`` get ``max_time_limit`` as their budget;
+        racing requests without a ``deadline`` likewise.
         """
         if self.max_jobs is not None and request.instance.n > self.max_jobs:
             raise AdmissionError(
@@ -145,7 +150,15 @@ class AdmissionLimits:
                     f"time_limit {request.time_limit}s is above the service "
                     f"limit of {self.max_time_limit}s"
                 )
-            if request.time_limit is None and request.algorithm is None:
+            if request.deadline is not None and request.deadline > self.max_time_limit:
+                raise AdmissionError(
+                    f"deadline {request.deadline}s is above the service "
+                    f"limit of {self.max_time_limit}s"
+                )
+            if request.race >= 2:
+                if request.deadline is None:
+                    request = replace(request, deadline=self.max_time_limit)
+            elif request.time_limit is None and request.algorithm is None:
                 request = replace(request, time_limit=self.max_time_limit)
         return request
 
@@ -453,9 +466,10 @@ class SolveService:
             if report is not None and not report.budget_exhausted:
                 # A budget-exhausted report is the *degraded* answer for
                 # this moment's load (FirstFit fallback past the time
-                # limit); the waiting jobs get it, but caching it would
-                # serve the degraded schedule to every future equivalent
-                # request even after load subsides.
+                # limit, or a deadline-truncated — hence non-decisive,
+                # timing-dependent — race); the waiting jobs get it, but
+                # caching it would serve the degraded schedule to every
+                # future equivalent request even after load subsides.
                 try:
                     self.store.put(fp, report)
                 except Exception:  # noqa: BLE001 - caching is best-effort
@@ -527,34 +541,57 @@ class SolveService:
         entry — its batch-mates' completed results are kept, not re-solved.
         A broken pool (killed worker child) is discarded so the next batch
         rebuilds it, and the affected requests retry serially in-thread.
+
+        Racing requests (``race >= 2``) are the exception to the
+        one-future-per-request shape: they solve in this thread with the
+        *pool itself* as the race's executor, so their candidates fan out
+        as one pool task each (no pool-in-pool) while their batch-mates'
+        futures progress concurrently.  With no pool configured the race
+        runs serially in rank order — same winner either way, racing is
+        timing-independent by construction.
         """
         from concurrent.futures import BrokenExecutor
 
         from ..engine.core import _pool_worker
 
-        executor = self._batch_executor(len(flights))
+        raced = any(flight.request.race >= 2 for _, flight in flights)
+        # A lone racing flight still wants the pool (for its candidates),
+        # which _batch_executor would skip for batch_len 1.
+        executor = self._batch_executor(
+            max(len(flights), 2) if raced else len(flights)
+        )
         futures = None
         if executor is not None:
             try:
                 futures = [
-                    executor.submit(_pool_worker, flight.request)
+                    (
+                        None
+                        if flight.request.race >= 2
+                        else executor.submit(_pool_worker, flight.request)
+                    )
                     for _, flight in flights
                 ]
             except Exception:  # pool unusable (e.g. shutting down)
                 self._discard_executor()
+                futures = None
+                executor = None
         results: List[Tuple[str, Optional[SolveReport], Optional[str]]] = []
         for index, (fp, flight) in enumerate(flights):
             report: Optional[SolveReport] = None
             error: Optional[str] = None
             try:
-                if futures is not None:
+                if futures is not None and futures[index] is not None:
                     report = futures[index].result()
+                elif flight.request.race >= 2:
+                    report = self.engine.solve(flight.request, executor=executor)
                 else:
                     report = self.engine.solve(flight.request)
             except Exception as exc:  # noqa: BLE001 - reported to the caller
                 if isinstance(exc, BrokenExecutor):
                     self._discard_executor()
                     try:
+                        # The serial retry also drops the race executor: a
+                        # rank-order serial race reproduces the same winner.
                         report = self.engine.solve(flight.request)
                     except Exception as retry_exc:  # noqa: BLE001
                         error = f"{type(retry_exc).__name__}: {retry_exc}"

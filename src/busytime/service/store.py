@@ -57,15 +57,37 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..engine.report import SolveReport
-from ..io import solve_report_from_dict, solve_report_to_dict
+from ..io import _SUPPORTED_VERSIONS, solve_report_from_dict, solve_report_to_dict
 
-__all__ = ["ResultStore"]
+__all__ = ["HistoryScan", "ResultStore"]
 
 _PathLike = Union[str, Path]
+
+
+@dataclass
+class HistoryScan:
+    """What a :meth:`ResultStore.scan_history` pass found — and skipped.
+
+    The skip counters are the hardening contract for offline consumers
+    (selector training): a corrupt file or a pre-v2 document costs one
+    counter tick, never an exception, so mining a long-lived store that has
+    seen crashes, version upgrades and co-writers always yields whatever
+    usable history remains.
+    """
+
+    reports: List[Tuple[str, SolveReport]] = field(default_factory=list)
+    scanned: int = 0
+    skipped_corrupt: int = 0
+    skipped_version: int = 0
+
+    @property
+    def skipped(self) -> int:
+        return self.skipped_corrupt + self.skipped_version
 
 
 class ResultStore:
@@ -338,6 +360,74 @@ class ResultStore:
                     self._warmed += 1
                     loaded += 1
         return loaded
+
+    def scan_history(
+        self, limit: Optional[int] = None, min_version: int = 2
+    ) -> HistoryScan:
+        """Iterate the store's report history, newest first, never aborting.
+
+        This is the offline-mining entry point (``busytime train-selector``
+        feeds on it): every report entry in the disk tier — or, for a
+        memory-only store, the memory tier — is loaded and returned as
+        ``(fingerprint, report)`` pairs.  At most ``limit`` usable reports
+        are returned (``None``: all of them).
+
+        Robustness is the point of the method, not an afterthought:
+
+        * unreadable or malformed JSON counts as ``skipped_corrupt``;
+        * documents of a different format, an unknown version, or a version
+          below ``min_version`` (pre-v2 documents predate the problem-model
+          axis, so their implied cost semantics are not trustworthy for
+          training) count as ``skipped_version``;
+        * a document that parses but fails report reconstruction counts as
+          ``skipped_corrupt``.
+
+        Nothing raises; the counters in the returned :class:`HistoryScan`
+        tell the caller exactly how much history was unusable.
+        """
+        scan = HistoryScan()
+        if self.directory is None:
+            with self._lock:
+                snapshot = list(self._memory.items())
+            for fingerprint, report in reversed(snapshot):  # newest first
+                if limit is not None and len(scan.reports) >= limit:
+                    break
+                scan.scanned += 1
+                scan.reports.append((fingerprint, report))
+            return scan
+        entries = sorted(self._disk_entries(), reverse=True)  # newest first
+        seen: set = set()
+        for _, path in entries:
+            if limit is not None and len(scan.reports) >= limit:
+                break
+            fingerprint = path.stem
+            if fingerprint in seen:
+                continue  # the same entry in both flat and sharded layouts
+            seen.add(fingerprint)
+            scan.scanned += 1
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                scan.skipped_corrupt += 1
+                continue
+            version = data.get("version", 1) if isinstance(data, dict) else None
+            if (
+                not isinstance(data, dict)
+                or data.get("format") != "busytime-solve-report"
+                or not isinstance(version, int)
+                or isinstance(version, bool)
+                or version < min_version
+                or version not in _SUPPORTED_VERSIONS["busytime-solve-report"]
+            ):
+                scan.skipped_version += 1
+                continue
+            try:
+                report = solve_report_from_dict(data)
+            except (ValueError, KeyError, TypeError):
+                scan.skipped_corrupt += 1
+                continue
+            scan.reports.append((fingerprint, report))
+        return scan
 
     # -- free-form documents (session checkpoints) ----------------------------
 
