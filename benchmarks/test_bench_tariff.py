@@ -1,0 +1,53 @@
+"""E24 — tariff-aware placement: priced savings, oracle-verified.
+
+The placement subsystem (:mod:`busytime.pricing`,
+:mod:`busytime.algorithms.placement`) claims three things at once:
+
+* sliding flex-window jobs toward cheap tariff bands strictly beats
+  pricing the rigid FirstFit schedule, in aggregate over the corpus;
+* the local-search descent never loses to its own greedy start, and
+  every cost stays above the window-aware tariff lower bound;
+* under a constant unit tariff on a rigid instance the whole machinery
+  degenerates to the seed ``first_fit`` bit for bit.
+
+This module regenerates those claims with the corpus runner from
+``scripts/bench_tariff.py`` (the same harness behind
+``BENCH_tariff.json``, at CI scale: the first four corpus cases).
+
+The module is marked ``slow`` and skipped by default so tier-1 stays
+fast; run it with ``pytest benchmarks/test_bench_tariff.py --run-slow``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_tariff  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+CASES = 4  # CI scale; the artifact runs the full twelve-case corpus
+
+
+def test_tariff_placement_beats_fixed_baseline(benchmark, attach_rows):
+    pin = bench_tariff.degeneration_pin()
+    assert pin["ok"], pin
+
+    rows = benchmark(lambda: bench_tariff.run_corpus(seed=0, cases=CASES))
+    failures = bench_tariff.check_bars(rows, pin)
+    assert not failures, failures
+
+    total_fixed = sum(r["cost_fixed"] for r in rows)
+    total_placed = sum(r["cost_placed"] for r in rows)
+    assert total_placed < total_fixed
+    attach_rows(
+        benchmark,
+        rows,
+        degeneration_pin=pin,
+        placement_savings=round(1 - total_placed / total_fixed, 4),
+    )

@@ -27,6 +27,13 @@ from .clique import CliqueScheduler, clique_deltas, clique_schedule
 from .dispatch import AutoScheduler, auto_schedule, select_algorithm
 from .first_fit import FirstFitScheduler, first_fit, first_fit_order
 from .local_search import LocalSearchResult, improve, local_search_first_fit
+from .placement import (
+    PlacementFirstFitScheduler,
+    TariffLocalSearchScheduler,
+    candidate_starts,
+    place_first_fit,
+    tariff_local_search,
+)
 from .proper_greedy import ProperGreedyScheduler, proper_greedy
 
 __all__ = [
@@ -56,6 +63,11 @@ __all__ = [
     "improve",
     "local_search_first_fit",
     "LocalSearchResult",
+    "candidate_starts",
+    "place_first_fit",
+    "tariff_local_search",
+    "PlacementFirstFitScheduler",
+    "TariffLocalSearchScheduler",
     "machine_minimizing",
     "next_fit_by_start",
     "best_fit",

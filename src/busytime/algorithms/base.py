@@ -87,6 +87,19 @@ class AlgorithmInfo:
         True when the algorithm's feasibility checks honour job capacity
         demands (the [15] model).  Instances carrying non-unit demands are
         routed only to demand-aware algorithms.
+    ``window_aware``
+        True when the algorithm understands the flex extension — it
+        *places* jobs inside release/deadline windows and honours the
+        site-wide capacity cap and background load.  Flex instances
+        (``Instance.is_flex``) are routed only to window-aware algorithms:
+        a fixed-interval guarantee says nothing against an optimum that
+        may slide jobs, so certificates never transfer across this flag.
+    ``tariff_aware``
+        True when the algorithm optimises placement against a time-varying
+        :class:`~busytime.pricing.series.TariffSeries` (received via
+        :meth:`Scheduler.schedule_under`); tariff-blind algorithms are
+        still *priced* correctly by the cost model, they just never look
+        at the tariff while placing.
     """
 
     name: str
@@ -103,6 +116,8 @@ class AlgorithmInfo:
     composite: bool = False
     supported_objectives: Tuple[str, ...] = ("busy_time",)
     demand_aware: bool = False
+    window_aware: bool = False
+    tariff_aware: bool = False
 
 
 class Scheduler(abc.ABC):
@@ -134,10 +149,24 @@ class Scheduler(abc.ABC):
     supported_objectives: Tuple[str, ...] = ("busy_time",)
     #: feasibility checks honour job capacity demands (the [15] model)
     demand_aware: bool = False
+    #: places jobs inside flex windows and honours site-wide capacity
+    window_aware: bool = False
+    #: optimises placement against a time-varying tariff (schedule_under)
+    tariff_aware: bool = False
 
     @abc.abstractmethod
     def schedule(self, instance: Instance) -> Schedule:
         """Produce a feasible schedule for the instance."""
+
+    def schedule_under(self, instance: Instance, model=None) -> Schedule:
+        """Produce a schedule, given the request's resolved cost model.
+
+        The default ignores the model — every pre-tariff algorithm builds
+        the same schedule whatever the pricing — so only ``tariff_aware``
+        schedulers override this to read ``model.tariff`` while placing.
+        The engine always calls this entry point.
+        """
+        return self.schedule(instance)
 
     def __call__(self, instance: Instance) -> Schedule:
         return self.schedule(instance)
@@ -159,6 +188,8 @@ class Scheduler(abc.ABC):
         if not self.supports_objective(objective):
             return False
         if instance.has_demands and not self.demand_aware:
+            return False
+        if instance.is_flex and not self.window_aware:
             return False
         if self.max_length_ratio is not None:
             ratio = instance.length_ratio()
@@ -197,6 +228,8 @@ class Scheduler(abc.ABC):
             composite=self.composite,
             supported_objectives=self.supported_objectives,
             demand_aware=self.demand_aware,
+            window_aware=self.window_aware,
+            tariff_aware=self.tariff_aware,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -233,6 +266,8 @@ class FunctionScheduler(Scheduler):
         composite: bool = False,
         supported_objectives: Tuple[str, ...] = ("busy_time",),
         demand_aware: bool = False,
+        window_aware: bool = False,
+        tariff_aware: bool = False,
     ) -> None:
         self._func = func
         self.name = name
@@ -250,6 +285,8 @@ class FunctionScheduler(Scheduler):
         self.composite = composite
         self.supported_objectives = tuple(supported_objectives)
         self.demand_aware = demand_aware
+        self.window_aware = window_aware
+        self.tariff_aware = tariff_aware
         self.__doc__ = func.__doc__
 
     def schedule(self, instance: Instance) -> Schedule:

@@ -128,7 +128,7 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
-        supported_objectives=("busy_time", "weighted_busy_time"),
+        supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         demand_aware=True,
     )
 )
@@ -139,7 +139,7 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
-        supported_objectives=("busy_time", "weighted_busy_time"),
+        supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         demand_aware=True,
     )
 )
@@ -150,7 +150,7 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
-        supported_objectives=("busy_time", "weighted_busy_time"),
+        supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         demand_aware=True,
     )
 )
@@ -161,7 +161,7 @@ register_scheduler(
         approximation_ratio=None,
         instance_class="general",
         paper_section="baseline",
-        supported_objectives=("busy_time", "weighted_busy_time"),
+        supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         demand_aware=True,
     )
 )

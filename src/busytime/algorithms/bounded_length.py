@@ -259,7 +259,7 @@ class BoundedLengthScheduler(FunctionScheduler):
             instance_classes=("bounded_length",),
             max_length_ratio=8.0,
             selection_priority=30,
-            supported_objectives=("busy_time", "weighted_busy_time"),
+            supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         )
 
 

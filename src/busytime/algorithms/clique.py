@@ -111,7 +111,7 @@ class CliqueScheduler(FunctionScheduler):
             paper_section="Appendix",
             instance_classes=("clique",),
             selection_priority=10,
-            supported_objectives=("busy_time", "weighted_busy_time"),
+            supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         )
 
 

@@ -74,6 +74,7 @@ class AutoScheduler(FunctionScheduler):
                 "busy_time",
                 "weighted_busy_time",
                 "machines_plus_busy",
+                "tariff_busy_time",
             ),
             demand_aware=True,
         )

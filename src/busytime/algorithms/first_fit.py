@@ -151,6 +151,7 @@ class FirstFitScheduler(FunctionScheduler):
                 "busy_time",
                 "weighted_busy_time",
                 "machines_plus_busy",
+                "tariff_busy_time",
             ),
             demand_aware=True,
         )

@@ -210,6 +210,6 @@ register_scheduler(
         anytime=True,
         selection_priority=90,
         portfolio_member=False,
-        supported_objectives=("busy_time", "weighted_busy_time"),
+        supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
     )
 )

@@ -78,7 +78,7 @@ class ProperGreedyScheduler(FunctionScheduler):
             # Ratio guarantees survive a positive rescaling of busy time;
             # Theorem 3.1's charging argument is only proved for the rigid
             # (unit-demand) model, so the algorithm stays non-demand-aware.
-            supported_objectives=("busy_time", "weighted_busy_time"),
+            supported_objectives=("busy_time", "weighted_busy_time", "tariff_busy_time"),
         )
 
 

@@ -143,6 +143,51 @@ def _load_instance(path: str, g: Optional[int]) -> Instance:
     return instance
 
 
+def _load_tariff(spec: str):
+    """Resolve a ``--tariff`` value: the builtin ``tou`` shape or a JSON file.
+
+    A file must hold a :class:`~busytime.pricing.TariffSeries` document
+    (``{"breakpoints": [...], "rates": [...]}``).
+    """
+    from .pricing import TariffSeries
+
+    if spec == "tou":
+        from .generators import tou_tariff
+
+        return tou_tariff()
+    path = Path(spec)
+    if not path.is_file():
+        raise CliError(
+            f"--tariff expects 'tou' or a tariff JSON file, got {spec!r}"
+        )
+    try:
+        return TariffSeries.from_dict(json.loads(path.read_text()))
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
+        raise CliError(f"could not load tariff {spec}: {exc}") from None
+
+
+def _tariff_objective(args: argparse.Namespace):
+    """(objective, CostModel) for a ``--tariff`` run, or (objective, None).
+
+    ``--tariff`` implies the ``tariff_busy_time`` objective unless the user
+    forced a different non-default one, which is rejected: pricing a
+    ratio-preserving objective by a tariff would silently change what the
+    reported numbers mean.
+    """
+    if not getattr(args, "tariff", None):
+        return args.objective, None
+    if args.objective not in ("busy_time", "tariff_busy_time"):
+        raise CliError(
+            f"--tariff prices solves under objective 'tariff_busy_time'; "
+            f"it cannot combine with --objective {args.objective}"
+        )
+    from .core.objectives import CostModel
+
+    return "tariff_busy_time", CostModel(
+        objective="tariff_busy_time", tariff=_load_tariff(args.tariff)
+    )
+
+
 def _request_for(instance: Instance, algorithm: str, **options) -> SolveRequest:
     """Build a SolveRequest; the pseudo-name ``auto`` means policy dispatch."""
     if algorithm == "auto":
@@ -251,6 +296,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         raise SystemExit("nothing to solve: pass instance files and/or --batch DIR")
 
     _apply_selector(args.selector)
+    objective, cost_model = _tariff_objective(args)
     engine = Engine()
     requests = []
     for path in paths:
@@ -259,7 +305,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             _request_for(
                 instance,
                 args.algorithm,
-                objective=args.objective,
+                objective=objective,
+                cost_model=cost_model,
                 policy=args.policy,
                 portfolio=not args.no_portfolio,
                 time_limit=args.time_limit,
@@ -624,12 +671,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from .service import submit_instance
 
     instance = _load_instance(args.instance, args.g)
+    objective, cost_model = _tariff_objective(args)
     options: Dict[str, object] = {}
     if args.algorithm != "auto":
         _resolve_scheduler(args.algorithm)  # unknown names fail here, not serverside
         options["algorithm"] = args.algorithm
-    if args.objective != "busy_time":
-        options["objective"] = args.objective
+    if objective != "busy_time":
+        options["objective"] = objective
+    if cost_model is not None:
+        options["cost_model"] = cost_model.to_dict()
     if args.policy:
         options["policy"] = args.policy
     if args.no_portfolio:
@@ -822,6 +872,8 @@ def _cmd_algorithms(args: argparse.Namespace) -> int:
                 "class": info.instance_class,
                 "classes": ",".join(info.instance_classes),
                 "portfolio": info.portfolio_member,
+                "windows": info.window_aware,
+                "tariff": info.tariff_aware,
             }
         )
     print(format_table(rows, title="registered algorithms"))
@@ -881,6 +933,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument(
         "--objective", default="busy_time", choices=registered_objectives(),
         help="cost model to price the solves under (problem-model axis)",
+    )
+    p_solve.add_argument(
+        "--tariff", default=None, metavar="SPEC",
+        help="price solves under a time-varying tariff: 'tou' (builtin "
+        "time-of-use day shape) or a TariffSeries JSON file; implies "
+        "--objective tariff_busy_time",
     )
     p_solve.add_argument(
         "--policy", default=None, choices=available_policies(),
@@ -1078,6 +1136,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument(
         "--objective", default="busy_time", choices=registered_objectives(),
         help="cost model the service prices the solve under",
+    )
+    p_submit.add_argument(
+        "--tariff", default=None, metavar="SPEC",
+        help="price the solve under a time-varying tariff: 'tou' or a "
+        "TariffSeries JSON file; implies --objective tariff_busy_time",
     )
     p_submit.add_argument(
         "--policy", default=None, choices=available_policies(),

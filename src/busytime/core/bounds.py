@@ -27,8 +27,10 @@ import math
 from typing import List
 
 from .instance import Instance, connected_components
+from .intervals import max_point_demand, span as span_of
 
 __all__ = [
+    "mandatory_items",
     "parallelism_bound",
     "span_bound",
     "combined_bound",
@@ -51,8 +53,35 @@ def parallelism_bound(instance: Instance) -> float:
     return instance.total_demand_length / instance.g
 
 
+def mandatory_items(instance: Instance) -> List:
+    """Demand-carrying mandatory parts for window-aware bounds.
+
+    A job of length ``l`` in window ``[r, d]`` occupies ``[d - l, r + l]``
+    under *every* feasible placement (its mandatory part); jobs with more
+    slack than length contribute nothing.  Fixed jobs contribute their
+    whole interval, so on window-free instances these items reproduce the
+    nominal job set exactly.  Returned as lightweight jobs so the
+    demand-weighted oracle sweeps apply unchanged.
+    """
+    from .intervals import Job
+
+    out: List = []
+    for j in instance.jobs:
+        iv = j.mandatory_interval()
+        if iv is not None:
+            out.append(Job(id=j.id, interval=iv, demand=j.demand))
+    return out
+
+
 def span_bound(instance: Instance) -> float:
-    """``span(J)`` (second bullet of Observation 1.1)."""
+    """``span(J)`` (second bullet of Observation 1.1).
+
+    Windowed jobs can slide, so only their *mandatory parts* are certain
+    to be covered; the windowed variant takes the span of those (which is
+    the nominal span again for fixed jobs).
+    """
+    if instance.has_windows:
+        return span_of(mandatory_items(instance))
     return instance.span
 
 
@@ -86,10 +115,11 @@ def clique_bound(instance: Instance) -> float:
     Returns the combined bound unchanged when the instance is not a clique —
     or when it carries non-unit demands: the machine-per-``g``-jobs charging
     argument groups *jobs*, not capacity units, so the refinement is only
-    proved for the rigid model.
+    proved for the rigid model.  Windowed instances also fall back: the
+    common point and the distances are nominal-placement artefacts.
     """
     t = instance.common_point()
-    if t is None or instance.n == 0 or instance.has_demands:
+    if t is None or instance.n == 0 or instance.has_demands or instance.has_windows:
         return combined_bound(instance)
     deltas = sorted(
         (max(t - j.start, j.end - t) for j in instance.jobs), reverse=True
@@ -106,9 +136,16 @@ def min_machines_bound(instance: Instance) -> int:
     demand spread over machines of capacity ``g`` each.  Used by cost
     models with a per-machine activation term
     (:meth:`busytime.core.objectives.CostModel.lower_bound`).
+
+    On windowed instances the nominal peak can be avoided by sliding, so
+    the peak is taken over the mandatory parts instead (and every
+    non-empty instance still opens at least one machine).
     """
     if instance.n == 0:
         return 0
+    if instance.has_windows:
+        peak = max_point_demand(mandatory_items(instance))
+        return max(1, math.ceil(peak / instance.g))
     return math.ceil(instance.peak_demand / instance.g)
 
 
@@ -126,6 +163,6 @@ def best_lower_bound(instance: Instance) -> float:
 
 def _compute_best_lower_bound(instance: Instance) -> float:
     candidates: List[float] = [component_bound(instance)]
-    if instance.is_clique():
+    if instance.is_clique() and not instance.has_windows:
         candidates.append(clique_bound(instance))
     return max(candidates)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..pricing.series import BackgroundLoad
 from .intervals import (
     Interval,
     Job,
@@ -65,11 +66,22 @@ class Instance:
         process simultaneously.  Must be ≥ 1.
     name:
         Optional label used by generators and experiment reports.
+    site_capacity:
+        Optional site-wide capacity cap: the total demand of *all* running
+        jobs across every machine, plus the background load, must stay at
+        or below this at every instant (FlexMeasures' site power limit).
+        ``None`` means unconstrained.
+    background:
+        Optional inflexible :class:`~busytime.pricing.series.BackgroundLoad`
+        pre-occupying site capacity.  Only meaningful together with
+        ``site_capacity``; it never counts against a single machine's ``g``.
     """
 
     jobs: Tuple[Job, ...]
     g: int
     name: str = ""
+    site_capacity: Optional[int] = None
+    background: Optional[BackgroundLoad] = None
 
     # -- construction -------------------------------------------------------
 
@@ -87,6 +99,31 @@ class Instance:
                     f"job {j.id} demands {j.demand} capacity units but g = "
                     f"{self.g}; such a job can never be scheduled"
                 )
+        if self.site_capacity is not None:
+            if isinstance(self.site_capacity, bool) or not isinstance(
+                self.site_capacity, int
+            ):
+                raise ValueError(
+                    f"site_capacity must be an integer, got {self.site_capacity!r}"
+                )
+            if self.site_capacity < 1:
+                raise ValueError(
+                    f"site_capacity must be >= 1, got {self.site_capacity}"
+                )
+            for j in self.jobs:
+                if j.demand > self.site_capacity:
+                    raise ValueError(
+                        f"job {j.id} demands {j.demand} units but the site "
+                        f"capacity cap is {self.site_capacity}; such a job "
+                        "can never be scheduled"
+                    )
+        if self.background is not None and not isinstance(
+            self.background, BackgroundLoad
+        ):
+            raise ValueError(
+                f"background must be a BackgroundLoad, got "
+                f"{type(self.background).__name__}"
+            )
 
     def _memo(self, key: str, compute):
         """Cache a structural query on this (immutable) instance.
@@ -116,7 +153,13 @@ class Instance:
 
     def with_g(self, g: int) -> "Instance":
         """A copy of this instance with a different parallelism parameter."""
-        return Instance(jobs=self.jobs, g=g, name=self.name)
+        return Instance(
+            jobs=self.jobs,
+            g=g,
+            name=self.name,
+            site_capacity=self.site_capacity,
+            background=self.background,
+        )
 
     def restricted_to(self, job_ids: Iterable[int], name: str = "") -> "Instance":
         """The sub-instance induced by the given job ids (same ``g``)."""
@@ -125,7 +168,13 @@ class Instance:
         missing = wanted - {j.id for j in sub}
         if missing:
             raise KeyError(f"unknown job ids: {sorted(missing)}")
-        return Instance(jobs=sub, g=self.g, name=name or self.name)
+        return Instance(
+            jobs=sub,
+            g=self.g,
+            name=name or self.name,
+            site_capacity=self.site_capacity,
+            background=self.background,
+        )
 
     # -- basic accessors -----------------------------------------------------
 
@@ -190,6 +239,26 @@ class Instance:
         return self._memo(
             "_has_demands", lambda: any(j.demand != 1 for j in self.jobs)
         )
+
+    # -- flex extension (windows / site capacity) ----------------------------
+
+    @property
+    def has_windows(self) -> bool:
+        """True when any job's window admits more than one placement."""
+        return self._memo(
+            "_has_windows", lambda: any(j.has_window for j in self.jobs)
+        )
+
+    @property
+    def has_site_constraints(self) -> bool:
+        """True when a site-wide capacity cap or background load applies."""
+        return self.site_capacity is not None or self.background is not None
+
+    @property
+    def is_flex(self) -> bool:
+        """True when the instance leaves the paper's fixed-interval model
+        (windows, a site cap, or background load)."""
+        return self.has_windows or self.has_site_constraints
 
     @property
     def max_demand(self) -> int:
@@ -354,6 +423,12 @@ class Instance:
         if self.has_demands:
             out["max_demand"] = self.max_demand
             out["peak_demand"] = self.peak_demand
+        if self.has_windows:
+            out["windowed_jobs"] = sum(1 for j in self.jobs if j.has_window)
+        if self.site_capacity is not None:
+            out["site_capacity"] = self.site_capacity
+        if self.background is not None:
+            out["background_peak"] = self.background.max_level
         return out
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -373,9 +448,17 @@ def connected_components(instance: Instance) -> List[Instance]:
     jobs whose intervals fall into the same maximal union segment form one
     component (touching intervals are considered overlapping, matching the
     closed-interval conflict semantics).
+
+    Flex instances are *not* split: a windowed job may slide out of its
+    nominal union segment, and a site-wide capacity cap couples components
+    that are time-disjoint only at their nominal placements — either breaks
+    the never-mix-components optimality argument, so such instances are
+    returned whole.
     """
     if not instance.jobs:
         return []
+    if instance.is_flex:
+        return [instance]
     segments = union_intervals(instance.jobs)
     buckets: List[List[Job]] = [[] for _ in segments]
     # Segments are sorted and disjoint; binary search for the segment whose

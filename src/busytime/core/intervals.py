@@ -167,6 +167,14 @@ class Job:
         whose *total demand* at each instant is at most ``g``.  Demands are
         integral capacity units so the feasibility counters stay exact; the
         default ``1`` degenerates to the paper's cardinality constraint.
+    release / deadline:
+        An optional flex window: the job may be *placed* anywhere inside
+        ``[release, deadline]`` (so ``length <= deadline - release``).
+        ``interval`` is always the job's *placed* position — algorithms
+        slide a job by building a copy via :meth:`placed_at`.  ``None``
+        (the default) pins the corresponding side to the placed interval,
+        so a job with neither field set is the paper's fixed job — the
+        degenerate window ``[start, end]``.
     """
 
     id: int
@@ -174,6 +182,8 @@ class Job:
     weight: float = 1.0
     tag: str = ""
     demand: int = 1
+    release: Optional[float] = None
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -185,6 +195,22 @@ class Job:
             )
         if self.demand < 1:
             raise ValueError(f"job demand must be >= 1, got {self.demand}")
+        if self.release is not None:
+            if math.isnan(self.release):
+                raise ValueError("job release must not be NaN")
+            if self.release > self.interval.start:
+                raise ValueError(
+                    f"job release ({self.release}) must not exceed the placed "
+                    f"start ({self.interval.start})"
+                )
+        if self.deadline is not None:
+            if math.isnan(self.deadline):
+                raise ValueError("job deadline must not be NaN")
+            if self.deadline < self.interval.end:
+                raise ValueError(
+                    f"job deadline ({self.deadline}) must not precede the "
+                    f"placed end ({self.interval.end})"
+                )
 
     @property
     def start(self) -> float:
@@ -197,6 +223,78 @@ class Job:
     @property
     def length(self) -> float:
         return self.interval.length
+
+    @property
+    def window_release(self) -> float:
+        """The earliest feasible start (the placed start for fixed jobs)."""
+        return self.interval.start if self.release is None else self.release
+
+    @property
+    def window_deadline(self) -> float:
+        """The latest feasible completion (the placed end for fixed jobs)."""
+        return self.interval.end if self.deadline is None else self.deadline
+
+    @property
+    def has_window(self) -> bool:
+        """True when the window admits more than one placement."""
+        if self.release is None and self.deadline is None:
+            return False
+        return self.window_deadline - self.window_release > self.length
+
+    def window(self) -> Interval:
+        """The flex window ``[release, deadline]`` as an interval."""
+        return Interval(self.window_release, self.window_deadline)
+
+    def placed_at(self, new_start: float, tol: float = 1e-9) -> "Job":
+        """A copy placed at ``new_start`` (same id, length, window, metadata).
+
+        The requested position is clamped into the window when it is
+        within ``tol`` of a boundary (candidate starts like
+        ``deadline - length`` are derived arithmetic), and rejected when
+        genuinely outside.
+        """
+        if not self.has_window:
+            if new_start == self.interval.start:
+                return self
+            raise ValueError(f"job {self.id} is fixed; cannot place at {new_start}")
+        lo = self.window_release
+        hi = self.window_deadline - self.length
+        if new_start < lo - tol or new_start > hi + tol:
+            raise ValueError(
+                f"start {new_start} outside window [{lo}, {hi}] of job {self.id}"
+            )
+        start = min(max(new_start, lo), hi)
+        end = start + self.length
+        if self.deadline is not None and end > self.deadline:
+            # (deadline - length) + length can overshoot deadline by one
+            # ulp; snap to the boundary rather than fail validation.
+            end = self.deadline
+        return Job(
+            id=self.id,
+            interval=Interval(start, end),
+            weight=self.weight,
+            tag=self.tag,
+            demand=self.demand,
+            release=self.release,
+            deadline=self.deadline,
+        )
+
+    def mandatory_interval(self) -> Optional["Interval"]:
+        """The times the job occupies under *every* feasible placement.
+
+        A job of length ``l`` in window ``[r, d]`` is busy throughout
+        ``[d - l, r + l]`` whenever that interval is non-degenerate
+        (i.e. slack < length); fixed jobs return their interval exactly.
+        Window-aware lower bounds integrate demand over mandatory parts —
+        the windowed analogue of the paper's ``N_t`` counting.
+        """
+        if not self.has_window:
+            return self.interval
+        lo = self.window_deadline - self.length
+        hi = self.window_release + self.length
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
 
     def overlaps(self, other: "Job") -> bool:
         return self.interval.overlaps(other.interval)

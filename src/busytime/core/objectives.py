@@ -41,7 +41,9 @@ lower-bounds the optimal model cost (:meth:`CostModel.lower_bound`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..pricing.series import TariffSeries
 
 __all__ = [
     "CostModel",
@@ -71,12 +73,18 @@ class CostModel:
     machine_weight:
         Optional uniform multiplier on every machine's priced cost (a
         heterogeneity hook for fleet-wide scaling).  Must be > 0.
+    tariff:
+        Optional :class:`~busytime.pricing.series.TariffSeries` making the
+        per-unit price *time-varying*: a machine's busy measure is priced
+        band by band (``busy_rate`` multiplies the tariff).  ``None`` keeps
+        the flat rate; a constant tariff is still a rescaling of busy time.
     """
 
     objective: str = DEFAULT_OBJECTIVE
     activation_cost: float = 0.0
     busy_rate: float = 1.0
     machine_weight: float = 1.0
+    tariff: Optional[TariffSeries] = None
 
     def __post_init__(self) -> None:
         if not self.objective or not isinstance(self.objective, str):
@@ -91,6 +99,10 @@ class CostModel:
             raise ValueError(
                 f"machine_weight must be > 0, got {self.machine_weight}"
             )
+        if self.tariff is not None and not isinstance(self.tariff, TariffSeries):
+            raise ValueError(
+                f"tariff must be a TariffSeries, got {type(self.tariff).__name__}"
+            )
 
     # -- evaluation ----------------------------------------------------------
 
@@ -100,6 +112,23 @@ class CostModel:
             self.activation_cost + self.busy_rate * busy_time
         )
 
+    def priced_busy_measure(self, machine) -> float:
+        """One machine's busy measure priced by the tariff (rate 1 busy_rate).
+
+        Without a tariff this is the machine's busy time unchanged.  A
+        constant tariff multiplies it (exact ``1.0 * b`` for the unit
+        tariff); a time-varying tariff integrates the machine profile's
+        covered measure band by band, which works against both the linear
+        :class:`~busytime.core.events.SweepProfile` and the indexed tree.
+        """
+        if self.tariff is None:
+            return machine.busy_time
+        if self.tariff.is_constant:
+            return self.tariff.rates[0] * machine.busy_time
+        lo = min(j.start for j in machine.jobs)
+        hi = max(j.end for j in machine.jobs)
+        return self.tariff.coverage_cost(machine.profile, lo, hi)
+
     def schedule_cost(self, schedule) -> float:
         """The priced cost of a schedule: sum over its non-empty machines.
 
@@ -107,8 +136,14 @@ class CostModel:
         :attr:`~busytime.core.schedule.Schedule.total_busy_time` exactly
         (same summands, same order).
         """
+        if self.tariff is None:
+            return sum(
+                self.machine_cost(m.busy_time) for m in schedule.machines if m.jobs
+            )
         return sum(
-            self.machine_cost(m.busy_time) for m in schedule.machines if m.jobs
+            self.machine_cost(self.priced_busy_measure(m))
+            for m in schedule.machines
+            if m.jobs
         )
 
     def lower_bound(self, instance) -> float:
@@ -120,12 +155,25 @@ class CostModel:
         :func:`busytime.core.bounds.best_lower_bound`.  Both terms hold for
         every feasible schedule simultaneously, so their priced sum does
         too.  Degenerates exactly to ``busy_LB`` under the default model.
+
+        A time-varying tariff swaps ``busy_LB`` for the window-aware
+        bounds of :mod:`busytime.pricing.bounds` (tariff-weighted
+        parallelism, per-band mandatory demand); a constant tariff simply
+        rescales the flat bound.
         """
         from .bounds import best_lower_bound, min_machines_bound
 
+        if self.tariff is None:
+            busy = best_lower_bound(instance)
+        elif self.tariff.is_constant:
+            busy = self.tariff.rates[0] * best_lower_bound(instance)
+        else:
+            from ..pricing.bounds import tariff_lower_bound
+
+            busy = tariff_lower_bound(instance, self.tariff)
         return self.machine_weight * (
             self.activation_cost * min_machines_bound(instance)
-            + self.busy_rate * best_lower_bound(instance)
+            + self.busy_rate * busy
         )
 
     # -- properties the engine branches on ------------------------------------
@@ -137,9 +185,18 @@ class CostModel:
         For such models every ``ALG <= c * OPT`` guarantee proved for the
         busy-time objective transfers verbatim (both sides scale by
         ``machine_weight * busy_rate``), so proven-ratio certificates and
-        busy-time optima remain meaningful.
+        busy-time optima remain meaningful.  A time-varying tariff prices
+        equal busy times differently depending on *where* they fall, so it
+        breaks the rescaling; a constant tariff does not.
         """
-        return self.activation_cost == 0 and self.busy_rate > 0
+        return (
+            self.activation_cost == 0
+            and self.busy_rate > 0
+            and (
+                self.tariff is None
+                or (self.tariff.is_constant and self.tariff.rates[0] > 0)
+            )
+        )
 
     def price_busy_time(self, busy_time: float) -> float:
         """Price a *total busy time* under this model — valid only when
@@ -155,21 +212,34 @@ class CostModel:
         if not self.preserves_busy_time_ratios:
             raise ValueError(
                 f"cost model for {self.objective!r} is not a rescaling of "
-                f"busy time (activation_cost={self.activation_cost}); a "
+                f"busy time (activation_cost={self.activation_cost}, "
+                f"tariff={'set' if self.tariff is not None else 'none'}); a "
                 f"busy-time optimum cannot be priced under it"
             )
-        return self.machine_weight * (self.busy_rate * busy_time)
+        if self.tariff is None:
+            return self.machine_weight * (self.busy_rate * busy_time)
+        return self.machine_weight * (
+            self.busy_rate * (self.tariff.rates[0] * busy_time)
+        )
 
     # -- serialisation --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-ready dict (inverse of :meth:`from_dict`)."""
-        return {
+        """A JSON-ready dict (inverse of :meth:`from_dict`).
+
+        The ``tariff`` key appears only when a tariff is set, so documents
+        and fingerprints of flat-rate models are byte-identical to the
+        pre-tariff era.
+        """
+        out: Dict[str, object] = {
             "objective": self.objective,
             "activation_cost": self.activation_cost,
             "busy_rate": self.busy_rate,
             "machine_weight": self.machine_weight,
         }
+        if self.tariff is not None:
+            out["tariff"] = self.tariff.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "CostModel":
@@ -183,6 +253,7 @@ class CostModel:
             "activation_cost",
             "busy_rate",
             "machine_weight",
+            "tariff",
         }
         if unknown:
             raise ValueError(f"unknown cost-model fields: {sorted(unknown)}")
@@ -198,6 +269,8 @@ class CostModel:
                         f"{type(value).__name__}"
                     )
                 kwargs[key] = float(value)
+        if "tariff" in data and data["tariff"] is not None:
+            kwargs["tariff"] = TariffSeries.from_dict(data["tariff"])  # type: ignore[arg-type]
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
@@ -238,3 +311,7 @@ def registered_objectives() -> Tuple[str, ...]:
 register_objective(CostModel(objective="busy_time"))
 register_objective(CostModel(objective="weighted_busy_time"))
 register_objective(CostModel(objective="machines_plus_busy", activation_cost=1.0))
+# Time-of-use pricing: the registry default is the unit tariff (exactly
+# busy_time semantics); callers attach a real TariffSeries through their
+# request's cost_model.
+register_objective(CostModel(objective="tariff_busy_time"))

@@ -324,6 +324,8 @@ def verify_schedule(schedule: Schedule, mode: str = "full") -> None:
         raise ValueError(f"verify mode must be 'full' or 'batch', got {mode!r}")
     instance = schedule.instance
     expected_ids = set(instance.job_ids)
+    by_id = {j.id: j for j in instance.jobs}
+    tol = 1e-9
     seen: Dict[int, int] = {}
     for m in schedule.machines:
         for j in m.jobs:
@@ -336,9 +338,52 @@ def verify_schedule(schedule: Schedule, mode: str = "full") -> None:
                     f"job {j.id} scheduled on machines {seen[j.id]} and {m.index}"
                 )
             seen[j.id] = m.index
+            # Window check: the assigned interval must be a valid *placement*
+            # of the instance job — same length, inside [release, deadline].
+            # Fixed jobs (the degenerate window) must sit exactly at their
+            # nominal interval.  Checked from the raw intervals, independent
+            # of any profile.
+            ref = by_id[j.id]
+            if j.interval != ref.interval:
+                if not ref.has_window:
+                    raise InfeasibleScheduleError(
+                        f"job {j.id} is fixed at {ref.interval} but scheduled "
+                        f"at {j.interval}"
+                    )
+                scale = max(1.0, abs(ref.length))
+                if abs(j.length - ref.length) > tol * scale:
+                    raise InfeasibleScheduleError(
+                        f"job {j.id} has length {ref.length} but is scheduled "
+                        f"with length {j.length}"
+                    )
+                lo, hi = ref.window_release, ref.window_deadline
+                if j.start < lo - tol * scale or j.end > hi + tol * scale:
+                    raise InfeasibleScheduleError(
+                        f"job {j.id} placed at {j.interval}, outside its "
+                        f"window [{lo}, {hi}]"
+                    )
     missing = expected_ids - set(seen)
     if missing:
         raise InfeasibleScheduleError(f"jobs never scheduled: {sorted(missing)}")
+    if instance.site_capacity is not None:
+        # Site-wide capacity oracle ([15]'s demand sweep over *all* machines
+        # plus the inflexible background bands): total running demand must
+        # never exceed the cap.  Demands and levels are integers, so the
+        # comparison is exact.
+        items: List[Job] = [j for m in schedule.machines for j in m.jobs]
+        if instance.background is not None:
+            fake = -1
+            for lo, hi, level in instance.background.bands():
+                items.append(
+                    Job(id=fake, interval=Interval(lo, hi), demand=level)
+                )
+                fake -= 1
+        site_peak = max_point_demand(items)
+        if site_peak > instance.site_capacity:
+            raise InfeasibleScheduleError(
+                f"site demand peaks at {site_peak} but the site capacity "
+                f"cap is {instance.site_capacity}"
+            )
     for m in schedule.machines:
         if mode == "batch":
             from .bulk import job_arrays, machine_peaks
@@ -410,6 +455,17 @@ class ScheduleBuilder:
         self._assigned: Dict[int, int] = {}
         self._universe: Optional[List[float]] = None
         self.meta: Dict[str, object] = {}
+        # Site-wide capacity state: one extra profile over *all* machines,
+        # pre-seeded with the inflexible background bands, consulted by
+        # ``fits`` alongside the per-machine check.  Placed coordinates are
+        # not known up front (windowed jobs slide), so this one stays on the
+        # universe-free path.
+        self._site = None
+        if instance.site_capacity is not None:
+            self._site = make_profile()
+            if instance.background is not None:
+                for lo, hi, level in instance.background.bands():
+                    self._site.add(lo, hi, demand=level)
 
     def _endpoint_universe(self) -> List[float]:
         """All distinct endpoint coordinates of the instance (computed once).
@@ -486,16 +542,32 @@ class ScheduleBuilder:
         """Ids of all currently assigned jobs (arbitrary but stable order)."""
         return tuple(self._assigned)
 
+    def site_fits(self, job: Job) -> bool:
+        """True when the site-wide capacity cap leaves room for ``job``.
+
+        Trivially true without a cap.  Checked against the maintained
+        site profile (all machines' jobs plus the background bands), so it
+        also gates *opening a new machine* for the job.
+        """
+        if self._site is None:
+            return True
+        return self._site.fits(
+            job.start, job.end, self.instance.site_capacity, demand=job.demand
+        )
+
     def fits(self, machine_index: int, job: Job) -> bool:
         """True when adding ``job`` to the machine keeps it feasible.
 
         Demand-aware: the machine's total demand inside ``job``'s window
         must leave room for ``job.demand`` under ``g`` (the cardinality
-        check of the rigid model when all demands are 1).
+        check of the rigid model when all demands are 1).  Under a
+        site-wide capacity cap the site profile must admit the job too.
         """
-        return self._profiles[machine_index].fits(
+        if not self._profiles[machine_index].fits(
             job.start, job.end, self.instance.g, demand=job.demand
-        )
+        ):
+            return False
+        return self.site_fits(job)
 
     def first_fitting_machine(self, job: Job) -> Optional[int]:
         """Lowest-index machine that can accommodate ``job``, or None."""
@@ -527,6 +599,8 @@ class ScheduleBuilder:
             raise IndexError(f"no machine with index {machine_index}")
         self._machines[machine_index].append(job)
         self._profiles[machine_index].add(job.start, job.end, demand=job.demand)
+        if self._site is not None:
+            self._site.add(job.start, job.end, demand=job.demand)
         self._assigned[job.id] = machine_index
 
     def assign_first_fit(self, job: Job) -> int:
@@ -565,6 +639,8 @@ class ScheduleBuilder:
         self._profiles[machine_index].remove(
             removed.start, removed.end, demand=removed.demand
         )
+        if self._site is not None:
+            self._site.remove(removed.start, removed.end, demand=removed.demand)
         del self._assigned[job.id]
         return machine_index
 
@@ -596,6 +672,8 @@ class ScheduleBuilder:
             ),
             g=self.instance.g,
             name=name or (self.instance.name and f"{self.instance.name}#live") or "live",
+            site_capacity=self.instance.site_capacity,
+            background=self.instance.background,
         )
         return self._freeze_against(live, validate)
 

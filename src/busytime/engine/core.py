@@ -104,7 +104,9 @@ def _solve_component(
     ):
         names.append("first_fit")
 
-    candidates = [(name, get_scheduler(name)(component)) for name in names]
+    candidates = [
+        (name, get_scheduler(name).schedule_under(component, model)) for name in names
+    ]
     name, best = min(candidates, key=lambda c: model.schedule_cost(c[1]))
     # The kept schedule costs no more than any candidate's, so the best
     # guarantee among the candidates certifies it — provided the cost model
@@ -211,6 +213,10 @@ class Engine:
             # model optimum only when the model is a positive rescaling of
             # busy time (activation-priced optima need a different search).
             and model.preserves_busy_time_ratios
+            # They also assume fixed intervals and no site cap: on a flex
+            # instance their value is the *fixed-placement* optimum, which
+            # neither bounds nor certifies the placed one.
+            and not request.instance.is_flex
         ):
             from ..exact import exact_optimal_cost
 
@@ -249,7 +255,13 @@ class Engine:
             scheduler = get_scheduler(request.algorithm)
         label = request.algorithm or getattr(scheduler, "name", "custom")
         started = time.monotonic()
-        schedule = scheduler(request.instance)
+        if isinstance(scheduler, Scheduler):
+            # Registered algorithms receive the resolved cost model (the
+            # tariff travels on the model); plain callables keep the bare
+            # ``instance -> Schedule`` contract.
+            schedule = scheduler.schedule_under(request.instance, model)
+        else:
+            schedule = scheduler(request.instance)
         timings["schedule"] = time.monotonic() - started
         if request.validate_schedule:
             schedule.validate()
@@ -342,7 +354,7 @@ class Engine:
                         component, False, policy, request.objective, model
                     )
                 else:
-                    sched = get_scheduler("first_fit")(component)
+                    sched = get_scheduler("first_fit").schedule_under(component, model)
                     decision = ComponentDecision(
                         component=component.name,
                         n=component.n,

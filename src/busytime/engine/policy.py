@@ -90,9 +90,16 @@ def _structural_shortcut(instance: Instance) -> List[str]:
     cardinality clique number when demands are unit) — and objective-proof:
     one machine with busy time ``span(J)`` simultaneously minimises machine
     count and busy time, hence every registered cost model.
+
+    Flex instances (windows, site capacity or background load) skip the
+    single-machine shortcut entirely: the nominal placement it materialises
+    may violate a site cap, and under windows or a banded tariff its
+    span-optimality argument no longer certifies the *placed* optimum.
     """
     if instance.n == 0:
         return ["first_fit"]
+    if instance.is_flex:
+        return []
     if instance.peak_demand <= instance.g:
         return [SINGLE_MACHINE]
     return []
@@ -142,7 +149,10 @@ class BestRatioPolicy(SelectionPolicy):
 
         if model is None:
             model = get_cost_model(objective)
-        if not model.preserves_busy_time_ratios:
+        # Flex instances are only coverable by ratio-less window-aware
+        # algorithms (fixed-interval certificates never transfer), so they
+        # always get the extras appended too.
+        if not model.preserves_busy_time_ratios or instance.is_flex:
             extras = sorted(
                 (s for s in applicable if s.approximation_ratio is None),
                 key=lambda s: (s.selection_priority, s.name),
@@ -176,6 +186,10 @@ class FirstFitPolicy(SelectionPolicy):
 
         if get_scheduler("first_fit").handles(instance, objective):
             return ["first_fit"]
+        # FirstFit never handles flex instances; its placement-aware
+        # counterpart is the same greedy with candidate starts.
+        if get_scheduler("placement_first_fit").handles(instance, objective):
+            return ["placement_first_fit"]
         return []
 
 

@@ -196,6 +196,13 @@ class SolveRequest:
                     f"the instance carries capacity demands; demand-aware "
                     f"algorithms declare demand_aware=True"
                 )
+            if self.instance.is_flex and not scheduler.window_aware:
+                raise RequestValidationError(
+                    f"algorithm {self.algorithm!r} is not window-aware but "
+                    f"the instance carries flex windows, a site capacity cap "
+                    f"or background load; window-aware algorithms declare "
+                    f"window_aware=True"
+                )
             if not scheduler.supports_objective(self.objective):
                 raise RequestValidationError(
                     f"algorithm {self.algorithm!r} does not declare support "

@@ -24,6 +24,13 @@ from .random_instances import (
     poisson_arrivals_instance,
     uniform_random_instance,
 )
+from .tariffs import (
+    co2_intensity_tariff,
+    flex_window_instance,
+    office_background,
+    tariff_corpus,
+    tou_tariff,
+)
 from .structured import (
     bounded_length_instance,
     clique_instance,
@@ -49,6 +56,11 @@ __all__ = [
     "ranked_shift_proper_instance",
     "theorem24_parameters",
     "fig4_reference_schedule",
+    "tou_tariff",
+    "co2_intensity_tariff",
+    "office_background",
+    "flex_window_instance",
+    "tariff_corpus",
     "uniform_traffic",
     "hotspot_traffic",
     "local_traffic",

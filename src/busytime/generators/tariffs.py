@@ -1,0 +1,257 @@
+"""Tariff, background-load and flex-window generators.
+
+The tariff-aware placement experiments (E24) need three ingredients the
+rigid generators cannot produce:
+
+* **time-of-use tariffs** — the utility-style day shape (off-peak /
+  shoulder / peak / shoulder / off-peak) repeated over the horizon, and a
+  noisier carbon-intensity trace for CO₂-weighted scheduling;
+* **background load** — inflexible site consumption (building HVAC, the
+  non-batch fleet) that eats into a site-wide capacity cap;
+* **flex-window jobs** — batch jobs whose nominal interval can slide
+  inside a ``[release, deadline]`` window.
+
+All generators are deterministic given their ``seed`` (they draw from a
+dedicated :class:`numpy.random.Generator`); the structured tariffs take no
+seed at all.  :func:`tariff_corpus` bundles them into the named corpus the
+benchmark script and the differential tests iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.intervals import Interval, Job
+from ..core.objectives import CostModel
+from ..pricing.series import BackgroundLoad, TariffSeries
+from .random_instances import uniform_random_instance
+
+__all__ = [
+    "tou_tariff",
+    "co2_intensity_tariff",
+    "office_background",
+    "flex_window_instance",
+    "tariff_corpus",
+]
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def tou_tariff(
+    horizon: float = 96.0,
+    day: float = 24.0,
+    off_peak: float = 1.0,
+    shoulder: float = 2.0,
+    peak: float = 4.0,
+    name: str = "tou",
+) -> TariffSeries:
+    """A repeating time-of-use day tariff over ``[0, horizon]``.
+
+    Each day of length ``day`` splits into the classic five bands (hours,
+    scaled by ``day / 24``): off-peak until 07:00, shoulder 07:00–12:00,
+    peak 12:00–18:00, shoulder 18:00–22:00, off-peak after.  Outside the
+    horizon the rate stays at ``off_peak``, so translating an instance past
+    the last generated day prices like night-time (cheap) rather than
+    falling off a cliff.
+    """
+    if horizon <= 0 or day <= 0:
+        raise ValueError("horizon and day must be positive")
+    scale = day / 24.0
+    edges_in_day = (7.0, 12.0, 18.0, 22.0)
+    rates_in_day = (off_peak, shoulder, peak, shoulder)
+    breakpoints: List[float] = []
+    rates: List[float] = [off_peak]
+    t = 0.0
+    while t < horizon:
+        for edge, rate_after in zip(edges_in_day, (shoulder, peak, shoulder, off_peak)):
+            b = t + edge * scale
+            if b >= horizon:
+                break
+            breakpoints.append(b)
+            rates.append(rate_after)
+        next_day = t + day
+        if next_day < horizon and rates[-1] != off_peak:
+            breakpoints.append(next_day)
+            rates.append(off_peak)
+        t = next_day
+    del rates_in_day
+    return TariffSeries(tuple(breakpoints), tuple(rates), name=name)
+
+
+def co2_intensity_tariff(
+    horizon: float = 96.0,
+    step: float = 4.0,
+    base: float = 2.0,
+    swing: float = 1.5,
+    seed: Optional[int] = None,
+    name: str = "co2",
+) -> TariffSeries:
+    """A noisy piecewise-constant carbon-intensity trace.
+
+    A sinusoidal daily shape (solar dip around mid-day) plus uniform noise,
+    sampled every ``step`` time units and clipped away from zero — rates
+    are intensities in arbitrary gCO₂-equivalent units.  Deterministic
+    given ``seed``.
+    """
+    if horizon <= 0 or step <= 0:
+        raise ValueError("horizon and step must be positive")
+    if swing < 0 or base - swing <= 0:
+        raise ValueError("need 0 <= swing < base so intensities stay positive")
+    rng = _rng(seed)
+    edges = np.arange(step, horizon, step)
+    mids = np.arange(0.0, horizon, step) + step / 2.0
+    shape = base + swing * np.sin(2.0 * np.pi * mids / 24.0)
+    noise = rng.uniform(-swing / 4.0, swing / 4.0, size=mids.size)
+    rates = np.maximum(shape + noise, base / 10.0)
+    return TariffSeries(
+        tuple(edges.tolist()), tuple(rates.tolist()[: edges.size + 1]), name=name
+    )
+
+
+def office_background(
+    horizon: float = 96.0,
+    day: float = 24.0,
+    night_level: int = 1,
+    day_level: int = 3,
+    name: str = "office",
+) -> BackgroundLoad:
+    """Office-hours background load: ``day_level`` 08:00–20:00, else night.
+
+    Zero outside ``[0, horizon]`` (the site predates and outlives nothing).
+    """
+    if horizon <= 0 or day <= 0:
+        raise ValueError("horizon and day must be positive")
+    if night_level < 0 or day_level < 0:
+        raise ValueError("levels must be non-negative")
+    scale = day / 24.0
+    marks: List[Tuple[float, int]] = []
+    t = 0.0
+    while t < horizon:
+        marks.append((t, night_level))
+        marks.append((t + 8.0 * scale, day_level))
+        marks.append((t + 20.0 * scale, night_level))
+        t += day
+    breakpoints: List[float] = [0.0]
+    levels: List[int] = []
+    current = night_level
+    for time, level in marks:
+        if time <= 0.0:
+            current = level
+            continue
+        if time >= horizon:
+            continue
+        if level != current:
+            breakpoints.append(time)
+            levels.append(current)
+            current = level
+    breakpoints.append(horizon)
+    levels.append(current)
+    return BackgroundLoad(tuple(breakpoints), tuple(levels), name=name)
+
+
+def flex_window_instance(
+    n: int,
+    g: int,
+    horizon: float = 96.0,
+    min_length: float = 1.0,
+    max_length: float = 8.0,
+    slack: float = 12.0,
+    flex_fraction: float = 1.0,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Uniform random jobs, a ``flex_fraction`` of which get slack windows.
+
+    Each flexible job's window extends its nominal interval by uniform
+    draws in ``[0, slack]`` on both sides (clipped at 0 on the left), so
+    ``slack=0`` — or ``flex_fraction=0`` — degenerates to the rigid
+    :func:`~busytime.generators.random_instances.uniform_random_instance`
+    with bit-identical nominal intervals.
+    """
+    if not 0.0 <= flex_fraction <= 1.0:
+        raise ValueError("flex_fraction must be in [0, 1]")
+    if slack < 0:
+        raise ValueError("slack must be non-negative")
+    base = uniform_random_instance(
+        n, g, horizon=horizon, min_length=min_length, max_length=max_length, seed=seed
+    )
+    if slack == 0 or flex_fraction == 0:
+        return base
+    rng = _rng(None if seed is None else seed + 1)
+    flex = rng.random(size=n) < flex_fraction
+    left = rng.uniform(0.0, slack, size=n)
+    right = rng.uniform(0.0, slack, size=n)
+    jobs: List[Job] = []
+    for i, j in enumerate(base.jobs):
+        if flex[i]:
+            jobs.append(
+                Job(
+                    id=j.id,
+                    interval=j.interval,
+                    weight=j.weight,
+                    tag=j.tag,
+                    demand=j.demand,
+                    release=max(0.0, j.start - float(left[i])),
+                    deadline=j.end + float(right[i]),
+                )
+            )
+        else:
+            jobs.append(j)
+    return Instance(
+        jobs=tuple(jobs),
+        g=base.g,
+        name=f"flex(n={n},g={g},slack={slack:g},seed={seed})",
+    )
+
+
+def tariff_corpus(seed: int = 0) -> List[Tuple[Instance, CostModel]]:
+    """The named (instance, cost model) corpus of the E24 benchmark.
+
+    Twelve cases crossing workload shape (uniform flex, bursty-window,
+    sparse long-slack), tariff (TOU, CO₂ trace) and site constraints
+    (uncapped; capped with office background).  Deterministic given
+    ``seed``; every instance is feasible for the placement algorithms by
+    construction (caps leave headroom above the background peak).
+    """
+    cases: List[Tuple[Instance, CostModel]] = []
+    tariffs = [
+        tou_tariff(),
+        co2_intensity_tariff(seed=seed + 100),
+    ]
+    for t_index, tariff in enumerate(tariffs):
+        model = CostModel(objective="tariff_busy_time", tariff=tariff)
+        for case in range(3):
+            s = seed + 10 * t_index + case
+            inst = flex_window_instance(
+                n=24 + 8 * case,
+                g=3,
+                slack=6.0 + 6.0 * case,
+                flex_fraction=0.8,
+                seed=s,
+            )
+            cases.append((replace_name(inst, f"{tariff.name}-flex-{case}"), model))
+            background = office_background()
+            capped = Instance(
+                jobs=inst.jobs,
+                g=3,
+                name=f"{tariff.name}-capped-{case}",
+                site_capacity=background.max_level + max(10, inst.peak_demand),
+                background=background,
+            )
+            cases.append((capped, model))
+    return cases
+
+
+def replace_name(instance: Instance, name: str) -> Instance:
+    """A copy of ``instance`` under a different name (fields unchanged)."""
+    return Instance(
+        jobs=instance.jobs,
+        g=instance.g,
+        name=name,
+        site_capacity=instance.site_capacity,
+        background=instance.background,
+    )

@@ -20,7 +20,22 @@ The formats are deliberately boring:
 Version 2 added the per-job capacity ``demand`` (the [15] model; see
 :mod:`busytime.core.objectives` for the matching cost-model axis).  Readers
 accept version-1 documents — absent demands default to 1, which *is* the
-version-1 semantics — and writers always stamp the current version.
+version-1 semantics.
+
+Version 3 added the flex extension: optional per-job ``release``/``deadline``
+window fields, and optional instance-level ``site_capacity`` (int) and
+``background`` (a :class:`~busytime.pricing.series.BackgroundLoad` document).
+Writers stamp version 3 **only when a flex field is actually present** — a
+window-free, uncapped instance serialises byte-identically to the version-2
+writer, so archives, fingerprints and golden files of rigid instances are
+unchanged.  Version-1/2 documents load with the defaults that *are* their
+semantics (no windows, no cap, no background).
+
+``Schedule`` version-3 documents additionally carry a ``placements`` table:
+the placed ``[start, end]`` of every scheduled job whose interval differs
+from its nominal one (window-aware algorithms slide jobs).  Loaders re-place
+those jobs through :meth:`~busytime.core.intervals.Job.placed_at`, which
+re-validates window containment and length preservation.
 
 ``Schedule`` JSON adds the machine partition (job ids per machine) and the
 producing algorithm; ``Traffic`` JSON stores the path length, the grooming
@@ -71,6 +86,7 @@ from .core.intervals import Interval, Job
 from .core.schedule import Machine, Schedule
 from .engine.report import ComponentDecision, RaceCandidate, RaceOutcome, SolveReport
 from .optical.lightpath import Lightpath, Traffic
+from .pricing.series import BackgroundLoad
 from .optical.network import PathNetwork
 
 __all__ = [
@@ -113,8 +129,8 @@ _PathLike = Union[str, Path]
 #: (telemetry, carried only when timings are); versions 1/2 load with
 #: ``race=None``, which *is* their semantics (racing did not exist).
 _SUPPORTED_VERSIONS: Dict[str, tuple] = {
-    "busytime-instance": (1, 2),
-    "busytime-schedule": (1, 2),
+    "busytime-instance": (1, 2, 3),
+    "busytime-schedule": (1, 2, 3),
     "busytime-solve-report": (1, 2, 3),
     "busytime-traffic": (1,),
     "busytime-trace": (1,),
@@ -181,31 +197,55 @@ def _demand_from_field(value: object) -> int:
 
 
 def instance_to_dict(instance: Instance) -> Dict[str, object]:
-    """A JSON-serialisable dict describing the instance."""
-    return {
+    """A JSON-serialisable dict describing the instance.
+
+    Stamps version 3 only when a flex field (window, site cap, background)
+    is present; rigid instances serialise byte-identically to version 2.
+    """
+    flex = instance.has_site_constraints
+    jobs: List[Dict[str, object]] = []
+    for j in instance.jobs:
+        row: Dict[str, object] = {
+            "id": j.id,
+            "start": j.start,
+            "end": j.end,
+            "weight": j.weight,
+            "tag": j.tag,
+            "demand": j.demand,
+        }
+        if j.release is not None:
+            row["release"] = j.release
+            flex = True
+        if j.deadline is not None:
+            row["deadline"] = j.deadline
+            flex = True
+        jobs.append(row)
+    doc: Dict[str, object] = {
         "format": "busytime-instance",
-        "version": 2,
+        "version": 3 if flex else 2,
         "name": instance.name,
         "g": instance.g,
-        "jobs": [
-            {
-                "id": j.id,
-                "start": j.start,
-                "end": j.end,
-                "weight": j.weight,
-                "tag": j.tag,
-                "demand": j.demand,
-            }
-            for j in instance.jobs
-        ],
+        "jobs": jobs,
     }
+    if instance.site_capacity is not None:
+        doc["site_capacity"] = instance.site_capacity
+    if instance.background is not None:
+        doc["background"] = instance.background.to_dict()
+    return doc
+
+
+def _optional_time(row: Mapping[str, object], key: str) -> Optional[float]:
+    value = row.get(key)
+    return None if value is None else float(value)  # type: ignore[arg-type]
 
 
 def instance_from_dict(data: Mapping[str, object]) -> Instance:
     """Rebuild an :class:`Instance` from :func:`instance_to_dict` output.
 
-    Accepts version-1 documents: a job row without a ``demand`` field gets
-    demand 1, the rigid semantics every version-1 document meant.
+    Accepts version-1/2 documents: a job row without a ``demand`` field gets
+    demand 1, one without window fields is a fixed job, and an instance
+    without ``site_capacity``/``background`` is uncapped — the semantics
+    every older document meant.
     """
     _check_header(data, "busytime-instance")
     jobs = tuple(
@@ -215,10 +255,24 @@ def instance_from_dict(data: Mapping[str, object]) -> Instance:
             weight=float(row.get("weight", 1.0)),
             tag=str(row.get("tag", "")),
             demand=_demand_from_field(row.get("demand", 1)),
+            release=_optional_time(row, "release"),
+            deadline=_optional_time(row, "deadline"),
         )
         for row in data["jobs"]  # type: ignore[index]
     )
-    return Instance(jobs=jobs, g=int(data["g"]), name=str(data.get("name", "")))
+    site_capacity = data.get("site_capacity")
+    background = data.get("background")
+    return Instance(
+        jobs=jobs,
+        g=int(data["g"]),
+        name=str(data.get("name", "")),
+        site_capacity=None if site_capacity is None else int(site_capacity),  # type: ignore[arg-type]
+        background=(
+            None
+            if background is None
+            else BackgroundLoad.from_dict(background)  # type: ignore[arg-type]
+        ),
+    )
 
 
 def save_instance(instance: Instance, path: _PathLike) -> None:
@@ -235,28 +289,60 @@ def load_instance(path: _PathLike) -> Instance:
 
 
 def schedule_to_dict(schedule: Schedule) -> Dict[str, object]:
-    """A JSON-serialisable dict: the instance plus the machine partition."""
-    return {
+    """A JSON-serialisable dict: the instance plus the machine partition.
+
+    Version-3 documents (emitted only for flex instances) additionally
+    carry the ``placements`` table: the placed interval of every scheduled
+    job that was slid away from its nominal position.
+    """
+    nominal = {j.id: j.interval for j in schedule.instance.jobs}
+    placements = [
+        {"id": j.id, "start": j.start, "end": j.end}
+        for m in schedule.machines
+        for j in m.jobs
+        if j.interval != nominal[j.id]
+    ]
+    instance_doc = instance_to_dict(schedule.instance)
+    flex = placements or instance_doc["version"] == 3
+    doc: Dict[str, object] = {
         "format": "busytime-schedule",
-        "version": 2,
+        "version": 3 if flex else 2,
         "algorithm": schedule.algorithm,
         "total_busy_time": schedule.total_busy_time,
-        "instance": instance_to_dict(schedule.instance),
+        "instance": instance_doc,
         "machines": [
             {"index": m.index, "job_ids": [j.id for j in m.jobs]}
             for m in schedule.machines
         ],
     }
+    if placements:
+        doc["placements"] = placements
+    return doc
 
 
 def schedule_from_dict(data: Mapping[str, object]) -> Schedule:
-    """Rebuild (and re-validate) a :class:`Schedule`."""
+    """Rebuild (and re-validate) a :class:`Schedule`.
+
+    Placed jobs are rebuilt through
+    :meth:`~busytime.core.intervals.Job.placed_at`, so a placement outside
+    its job's window — or one that changed the length — fails loudly.
+    """
     _check_header(data, "busytime-schedule")
     instance = instance_from_dict(data["instance"])  # type: ignore[arg-type]
     by_id = {j.id: j for j in instance.jobs}
+    placed = dict(by_id)
+    for row in data.get("placements", ()):  # type: ignore[union-attr]
+        job = by_id[int(row["id"])]
+        start, end = float(row["start"]), float(row["end"])
+        if abs((end - start) - job.length) > 1e-9 * max(1.0, abs(job.length)):
+            raise ValueError(
+                f"placement of job {job.id} has length {end - start!r} but the "
+                f"job runs for {job.length!r}"
+            )
+        placed[job.id] = job.placed_at(start)
     machines = []
     for row in data["machines"]:  # type: ignore[index]
-        jobs = tuple(by_id[int(job_id)] for job_id in row["job_ids"])
+        jobs = tuple(placed[int(job_id)] for job_id in row["job_ids"])
         machines.append(Machine(index=int(row["index"]), jobs=jobs))
     schedule = Schedule(
         instance=instance,

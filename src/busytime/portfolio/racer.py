@@ -61,10 +61,12 @@ DEFAULT_ACCEPT_FACTOR = 1.0
 _EPS = 1e-9
 
 
-def _race_worker(name: str, instance: Instance) -> Tuple[Schedule, float]:
+def _race_worker(
+    name: str, instance: Instance, model: Optional[CostModel] = None
+) -> Tuple[Schedule, float]:
     """Run one registered candidate; picklable for process-pool executors."""
     started = time.perf_counter()
-    schedule = get_scheduler(name)(instance)
+    schedule = get_scheduler(name).schedule_under(instance, model)
     return schedule, time.perf_counter() - started
 
 
@@ -187,7 +189,7 @@ def race_candidates(
         )
         entry = _Entry(name, len(entries))
         started = time.perf_counter()
-        schedule = get_scheduler(name)(instance)
+        schedule = get_scheduler(name).schedule_under(instance, model)
         race.record_finish(entry, schedule, time.perf_counter() - started)
         if entry.status != "finished":
             raise RuntimeError(
@@ -251,7 +253,7 @@ def _run_serial(
         entry.started = True
         started = time.perf_counter()
         try:
-            schedule = get_scheduler(entry.name)(instance)
+            schedule = get_scheduler(entry.name).schedule_under(instance, race.model)
         except Exception:  # noqa: BLE001 - a poisoned candidate loses its slot
             entry.status = "failed"
             entry.wall = time.perf_counter() - started
@@ -273,7 +275,7 @@ def _run_concurrent(
 ) -> Tuple[Optional[_Entry], bool]:
     """Submit every candidate up front; resolve results in rank order."""
     futures = {
-        entry.rank: executor.submit(_race_worker, entry.name, instance)
+        entry.rank: executor.submit(_race_worker, entry.name, instance, race.model)
         for entry in entries
     }
     accepted: Optional[_Entry] = None

@@ -1,0 +1,37 @@
+"""Tariff-aware pricing: time-varying rates, background load, bounds.
+
+``busytime.pricing.series`` holds the pure value objects
+(:class:`TariffSeries`, :class:`BackgroundLoad`) the core model embeds;
+``busytime.pricing.bounds`` holds the window/tariff-aware lower bounds.
+The bounds module depends on ``busytime.core``, which itself imports the
+series module, so only the series symbols are imported eagerly here —
+the bounds are resolved lazily to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .series import BackgroundLoad, TariffSeries
+
+__all__ = [
+    "BackgroundLoad",
+    "TariffSeries",
+    "mandatory_part",
+    "tariff_parallelism_bound",
+    "band_demand_bound",
+    "tariff_lower_bound",
+]
+
+_LAZY = {
+    "mandatory_part",
+    "tariff_parallelism_bound",
+    "band_demand_bound",
+    "tariff_lower_bound",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import bounds
+
+        return getattr(bounds, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

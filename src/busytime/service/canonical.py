@@ -70,8 +70,16 @@ __all__ = [
 #: added the portfolio-racing options (``race``/``deadline``) to the option
 #: document: a raced solve and a single-dispatch solve of the same instance
 #: may legitimately return different (equally feasible) schedules, so they
-#: must never share a cache line.
-CANONICAL_VERSION = 3
+#: must never share a cache line.  Version 4 added the flex extension:
+#: windowed instances carry 7-element rows (``rel_release``/``rel_deadline``
+#: appended; window-free instances keep the 5-element rows, so their
+#: canonical content is unchanged modulo the version tag), the instance's
+#: ``site_capacity``/``background`` enter the document only when set, and a
+#: banded tariff's breakpoints are *anchored* (translated by ``-offset``)
+#: in both the hashed options and the canonical request's cost model — so
+#: global time translation of instance + tariff together still hits the
+#: same cache line, and the canonical solve prices bands correctly.
+CANONICAL_VERSION = 4
 
 #: Instance sizes from which :func:`canonicalize` sorts with ``np.lexsort``
 #: over column arrays instead of python tuple sorting.  Same keys, same
@@ -90,7 +98,10 @@ class CanonicalForm:
         The parallelism parameter (not touched by canonicalization).
     rows:
         One ``(start, end, weight, tag, demand)`` tuple per canonical job
-        ``k``, already translated (earliest start at 0) and sorted.
+        ``k``, already translated (earliest start at 0) and sorted.  On
+        instances with at least one genuinely windowed job every row has
+        two more elements, the translated ``(release, deadline)`` of the
+        job's effective window.
     id_map:
         ``id_map[k]`` is the *original* id of canonical job ``k``.
     offset:
@@ -99,13 +110,22 @@ class CanonicalForm:
     name:
         The original instance name (names are labels, not data, so the
         canonical instance drops them).
+    site_capacity:
+        The instance's site-wide capacity cap, if any (an integer count,
+        translation invariant).
+    background:
+        The instance's inflexible background load, if any, as anchored
+        ``(breakpoints, levels)`` tuples (breakpoints translated by
+        ``-offset``).
     """
 
     g: int
-    rows: Tuple[Tuple[float, float, float, str, int], ...]
+    rows: Tuple[Tuple, ...]
     id_map: Tuple[int, ...]
     offset: float
     name: str
+    site_capacity: Optional[int] = None
+    background: Optional[Tuple[Tuple[float, ...], Tuple[int, ...]]] = None
 
     @property
     def instance(self) -> Instance:
@@ -117,30 +137,92 @@ class CanonicalForm:
         """
         built = self.__dict__.get("_instance")
         if built is None:
-            built = Instance(
-                jobs=tuple(
+            jobs = []
+            for k, row in enumerate(self.rows):
+                start, end, weight, tag, demand = row[:5]
+                release = deadline = None
+                if len(row) == 7:
+                    release, deadline = row[5], row[6]
+                jobs.append(
                     Job(
                         id=k,
                         interval=Interval(start, end),
                         weight=weight,
                         tag=tag,
                         demand=demand,
+                        release=release,
+                        deadline=deadline,
                     )
-                    for k, (start, end, weight, tag, demand) in enumerate(self.rows)
-                ),
+                )
+            background = None
+            if self.background is not None:
+                from ..pricing.series import BackgroundLoad
+
+                background = BackgroundLoad(self.background[0], self.background[1])
+            built = Instance(
+                jobs=tuple(jobs),
                 g=self.g,
                 name="",
+                site_capacity=self.site_capacity,
+                background=background,
             )
             object.__setattr__(self, "_instance", built)
         return built
 
 
+def _site_fields(
+    instance: Instance, offset: float
+) -> Tuple[Optional[int], Optional[Tuple[Tuple[float, ...], Tuple[int, ...]]]]:
+    background = None
+    if instance.background is not None:
+        bg = instance.background
+        background = (tuple(b - offset for b in bg.breakpoints), bg.levels)
+    return instance.site_capacity, background
+
+
 def canonicalize(instance: Instance) -> CanonicalForm:
     """The canonical form of an instance (relabeling/translation quotient)."""
     if not instance.jobs:
-        return CanonicalForm(g=instance.g, rows=(), id_map=(), offset=0.0, name=instance.name)
+        site_capacity, background = _site_fields(instance, 0.0)
+        return CanonicalForm(
+            g=instance.g,
+            rows=(),
+            id_map=(),
+            offset=0.0,
+            name=instance.name,
+            site_capacity=site_capacity,
+            background=background,
+        )
     jobs = instance.jobs
     offset = min(j.start for j in jobs)
+    site_capacity, background = _site_fields(instance, offset)
+    if instance.has_windows:
+        # Windowed rows append the translated *effective* window, so a job
+        # whose explicit window has zero slack canonicalizes exactly like
+        # the fixed job it is (the effective window is then the interval
+        # itself and the extension degenerates bit-for-bit).
+        keyed = sorted(
+            (
+                j.start - offset,
+                j.end - offset,
+                j.weight,
+                j.tag,
+                j.demand,
+                j.window_release - offset,
+                j.window_deadline - offset,
+                j.id,
+            )
+            for j in jobs
+        )
+        return CanonicalForm(
+            g=instance.g,
+            rows=tuple(row[:7] for row in keyed),
+            id_map=tuple(row[7] for row in keyed),
+            offset=offset,
+            name=instance.name,
+            site_capacity=site_capacity,
+            background=background,
+        )
     n = len(jobs)
     if n >= CANONICAL_LEXSORT_MIN:
         from ..core.events import _bulk_enabled
@@ -174,6 +256,8 @@ def canonicalize(instance: Instance) -> CanonicalForm:
                 id_map=tuple(id_map),
                 offset=offset,
                 name=instance.name,
+                site_capacity=site_capacity,
+                background=background,
             )
     # Sort by the canonical coordinates; ties (identical jobs up to id) break
     # by original id so the id_map is deterministic.  Identical jobs are
@@ -188,7 +272,24 @@ def canonicalize(instance: Instance) -> CanonicalForm:
         id_map=tuple(row[5] for row in keyed),
         offset=offset,
         name=instance.name,
+        site_capacity=site_capacity,
+        background=background,
     )
+
+
+def _anchored_cost_model(request: SolveRequest, form: CanonicalForm):
+    """The request's resolved cost model with its tariff anchored at 0.
+
+    Returns ``None`` when nothing needs anchoring (no tariff, a constant
+    tariff with no breakpoints, or a zero offset) so callers can keep the
+    request's own ``cost_model`` field — including ``None`` meaning "the
+    registered default" — untouched.
+    """
+    model = request.resolved_cost_model()
+    tariff = getattr(model, "tariff", None)
+    if tariff is None or not tariff.breakpoints or form.offset == 0.0:
+        return None
+    return replace(model, tariff=tariff.shifted(-form.offset))
 
 
 def canonical_request(
@@ -198,10 +299,19 @@ def canonical_request(
 
     ``tags`` are stripped from the canonical request (they are echo-only
     labels); the caller re-attaches its own tags on de-canonicalization.
-    ``form`` may carry a precomputed :func:`canonicalize` result.
+    A banded tariff is anchored alongside the instance (breakpoints
+    translated by ``-offset``) so band boundaries keep their relative
+    position to the jobs.  ``form`` may carry a precomputed
+    :func:`canonicalize` result.
     """
     if form is None:
         form = canonicalize(request.instance)
+    anchored = _anchored_cost_model(request, form)
+    if anchored is not None:
+        return (
+            replace(request, instance=form.instance, tags={}, cost_model=anchored),
+            form,
+        )
     return replace(request, instance=form.instance, tags={}), form
 
 
@@ -222,6 +332,9 @@ def request_fingerprint(
         form = canonicalize(request.instance)
     options = request.options_dict()
     options.pop("tags", None)
+    anchored = _anchored_cost_model(request, form)
+    if anchored is not None:
+        options["cost_model"] = anchored.to_dict()
     doc = {
         "format": "busytime-canonical-request",
         "version": CANONICAL_VERSION,
@@ -229,6 +342,10 @@ def request_fingerprint(
         "jobs": [list(row) for row in form.rows],
         "options": options,
     }
+    if form.site_capacity is not None:
+        doc["site_capacity"] = form.site_capacity
+    if form.background is not None:
+        doc["background"] = [list(form.background[0]), list(form.background[1])]
     payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -261,17 +378,38 @@ def decanonicalize_report(
         jobs = []
         for canonical_job in m.jobs:
             original_job = by_id[form.id_map[canonical_job.id]]
-            if (
-                original_job.start - form.offset != canonical_job.start
-                or original_job.end - form.offset != canonical_job.end
-                or original_job.demand != canonical_job.demand
-            ):
+            if original_job.demand != canonical_job.demand:
                 raise ValueError(
                     f"canonical form does not match instance "
                     f"{original.name or '(unnamed)'}: job {original_job.id} "
                     f"is not job {canonical_job.id} translated by {form.offset}"
                 )
-            jobs.append(original_job)
+            nominal_match = (
+                original_job.start - form.offset == canonical_job.start
+                and original_job.end - form.offset == canonical_job.end
+            )
+            if nominal_match:
+                jobs.append(original_job)
+            elif original_job.has_window:
+                # A window-aware canonical solve may have slid the job; map
+                # the placed interval back onto the original time axis.
+                # ``placed_at`` re-validates window containment, and the
+                # length is preserved by construction on both sides.
+                placed = original_job.placed_at(canonical_job.start + form.offset)
+                if abs(placed.length - canonical_job.length) > 1e-9 * max(
+                    1.0, abs(placed.length)
+                ):
+                    raise ValueError(
+                        f"canonical placement of job {original_job.id} changed "
+                        f"its length"
+                    )
+                jobs.append(placed)
+            else:
+                raise ValueError(
+                    f"canonical form does not match instance "
+                    f"{original.name or '(unnamed)'}: job {original_job.id} "
+                    f"is not job {canonical_job.id} translated by {form.offset}"
+                )
         seen += len(jobs)
         machines.append(Machine(index=m.index, jobs=tuple(jobs)))
     if seen != original.n:

@@ -487,6 +487,8 @@ class _ServiceHandler(JsonRequestHandler):
                             "portfolio_member": info.portfolio_member,
                             "supported_objectives": list(info.supported_objectives),
                             "demand_aware": info.demand_aware,
+                            "window_aware": info.window_aware,
+                            "tariff_aware": info.tariff_aware,
                         }
                         for info in algorithm_table()
                     ]

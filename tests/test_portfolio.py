@@ -263,6 +263,9 @@ class _Poisoned:
     def __call__(self, instance):
         raise RuntimeError("poisoned candidate")
 
+    def schedule_under(self, instance, model=None):
+        raise RuntimeError("poisoned candidate")
+
     def __getattr__(self, name):
         return getattr(self._real, name)
 
